@@ -1,0 +1,307 @@
+// Command mwcrun runs one MWC (or multi-source shortest path) algorithm on
+// a generated or file-loaded graph and prints the answer together with its
+// CONGEST cost.
+//
+// Examples:
+//
+//	mwcrun -gen random -n 200 -class d -algo approx
+//	mwcrun -gen planted -n 150 -class uw -cyclelen 6 -cyclew 40 -algo approx -eps 0.25
+//	mwcrun -graph instance.gr -algo exact
+//	mwcrun -gen random -n 300 -class d -algo ksssp -k 17
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+
+	"congestmwc/internal/congest"
+	"congestmwc/internal/dirmwc"
+	"congestmwc/internal/dot"
+	"congestmwc/internal/exact"
+	"congestmwc/internal/gen"
+	"congestmwc/internal/girth"
+	"congestmwc/internal/graph"
+	"congestmwc/internal/graphio"
+	"congestmwc/internal/ksssp"
+	"congestmwc/internal/seq"
+	"congestmwc/internal/wmwc"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mwcrun:", err)
+		os.Exit(1)
+	}
+}
+
+type config struct {
+	graphFile string
+	genKind   string
+	class     string
+	n         int
+	p         float64
+	maxW      int64
+	cycleLen  int
+	cycleW    int64
+	algo      string
+	k         int
+	eps       float64
+	seed      int64
+	bandwidth int
+	parallel  bool
+	check     bool
+	dotFile   string
+	traceMsgs int
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("mwcrun", flag.ContinueOnError)
+	cfg := config{}
+	fs.StringVar(&cfg.graphFile, "graph", "", "graph file (graphio format); overrides -gen")
+	fs.StringVar(&cfg.genKind, "gen", "random", "generator: random | ring | grid | planted")
+	fs.StringVar(&cfg.class, "class", "d", "graph class: ud | d | uw | dw")
+	fs.IntVar(&cfg.n, "n", 100, "number of vertices")
+	fs.Float64Var(&cfg.p, "p", 0, "random edge probability (0 = 4/n)")
+	fs.Int64Var(&cfg.maxW, "maxw", 16, "maximum edge weight for weighted classes")
+	fs.IntVar(&cfg.cycleLen, "cyclelen", 5, "planted cycle length")
+	fs.Int64Var(&cfg.cycleW, "cyclew", 0, "planted cycle weight (0 = cyclelen*maxw/2)")
+	fs.StringVar(&cfg.algo, "algo", "approx", "algorithm: approx | exact | ksssp")
+	fs.IntVar(&cfg.k, "k", 0, "number of sources for ksssp (0 = ceil(sqrt(n)))")
+	fs.Float64Var(&cfg.eps, "eps", 0.25, "accuracy for weighted approximations")
+	fs.Int64Var(&cfg.seed, "seed", 1, "random seed")
+	fs.IntVar(&cfg.bandwidth, "bandwidth", 0, "link bandwidth in words per round (0 = default)")
+	fs.BoolVar(&cfg.parallel, "parallel", false, "run node handlers on worker goroutines")
+	fs.BoolVar(&cfg.check, "check", true, "compare against the sequential reference")
+	fs.StringVar(&cfg.dotFile, "dot", "", "write the instance (with the witness cycle highlighted, if any) as Graphviz DOT to this file")
+	fs.IntVar(&cfg.traceMsgs, "trace", 0, "print the first N delivered messages (simulator trace)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	g, err := buildGraph(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("graph: n=%d m=%d directed=%v weighted=%v\n", g.N(), g.M(), g.Directed(), g.Weighted())
+
+	net, err := congest.NewNetwork(g, congest.Options{
+		Seed: cfg.seed, Bandwidth: cfg.bandwidth, Parallel: cfg.parallel,
+	})
+	if err != nil {
+		return err
+	}
+	if cfg.traceMsgs > 0 {
+		net.SetObserver(&congest.TraceWriter{W: os.Stdout, MaxMessages: cfg.traceMsgs})
+	}
+	switch cfg.algo {
+	case "approx":
+		return runApprox(cfg, g, net)
+	case "exact":
+		return runExact(cfg, g, net)
+	case "ksssp":
+		return runKSSSP(cfg, g, net)
+	default:
+		return fmt.Errorf("unknown algorithm %q", cfg.algo)
+	}
+}
+
+func buildGraph(cfg config) (*graph.Graph, error) {
+	if cfg.graphFile != "" {
+		f, err := os.Open(cfg.graphFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return graphio.Read(f)
+	}
+	directed := cfg.class == "d" || cfg.class == "dw"
+	weighted := cfg.class == "uw" || cfg.class == "dw"
+	if !directed && cfg.class != "ud" && cfg.class != "uw" {
+		return nil, fmt.Errorf("unknown class %q", cfg.class)
+	}
+	switch cfg.genKind {
+	case "random":
+		p := cfg.p
+		if p <= 0 {
+			p = 4 / float64(cfg.n)
+		}
+		return gen.Random{
+			N: cfg.n, P: p, Directed: directed, Weighted: weighted,
+			MaxW: cfg.maxW, Seed: cfg.seed,
+		}.Graph()
+	case "ring":
+		w := int64(1)
+		if weighted {
+			w = cfg.maxW
+		}
+		return gen.Ring(cfg.n, directed, weighted, w), nil
+	case "grid":
+		if directed {
+			return nil, fmt.Errorf("grid generator is undirected")
+		}
+		side := int(math.Ceil(math.Sqrt(float64(cfg.n))))
+		return gen.Grid(side, side, weighted, cfg.maxW, cfg.seed), nil
+	case "planted":
+		cw := cfg.cycleW
+		if cw == 0 {
+			cw = int64(cfg.cycleLen) * cfg.maxW / 2
+		}
+		g, planted, err := gen.PlantedCycle{
+			N: cfg.n, CycleLen: cfg.cycleLen, CycleW: cw,
+			Directed: directed, Weighted: weighted, BackgroundDeg: 2, Seed: cfg.seed,
+		}.Graph()
+		if err != nil {
+			return nil, err
+		}
+		fmt.Printf("planted MWC weight: %d\n", planted)
+		return g, nil
+	default:
+		return nil, fmt.Errorf("unknown generator %q", cfg.genKind)
+	}
+}
+
+func runApprox(cfg config, g *graph.Graph, net *congest.Network) error {
+	var (
+		weight  int64
+		found   bool
+		label   string
+		witness []int
+	)
+	switch {
+	case !g.Directed() && !g.Weighted():
+		res, err := girth.Run(net, girth.Spec{})
+		if err != nil {
+			return err
+		}
+		weight, found, label = res.Weight, res.Found, "(2-1/g)-approx girth, O~(sqrt(n)+D)"
+		witness = res.Cycle
+	case g.Directed() && !g.Weighted():
+		res, err := dirmwc.Run(net, dirmwc.Spec{})
+		if err != nil {
+			return err
+		}
+		weight, found, label = res.Weight, res.Found, "2-approx directed MWC, O~(n^{4/5}+D)"
+	default:
+		res, err := wmwc.Run(net, wmwc.Spec{Eps: cfg.eps})
+		if err != nil {
+			return err
+		}
+		weight, found, label = res.Weight, res.Found,
+			fmt.Sprintf("(2+%.2g)-approx weighted MWC", cfg.eps)
+	}
+	printMWC(cfg, g, net, label, weight, found)
+	if found && len(witness) > 0 {
+		fmt.Printf("witness cycle: %v\n", witness)
+	}
+	return writeDot(cfg, g, witness)
+}
+
+func runExact(cfg config, g *graph.Graph, net *congest.Network) error {
+	res, err := exact.MWC(net)
+	if err != nil {
+		return err
+	}
+	printMWC(cfg, g, net, "exact MWC via APSP, O~(n)", res.Weight, res.Found)
+	if res.Found && len(res.Cycle) > 0 {
+		fmt.Printf("witness cycle: %v\n", res.Cycle)
+	}
+	return writeDot(cfg, g, res.Cycle)
+}
+
+// writeDot renders the instance (and witness, if any) when -dot is set.
+func writeDot(cfg config, g *graph.Graph, cycle []int) error {
+	if cfg.dotFile == "" {
+		return nil
+	}
+	f, err := os.Create(cfg.dotFile)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := dot.Write(f, g, dot.Options{Highlight: cycle, ShowWeights: true}); err != nil {
+		return err
+	}
+	fmt.Printf("wrote DOT to %s\n", cfg.dotFile)
+	return nil
+}
+
+func printMWC(cfg config, g *graph.Graph, net *congest.Network, label string, weight int64, found bool) {
+	fmt.Printf("algorithm: %s\n", label)
+	if found {
+		fmt.Printf("cycle weight: %d\n", weight)
+	} else {
+		fmt.Println("cycle weight: none (acyclic)")
+	}
+	s := net.Stats()
+	fmt.Printf("rounds: %d  messages: %d  words: %d\n", s.Rounds, s.Messages, s.Words)
+	if cfg.check {
+		truth, ok := seq.MWC(g)
+		switch {
+		case ok && found:
+			fmt.Printf("reference MWC: %d  ratio: %.3f\n", truth, float64(weight)/float64(truth))
+		case ok != found:
+			fmt.Printf("reference MWC disagrees: found=%v reference ok=%v\n", found, ok)
+		default:
+			fmt.Println("reference MWC: none (acyclic) — agrees")
+		}
+	}
+}
+
+func runKSSSP(cfg config, g *graph.Graph, net *congest.Network) error {
+	k := cfg.k
+	if k <= 0 {
+		k = int(math.Ceil(math.Sqrt(float64(g.N()))))
+	}
+	sources := make([]int, k)
+	for i := range sources {
+		sources[i] = i * g.N() / k
+	}
+	eps := 0.0
+	if g.Weighted() {
+		eps = cfg.eps
+	}
+	res, err := ksssp.Run(net, ksssp.Spec{Sources: sources, Eps: eps})
+	if err != nil {
+		return err
+	}
+	reached := 0
+	for v := 0; v < g.N(); v++ {
+		for i := range sources {
+			if res.Dist[v][i] < seq.Inf {
+				reached++
+			}
+		}
+	}
+	fmt.Printf("algorithm: %d-source %s (Theorem 1.6)\n", k, map[bool]string{true: "(1+eps)-approx SSSP", false: "exact BFS"}[g.Weighted()])
+	fmt.Printf("sources: %s\n", joinInts(sources))
+	fmt.Printf("reachable (source,vertex) pairs: %d / %d\n", reached, k*g.N())
+	s := net.Stats()
+	fmt.Printf("rounds: %d  messages: %d  words: %d\n", s.Rounds, s.Messages, s.Words)
+	if cfg.check {
+		worst := 1.0
+		for i, src := range sources {
+			want := seq.Dijkstra(g, src)
+			for v := 0; v < g.N(); v++ {
+				if want[v] >= seq.Inf || want[v] == 0 {
+					continue
+				}
+				if r := float64(res.Dist[v][i]) / float64(want[v]); r > worst {
+					worst = r
+				}
+			}
+		}
+		fmt.Printf("worst distance ratio vs reference: %.4f\n", worst)
+	}
+	return nil
+}
+
+func joinInts(xs []int) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = fmt.Sprint(x)
+	}
+	return strings.Join(parts, ",")
+}

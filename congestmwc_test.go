@@ -1,0 +1,317 @@
+package congestmwc
+
+import (
+	"errors"
+	"testing"
+
+	"congestmwc/internal/gen"
+	"congestmwc/internal/seq"
+)
+
+// ringEdges returns the n-cycle with the given per-edge weight.
+func ringEdges(n int, w int64) []Edge {
+	edges := make([]Edge, n)
+	for i := range edges {
+		edges[i] = Edge{From: i, To: (i + 1) % n, Weight: w}
+	}
+	return edges
+}
+
+func randomGraph(t *testing.T, n int, p float64, class Class, maxW int64, seed int64) *Graph {
+	t.Helper()
+	r := gen.Random{
+		N: n, P: p, Seed: seed, MaxW: maxW,
+		Directed: class == Directed || class == DirectedWeighted,
+		Weighted: class == UndirectedWeighted || class == DirectedWeighted,
+	}
+	inner, err := r.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := make([]Edge, 0, inner.M())
+	for _, e := range inner.Edges() {
+		edges = append(edges, Edge{From: e.From, To: e.To, Weight: e.Weight})
+	}
+	g, err := NewGraph(n, edges, class)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewGraphValidation(t *testing.T) {
+	if _, err := NewGraph(3, []Edge{{From: 0, To: 3}}, Undirected); err == nil {
+		t.Error("out-of-range endpoint should fail")
+	}
+	if _, err := NewGraph(3, nil, Class(99)); err == nil {
+		t.Error("unknown class should fail")
+	}
+	if _, err := NewGraph(2, []Edge{{From: 0, To: 0}}, Directed); err == nil {
+		t.Error("self loop should fail")
+	}
+	g, err := NewGraph(4, ringEdges(4, 0), Directed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 4 || g.M() != 4 || g.Class() != Directed || !g.Connected() {
+		t.Errorf("graph accessors wrong: %d %d %v %v", g.N(), g.M(), g.Class(), g.Connected())
+	}
+}
+
+func TestClassString(t *testing.T) {
+	tests := map[Class]string{
+		Undirected:         "undirected",
+		Directed:           "directed",
+		UndirectedWeighted: "undirected-weighted",
+		DirectedWeighted:   "directed-weighted",
+		Class(42):          "Class(42)",
+	}
+	for c, want := range tests {
+		if c.String() != want {
+			t.Errorf("Class(%d).String() = %q, want %q", int(c), c.String(), want)
+		}
+	}
+}
+
+func TestApproxMWCOnRings(t *testing.T) {
+	tests := []struct {
+		class Class
+		w     int64
+		want  int64
+	}{
+		{class: Undirected, w: 0, want: 10},
+		{class: Directed, w: 0, want: 10},
+		{class: UndirectedWeighted, w: 5, want: 50},
+		{class: DirectedWeighted, w: 5, want: 50},
+	}
+	for _, tt := range tests {
+		t.Run(tt.class.String(), func(t *testing.T) {
+			g, err := NewGraph(10, ringEdges(10, tt.w), tt.class)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := ApproxMWC(g, Options{Seed: 3, SampleFactor: 5})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Found {
+				t.Fatal("ring cycle not found")
+			}
+			if res.Weight < tt.want || float64(res.Weight) > 2.5*float64(tt.want) {
+				t.Errorf("weight %d outside [%d, %.0f]", res.Weight, tt.want, 2.5*float64(tt.want))
+			}
+			if res.Rounds <= 0 || res.Messages <= 0 {
+				t.Errorf("missing cost accounting: %+v", res)
+			}
+		})
+	}
+}
+
+func TestApproxVsReferenceAllClasses(t *testing.T) {
+	for _, class := range []Class{Undirected, Directed, UndirectedWeighted, DirectedWeighted} {
+		for seed := int64(0); seed < 3; seed++ {
+			g := randomGraph(t, 40, 0.07, class, 8, seed)
+			want, wantErr := ReferenceMWC(g)
+			res, err := ApproxMWC(g, Options{Seed: seed + 7, SampleFactor: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if wantErr != nil {
+				if res.Found {
+					t.Errorf("%v seed %d: found cycle in acyclic graph", class, seed)
+				}
+				continue
+			}
+			if !res.Found {
+				t.Errorf("%v seed %d: missed MWC %d", class, seed, want)
+				continue
+			}
+			if res.Weight < want {
+				t.Errorf("%v seed %d: unsound %d < %d", class, seed, res.Weight, want)
+			}
+			limit := 2.0
+			if class == UndirectedWeighted || class == DirectedWeighted {
+				limit = 2.25
+			}
+			if float64(res.Weight) > limit*float64(want)+2 {
+				t.Errorf("%v seed %d: ratio too large: %d vs MWC %d", class, seed, res.Weight, want)
+			}
+		}
+	}
+}
+
+func TestExactMWCMatchesReference(t *testing.T) {
+	for _, class := range []Class{Undirected, Directed, UndirectedWeighted, DirectedWeighted} {
+		g := randomGraph(t, 30, 0.08, class, 9, 11)
+		want, wantErr := ReferenceMWC(g)
+		res, err := ExactMWC(g, Options{Seed: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wantErr != nil {
+			if res.Found {
+				t.Errorf("%v: exact found cycle in acyclic graph", class)
+			}
+			continue
+		}
+		if !res.Found || res.Weight != want {
+			t.Errorf("%v: exact (%d,%v), want (%d,true)", class, res.Weight, res.Found, want)
+		}
+		if res.Found {
+			w, err := g.VerifyCycle(res.Cycle)
+			if err != nil {
+				t.Errorf("%v: witness invalid: %v", class, err)
+			} else if w != res.Weight {
+				t.Errorf("%v: witness weight %d != %d", class, w, res.Weight)
+			}
+		}
+	}
+}
+
+func TestReferenceMWCNoCycle(t *testing.T) {
+	g, err := NewGraph(3, []Edge{{From: 0, To: 1}, {From: 1, To: 2}}, Directed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReferenceMWC(g); !errors.Is(err, ErrNoCycle) {
+		t.Errorf("ReferenceMWC error = %v, want ErrNoCycle", err)
+	}
+}
+
+func TestDisconnectedRejected(t *testing.T) {
+	g, err := NewGraph(4, []Edge{{From: 0, To: 1}, {From: 2, To: 3}}, Undirected)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ApproxMWC(g, Options{}); err == nil {
+		t.Error("disconnected network should fail")
+	}
+	if _, err := ExactMWC(g, Options{}); err == nil {
+		t.Error("disconnected network should fail")
+	}
+}
+
+func TestDeterminismSameSeed(t *testing.T) {
+	g := randomGraph(t, 50, 0.06, Directed, 0, 5)
+	a, err := ApproxMWC(g, Options{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ApproxMWC(g, Options{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Weight != b.Weight || a.Found != b.Found || a.Rounds != b.Rounds ||
+		a.Messages != b.Messages || a.Words != b.Words {
+		t.Errorf("same seed produced different results: %+v vs %+v", a, b)
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	g := randomGraph(t, 40, 0.07, UndirectedWeighted, 7, 9)
+	a, err := ApproxMWC(g, Options{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ApproxMWC(g, Options{Seed: 4, Parallel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Weight != b.Weight || a.Found != b.Found || a.Rounds != b.Rounds ||
+		a.Messages != b.Messages || a.Words != b.Words {
+		t.Errorf("parallel engine diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestKSourceBFSMatchesReference(t *testing.T) {
+	g := randomGraph(t, 60, 0.05, Directed, 0, 13)
+	sources := []int{0, 10, 20, 30, 40, 50}
+	res, err := KSourceBFS(g, sources, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range sources {
+		want := seq.BFS(g.g, s)
+		for v := 0; v < g.N(); v++ {
+			if res.Dist[v][i] != want[v] {
+				t.Fatalf("src %d v %d: dist %d, want %d", s, v, res.Dist[v][i], want[v])
+			}
+		}
+	}
+	if res.Rounds <= 0 {
+		t.Error("missing round accounting")
+	}
+}
+
+func TestKSourceSSSPApprox(t *testing.T) {
+	const eps = 0.5
+	g := randomGraph(t, 40, 0.07, DirectedWeighted, 15, 17)
+	sources := []int{0, 15, 30}
+	res, err := KSourceSSSP(g, sources, eps, Options{Seed: 2, SampleFactor: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range sources {
+		want := seq.Dijkstra(g.g, s)
+		for v := 0; v < g.N(); v++ {
+			got := res.Dist[v][i]
+			if want[v] >= Inf {
+				if got < Inf {
+					t.Errorf("src %d v %d: got %d for unreachable", s, v, got)
+				}
+				continue
+			}
+			if got < want[v] || float64(got) > (1+eps)*float64(want[v])+2 {
+				t.Errorf("src %d v %d: got %d, true %d", s, v, got, want[v])
+			}
+		}
+	}
+}
+
+func TestKSourceValidation(t *testing.T) {
+	unw := randomGraph(t, 10, 0.2, Undirected, 0, 1)
+	if _, err := KSourceSSSP(unw, []int{0}, 0.5, Options{}); err == nil {
+		t.Error("KSourceSSSP on unweighted graph should fail")
+	}
+	w := randomGraph(t, 10, 0.2, UndirectedWeighted, 5, 1)
+	if _, err := KSourceBFS(w, []int{0}, Options{}); err == nil {
+		t.Error("KSourceBFS on weighted graph should fail")
+	}
+	if _, err := KSourceSSSP(w, []int{0}, 0, Options{}); err == nil {
+		t.Error("eps=0 should fail")
+	}
+	if _, err := KSourceSSSP(w, nil, 0.5, Options{}); err == nil {
+		t.Error("no sources should fail")
+	}
+	if _, err := KSourceSSSP(w, []int{99}, 0.5, Options{}); err == nil {
+		t.Error("out-of-range source should fail")
+	}
+}
+
+func TestApproxWitnessesAcrossClasses(t *testing.T) {
+	for _, class := range []Class{Undirected, Directed, UndirectedWeighted, DirectedWeighted} {
+		present := 0
+		for seed := int64(0); seed < 4; seed++ {
+			g := randomGraph(t, 36, 0.08, class, 8, seed+900)
+			res, err := ApproxMWC(g, Options{Seed: seed, SampleFactor: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Found || res.Cycle == nil {
+				continue
+			}
+			present++
+			w, err := g.VerifyCycle(res.Cycle)
+			if err != nil {
+				t.Errorf("%v seed %d: invalid witness: %v", class, seed, err)
+				continue
+			}
+			if w > res.Weight {
+				t.Errorf("%v seed %d: witness weight %d > reported %d", class, seed, w, res.Weight)
+			}
+		}
+		if present == 0 {
+			t.Errorf("%v: no witnesses across 4 instances", class)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package congestmwc_test
+
+import (
+	"fmt"
+
+	"congestmwc"
+)
+
+// A directed ring with one shortcut: the shortest directed cycle is
+// 5 -> 6 -> ... -> 20 -> 5 (16 edges).
+func exampleGraph() *congestmwc.Graph {
+	var edges []congestmwc.Edge
+	for i := 0; i < 60; i++ {
+		edges = append(edges, congestmwc.Edge{From: i, To: (i + 1) % 60})
+	}
+	edges = append(edges, congestmwc.Edge{From: 20, To: 5})
+	g, err := congestmwc.NewGraph(60, edges, congestmwc.Directed)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func ExampleApproxMWC() {
+	g := exampleGraph()
+	res, err := congestmwc.ApproxMWC(g, congestmwc.Options{Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("weight within factor 2: %d (found=%v)\n", res.Weight, res.Found)
+	// Output:
+	// weight within factor 2: 16 (found=true)
+}
+
+func ExampleExactMWC() {
+	g := exampleGraph()
+	res, err := congestmwc.ExactMWC(g, congestmwc.Options{Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	w, err := g.VerifyCycle(res.Cycle)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("exact MWC %d, witness verifies at %d\n", res.Weight, w)
+	// Output:
+	// exact MWC 16, witness verifies at 16
+}
+
+func ExampleReferenceMWC() {
+	g := exampleGraph()
+	w, err := congestmwc.ReferenceMWC(g)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("sequential ground truth:", w)
+	// Output:
+	// sequential ground truth: 16
+}
+
+func ExampleKSourceBFS() {
+	g := exampleGraph()
+	res, err := congestmwc.KSourceBFS(g, []int{0, 30}, congestmwc.Options{Seed: 2})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("d(0 -> 45) = %d, d(30 -> 10) = %d\n", res.Dist[45][0], res.Dist[10][1])
+	// Output:
+	// d(0 -> 45) = 45, d(30 -> 10) = 40
+}

@@ -1,0 +1,61 @@
+// Lower-bound demonstration: Theorem 1.2.A says any (2-eps)-approximation
+// of directed MWC needs Omega(n / log n) rounds, via a reduction from
+// two-party set disjointness. This example makes that argument concrete:
+// it builds the reduction digraph for a random disjointness instance,
+// verifies the weight gap (a 4-cycle exists iff the sets intersect;
+// otherwise the shortest cycle has 8 edges), runs the real exact MWC
+// algorithm on the simulated network with the Alice/Bob cut metered, and
+// reports the transcript the algorithm was forced to exchange — the
+// quantity the Omega(n/log n) bound lower-bounds.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"congestmwc/internal/congest"
+	"congestmwc/internal/lb"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "lowerbound:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	fmt.Println("Theorem 1.2.A reduction: set disjointness -> directed MWC")
+	fmt.Println()
+	fmt.Printf("%-7s %-7s %-7s %-11s %-10s %-16s %s\n",
+		"m", "n", "bits", "intersect?", "MWC", "cut transcript", "implied rounds")
+	for _, m := range []int{4, 8, 12, 16} {
+		for _, intersect := range []bool{true, false} {
+			d := lb.RandomDisjointness(m*m, intersect, int64(m))
+			inst, err := lb.Directed2Eps(m, d)
+			if err != nil {
+				return err
+			}
+			meas, err := lb.Measure(inst, congest.Options{Seed: int64(m)}, lb.ExactMWC)
+			if err != nil {
+				return err
+			}
+			if meas.Intersects != intersect {
+				return fmt.Errorf("m=%d: the algorithm failed to decide disjointness", m)
+			}
+			mwc := "none"
+			if meas.Found {
+				mwc = fmt.Sprint(meas.Weight)
+			}
+			fmt.Printf("%-7d %-7d %-7d %-11v %-10s %-16s %d\n",
+				m, inst.Graph.N(), inst.Bits, intersect, mwc,
+				fmt.Sprintf("%d bits", meas.TranscriptBits), meas.ImpliedRounds)
+		}
+	}
+	fmt.Println()
+	fmt.Println("The instance encodes m^2 disjointness bits across a Theta(m)-edge cut;")
+	fmt.Println("deciding intersection (which any better-than-2 approximation must do,")
+	fmt.Println("since MWC is 4 vs >= 8) forces the transcript to grow with the bits —")
+	fmt.Println("the communication pressure behind the Omega(n / log n) round bound.")
+	return nil
+}

@@ -1,0 +1,73 @@
+// Road network analysis: on an undirected weighted network (a city grid
+// with a few diagonal expressways), the minimum weight cycle is the
+// shortest round trip — a quantity used in cycle-basis computation and
+// redundancy analysis of infrastructure networks ([22, 42, 44] in the
+// paper). This example compares the O~(n)-round exact computation with the
+// O~(n^{2/3})-round (2+eps)-approximation of Theorem 1.4.C.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+
+	"congestmwc"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "roadnetwork:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	const side = 12 // 12x12 grid, n = 144 intersections
+	rng := rand.New(rand.NewSource(5))
+	id := func(r, c int) int { return r*side + c }
+	var edges []congestmwc.Edge
+	// City blocks: streets of weight 10..29 (travel minutes).
+	street := func() int64 { return 10 + rng.Int63n(20) }
+	for r := 0; r < side; r++ {
+		for c := 0; c < side; c++ {
+			if c+1 < side {
+				edges = append(edges, congestmwc.Edge{From: id(r, c), To: id(r, c+1), Weight: street()})
+			}
+			if r+1 < side {
+				edges = append(edges, congestmwc.Edge{From: id(r, c), To: id(r+1, c), Weight: street()})
+			}
+		}
+	}
+	// Expressways: fast diagonal shortcuts that create cheap round trips.
+	edges = append(edges,
+		congestmwc.Edge{From: id(2, 2), To: id(5, 5), Weight: 8},
+		congestmwc.Edge{From: id(5, 5), To: id(9, 9), Weight: 9},
+		congestmwc.Edge{From: id(3, 8), To: id(8, 3), Weight: 11},
+	)
+	g, err := congestmwc.NewGraph(side*side, edges, congestmwc.UndirectedWeighted)
+	if err != nil {
+		return err
+	}
+	truth, err := congestmwc.ReferenceMWC(g)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("road network: %d intersections, %d roads; shortest round trip = %d min\n",
+		g.N(), g.M(), truth)
+
+	exact, err := congestmwc.ExactMWC(g, congestmwc.Options{Seed: 2})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("exact:            %4d min in %6d rounds\n", exact.Weight, exact.Rounds)
+
+	for _, eps := range []float64{0.25, 1.0} {
+		approx, err := congestmwc.ApproxMWC(g, congestmwc.Options{Seed: 2, Eps: eps})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("(2+%.2f)-approx:  %4d min in %6d rounds (ratio %.2f)\n",
+			eps, approx.Weight, approx.Rounds, float64(approx.Weight)/float64(truth))
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+module congestmwc
+
+go 1.24

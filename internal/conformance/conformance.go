@@ -1,0 +1,149 @@
+// Package conformance provides a shared correctness matrix for MWC
+// algorithms: a catalogue of graph families across all four classes, and a
+// generic checker that runs an algorithm over the catalogue and verifies
+// soundness (never under-report), approximation ratio, and agreement on
+// acyclic inputs against the sequential reference.
+//
+// Algorithm packages import this from their tests, so every algorithm is
+// exercised on the same instances: rings, grids with chords, planted
+// cycles, sparse and dense random graphs, stars with a chord, and
+// long-cycle/short-cycle mixtures designed to hit both the sampled-vertex
+// and the neighbourhood paths of the approximation algorithms.
+package conformance
+
+import (
+	"fmt"
+	"testing"
+
+	"congestmwc/internal/congest"
+	"congestmwc/internal/gen"
+	"congestmwc/internal/graph"
+	"congestmwc/internal/seq"
+)
+
+// Family is a named instance generator for one graph class.
+type Family struct {
+	Name     string
+	Directed bool
+	Weighted bool
+	Build    func(seed int64) (*graph.Graph, error)
+}
+
+// Families returns the catalogue for one graph class.
+func Families(directed, weighted bool) []Family {
+	w := func(unit int64) int64 {
+		if weighted {
+			return unit
+		}
+		return 1
+	}
+	fam := []Family{
+		{
+			Name: "ring24",
+			Build: func(int64) (*graph.Graph, error) {
+				return gen.Ring(24, directed, weighted, w(5)), nil
+			},
+		},
+		{
+			Name: "sparse-random",
+			Build: func(seed int64) (*graph.Graph, error) {
+				return gen.Random{N: 48, P: 0.05, Directed: directed,
+					Weighted: weighted, MaxW: 9, Seed: seed}.Graph()
+			},
+		},
+		{
+			Name: "dense-random",
+			Build: func(seed int64) (*graph.Graph, error) {
+				return gen.Random{N: 28, P: 0.3, Directed: directed,
+					Weighted: weighted, MaxW: 9, Seed: seed}.Graph()
+			},
+		},
+		{
+			Name: "planted-short-cycle",
+			Build: func(seed int64) (*graph.Graph, error) {
+				g, _, err := gen.PlantedCycle{N: 40, CycleLen: 4, CycleW: 24,
+					Directed: directed, Weighted: weighted,
+					BackgroundDeg: 2, Seed: seed}.Graph()
+				return g, err
+			},
+		},
+		{
+			Name: "planted-long-cycle",
+			Build: func(seed int64) (*graph.Graph, error) {
+				g, _, err := gen.PlantedCycle{N: 40, CycleLen: 16, CycleW: 40,
+					Directed: directed, Weighted: weighted,
+					BackgroundDeg: 1, Seed: seed}.Graph()
+				return g, err
+			},
+		},
+	}
+	if !directed {
+		fam = append(fam, Family{
+			Name: "grid-6x6",
+			Build: func(seed int64) (*graph.Graph, error) {
+				return gen.Grid(6, 6, weighted, 7, seed), nil
+			},
+		})
+	}
+	for i := range fam {
+		fam[i].Directed = directed
+		fam[i].Weighted = weighted
+	}
+	return fam
+}
+
+// Algo runs an MWC algorithm on a prepared network.
+type Algo func(net *congest.Network) (weight int64, found bool, err error)
+
+// Check runs the algorithm over every family of the class, for the given
+// seeds, asserting:
+//
+//   - soundness: reported weight >= the exact MWC,
+//   - the approximation ratio maxRatio (with an additive +slack absorbing
+//     integer rounding on small weights),
+//   - found == (a cycle exists) whenever the family is cyclic or acyclic.
+func Check(t *testing.T, directed, weighted bool, algo Algo, maxRatio float64, slack int64, seeds int64) {
+	t.Helper()
+	for _, fam := range Families(directed, weighted) {
+		fam := fam
+		t.Run(fam.Name, func(t *testing.T) {
+			for seed := int64(0); seed < seeds; seed++ {
+				g, err := fam.Build(seed)
+				if err != nil {
+					t.Fatalf("seed %d: build: %v", seed, err)
+				}
+				net, err := congest.NewNetwork(g, congest.Options{Seed: seed + 13})
+				if err != nil {
+					t.Fatalf("seed %d: network: %v", seed, err)
+				}
+				w, found, err := algo(net)
+				if err != nil {
+					t.Fatalf("seed %d: algorithm: %v", seed, err)
+				}
+				truth, ok := seq.MWC(g)
+				if !ok {
+					if found {
+						t.Errorf("seed %d: found cycle %d in acyclic instance", seed, w)
+					}
+					continue
+				}
+				if !found {
+					t.Errorf("seed %d: missed cycle (MWC %d)", seed, truth)
+					continue
+				}
+				if w < truth {
+					t.Errorf("seed %d: unsound: reported %d < MWC %d", seed, w, truth)
+				}
+				if float64(w) > maxRatio*float64(truth)+float64(slack) {
+					t.Errorf("seed %d: ratio violated: %d vs MWC %d (max %.2f)",
+						seed, w, truth, maxRatio)
+				}
+			}
+		})
+	}
+}
+
+// Describe returns a human-readable class label, for test names.
+func Describe(directed, weighted bool) string {
+	return fmt.Sprintf("directed=%v,weighted=%v", directed, weighted)
+}

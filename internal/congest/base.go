@@ -1,0 +1,16 @@
+package congest
+
+// Base is a Program with no-op handlers, to be embedded by programs that
+// only need a subset of the hooks.
+type Base struct{}
+
+// Init implements Program.
+func (Base) Init(*Node) {}
+
+// Deliver implements Program.
+func (Base) Deliver(*Node, Delivery) {}
+
+// Tick implements Program.
+func (Base) Tick(*Node) {}
+
+var _ Program = Base{}

@@ -1,0 +1,494 @@
+// Package congest simulates the CONGEST model of distributed computing
+// (Peleg 2000; Section 1.1 of the paper): a synchronous network of n nodes
+// in which, per round, each node may send one Theta(log n)-bit message to
+// each neighbour. Nodes have unbounded local computation; complexity is the
+// number of rounds until termination.
+//
+// # Messages and bandwidth
+//
+// A message is a tag plus a bounded slice of 64-bit words; its size is
+// 1+len(Words) words. The per-round bandwidth of each directed link is B
+// words (Options.Bandwidth, default 4 — one Theta(log n + log W)-bit payload
+// plus its tag). Messages larger than B words are legal: the transport
+// fragments them, occupying the link for ceil(size/B) consecutive rounds.
+// This matches the paper's accounting, e.g. the O(log n)-word Q(v) message
+// of Algorithm 3 costs O(log n) rounds to cross an edge.
+//
+// Links are FIFO: pipelined protocols (broadcast of M values in O(M+D),
+// multi-source BFS in O(k+h)) get their pipelining behaviour directly from
+// the transport queue.
+//
+// # Node programs
+//
+// Distributed algorithms are written as one Program per node. A Program
+// sees only node-local information through the Node handle: its own ID, n,
+// its incident arcs of the input graph, delivered messages, a per-node PRNG,
+// and the current round number (global round numbering is standard in the
+// synchronous model). Programs are driven by Deliver (once per received
+// message) and Tick (once per round in which the node is active). A node is
+// active in a round when it received at least one message or had scheduled a
+// wake-up via WakeAt.
+//
+// # Engines
+//
+// The same programs run on two engines selected by Options.Parallel: a
+// deterministic sequential round loop, and a concurrent engine that executes
+// node handlers on worker goroutines with a barrier per round. Handlers
+// mutate only node-local state (their own program state, PRNG and outgoing
+// link queues), so both engines deliver messages in the same canonical order
+// (ascending sender ID, FIFO within a link) and produce identical results
+// and round counts.
+package congest
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"congestmwc/internal/graph"
+)
+
+// Errors returned by the network. ErrBudget signals that an algorithm did
+// not reach quiescence within its round budget (an algorithm bug or an
+// undersized budget, never normal operation).
+var (
+	ErrDisconnected = errors.New("congest: communication graph is not connected")
+	ErrBudget       = errors.New("congest: round budget exhausted before quiescence")
+)
+
+// Msg is one CONGEST message: an algorithm-defined tag plus payload words.
+type Msg struct {
+	Tag   int64
+	Words []int64
+}
+
+// Size returns the size of the message in words (1 for the tag plus the
+// payload length).
+func (m Msg) Size() int { return 1 + len(m.Words) }
+
+// Delivery is a received message together with its sender.
+type Delivery struct {
+	From int
+	Msg  Msg
+}
+
+// Program is the per-node logic of a distributed algorithm.
+type Program interface {
+	// Init runs once before the first round. It may send messages and
+	// schedule wake-ups.
+	Init(nd *Node)
+	// Deliver runs once per message delivered to the node this round, in
+	// canonical order (ascending sender ID, FIFO per link), before Tick.
+	Deliver(nd *Node, d Delivery)
+	// Tick runs once per round in which the node is active (it received a
+	// message or had a wake-up scheduled for this round), after all
+	// deliveries of the round.
+	Tick(nd *Node)
+}
+
+// Options configures a Network.
+type Options struct {
+	// Bandwidth is the per-round word capacity of each directed link.
+	// Defaults to 4 — one tag plus a constant number of payload words, the
+	// concrete instantiation of "one Theta(log n)-bit message per edge per
+	// round" (a (source, distance) pair is 2 log n bits).
+	Bandwidth int
+	// Seed drives every PRNG in the network. Node v's PRNG is seeded with a
+	// value derived from Seed and v; algorithms may also use Seed directly
+	// as shared randomness (permitted by the model).
+	Seed int64
+	// Parallel selects the concurrent engine (worker goroutines + round
+	// barrier) instead of the sequential loop.
+	Parallel bool
+	// Workers bounds the concurrent engine's worker count; defaults to
+	// GOMAXPROCS.
+	Workers int
+}
+
+// Stats accumulates cost measures across all Run calls on a Network.
+type Stats struct {
+	Rounds      int // synchronous rounds elapsed
+	Messages    int // messages delivered
+	Words       int // words delivered
+	CutWords    int // words that crossed the metered cut (0 if no cut set)
+	Activations int // node activations (instrumentation)
+}
+
+type link struct {
+	owner, to int
+	queue     []Msg
+	credit    int
+	enqueued  bool // tracked in Network.queued or a node's touched list
+	cut       bool // crosses the metered cut
+}
+
+type nodeState struct {
+	neighbors []int       // deduplicated, sorted communication neighbours
+	linkIdx   map[int]int // neighbour ID -> index into links
+	links     []*link
+	inbox     []Delivery
+	rng       *rand.Rand
+	wakes     []int   // wake-up rounds requested during handlers (merged post-round)
+	touched   []*link // links first written to during this round's handlers
+	program   Program
+}
+
+// Network is a CONGEST network over the communication graph of g. It can
+// run several Programs in sequence (the phases of a composite algorithm),
+// accumulating Stats across runs.
+type Network struct {
+	g       *graph.Graph
+	opts    Options
+	nodes   []*nodeState
+	stats   Stats
+	now     int
+	wakeups map[int][]int // future round -> nodes to wake
+	queued  []*link       // links with pending traffic, kept sorted
+	workers int
+	obs     Observer
+}
+
+// NewNetwork validates connectivity and builds the network.
+func NewNetwork(g *graph.Graph, opts Options) (*Network, error) {
+	if !g.ConnectedComm() {
+		return nil, ErrDisconnected
+	}
+	if opts.Bandwidth <= 0 {
+		opts.Bandwidth = 4
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	net := &Network{
+		g:       g,
+		opts:    opts,
+		nodes:   make([]*nodeState, g.N()),
+		wakeups: make(map[int][]int),
+		workers: workers,
+	}
+	for v := 0; v < g.N(); v++ {
+		seen := make(map[int]bool)
+		var nbrs []int
+		for _, a := range g.Comm(v) {
+			if !seen[a.To] {
+				seen[a.To] = true
+				nbrs = append(nbrs, a.To)
+			}
+		}
+		sort.Ints(nbrs)
+		st := &nodeState{
+			neighbors: nbrs,
+			linkIdx:   make(map[int]int, len(nbrs)),
+			links:     make([]*link, len(nbrs)),
+			rng:       rand.New(rand.NewSource(opts.Seed*1_000_003 + int64(v))),
+		}
+		for i, u := range nbrs {
+			st.linkIdx[u] = i
+			st.links[i] = &link{owner: v, to: u}
+		}
+		net.nodes[v] = st
+	}
+	return net, nil
+}
+
+// Graph returns the input graph the network was built from.
+func (net *Network) Graph() *graph.Graph { return net.g }
+
+// Options returns the options the network was built with.
+func (net *Network) Options() Options { return net.opts }
+
+// Stats returns the accumulated statistics.
+func (net *Network) Stats() Stats { return net.stats }
+
+// Round returns the current global round number.
+func (net *Network) Round() int { return net.now }
+
+// ChargeRounds adds extra rounds to the statistics without running anything.
+// Composite algorithms use it to account for costs that the orchestration
+// performs via global knowledge that a real deployment would obtain with a
+// known-cost primitive (this repository uses it only in documented places).
+func (net *Network) ChargeRounds(r int) {
+	net.now += r
+	net.stats.Rounds += r
+}
+
+// MeterCut marks the cut to meter: side[v] gives v's side; every word
+// delivered between nodes on different sides increments Stats.CutWords.
+// Pass nil to stop metering.
+func (net *Network) MeterCut(side []bool) {
+	for v, st := range net.nodes {
+		for _, l := range st.links {
+			l.cut = side != nil && side[v] != side[l.to]
+		}
+	}
+}
+
+// Run executes one Program per node until quiescence: no queued link
+// traffic and no pending wake-ups. budget caps the number of additional
+// rounds; budget <= 0 selects a generous default. Returns the number of
+// rounds this run consumed.
+func (net *Network) Run(progs []Program, budget int) (int, error) {
+	n := net.g.N()
+	if len(progs) != n {
+		return 0, fmt.Errorf("congest: %d programs for %d nodes", len(progs), n)
+	}
+	if budget <= 0 {
+		budget = 1000*n + 1_000_000
+	}
+	start := net.now
+	for v, st := range net.nodes {
+		st.program = progs[v]
+		st.inbox = st.inbox[:0]
+	}
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	// Init phase: local computation before round 1 of this run; sends made
+	// here enter the link queues and are delivered from the next round on.
+	net.runHandlers(all, true)
+	net.afterHandlers(all)
+
+	for len(net.queued) > 0 || len(net.wakeups) > 0 {
+		if net.now-start >= budget {
+			return net.now - start, fmt.Errorf("%w (%d rounds)", ErrBudget, budget)
+		}
+		net.now++
+		net.stats.Rounds++
+		if net.obs != nil {
+			net.obs.OnRound(net.now)
+		}
+		active := net.transmit()
+		if wk, ok := net.wakeups[net.now]; ok {
+			delete(net.wakeups, net.now)
+			active = append(active, wk...)
+		}
+		active = sortedUnique(active)
+		net.runHandlers(active, false)
+		net.afterHandlers(active)
+		net.stats.Activations += len(active)
+	}
+	for _, st := range net.nodes {
+		st.program = nil
+	}
+	return net.now - start, nil
+}
+
+// runHandlers invokes Deliver/Tick (or Init) for each node in ids, either
+// sequentially or on worker goroutines. Handlers only mutate node-local
+// state, so parallel execution is safe and deterministic.
+func (net *Network) runHandlers(ids []int, init bool) {
+	handle := func(v int) {
+		st := net.nodes[v]
+		nd := &Node{net: net, id: v, st: st}
+		if init {
+			st.program.Init(nd)
+			return
+		}
+		for _, d := range st.inbox {
+			st.program.Deliver(nd, d)
+		}
+		st.program.Tick(nd)
+		st.inbox = st.inbox[:0]
+	}
+	if !net.opts.Parallel || len(ids) < 2 {
+		for _, v := range ids {
+			handle(v)
+		}
+		return
+	}
+	workers := net.workers
+	if workers > len(ids) {
+		workers = len(ids)
+	}
+	var wg sync.WaitGroup
+	chunk := (len(ids) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(ids) {
+			hi = len(ids)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(part []int) {
+			defer wg.Done()
+			for _, v := range part {
+				handle(v)
+			}
+		}(ids[lo:hi])
+	}
+	wg.Wait()
+}
+
+// afterHandlers merges per-node wake-up requests and newly-touched links
+// into the network-global structures (single-threaded).
+func (net *Network) afterHandlers(ids []int) {
+	for _, v := range ids {
+		st := net.nodes[v]
+		for _, r := range st.wakes {
+			net.wakeups[r] = append(net.wakeups[r], v)
+		}
+		st.wakes = st.wakes[:0]
+		net.queued = append(net.queued, st.touched...)
+		st.touched = st.touched[:0]
+	}
+	sort.Slice(net.queued, func(i, j int) bool {
+		if net.queued[i].owner != net.queued[j].owner {
+			return net.queued[i].owner < net.queued[j].owner
+		}
+		return net.queued[i].to < net.queued[j].to
+	})
+}
+
+// transmit advances every queued link by one round of bandwidth and places
+// completed messages in destination inboxes. Returns the destinations that
+// received at least one message (with duplicates).
+func (net *Network) transmit() []int {
+	if len(net.queued) == 0 {
+		return nil
+	}
+	b := net.opts.Bandwidth
+	var receivers []int
+	remaining := net.queued[:0]
+	for _, l := range net.queued {
+		l.credit += b
+		delivered := false
+		for len(l.queue) > 0 && l.queue[0].Size() <= l.credit {
+			m := l.queue[0]
+			l.queue = l.queue[1:]
+			l.credit -= m.Size()
+			dst := net.nodes[l.to]
+			dst.inbox = append(dst.inbox, Delivery{From: l.owner, Msg: m})
+			if net.obs != nil {
+				net.obs.OnMessage(net.now, l.owner, l.to, m)
+			}
+			net.stats.Messages++
+			net.stats.Words += m.Size()
+			if l.cut {
+				net.stats.CutWords += m.Size()
+			}
+			delivered = true
+		}
+		if delivered {
+			receivers = append(receivers, l.to)
+		}
+		if len(l.queue) == 0 {
+			l.credit = 0
+			l.enqueued = false
+			l.queue = nil
+		} else {
+			remaining = append(remaining, l)
+		}
+	}
+	net.queued = remaining
+	return receivers
+}
+
+func sortedUnique(s []int) []int {
+	if len(s) == 0 {
+		return s
+	}
+	sort.Ints(s)
+	out := s[:1]
+	for _, v := range s[1:] {
+		if v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Node is the node-local view handed to Program handlers. It is only valid
+// for the duration of the handler invocation.
+type Node struct {
+	net *Network
+	id  int
+	st  *nodeState
+}
+
+// ID returns this node's identifier in [0, N).
+func (nd *Node) ID() int { return nd.id }
+
+// N returns the number of nodes in the network (global knowledge in
+// CONGEST).
+func (nd *Node) N() int { return nd.net.g.N() }
+
+// Directed reports whether the input graph is directed (global knowledge).
+func (nd *Node) Directed() bool { return nd.net.g.Directed() }
+
+// Round returns the current global round number.
+func (nd *Node) Round() int { return nd.net.now }
+
+// Bandwidth returns the per-link word bandwidth (global knowledge).
+func (nd *Node) Bandwidth() int { return nd.net.opts.Bandwidth }
+
+// SharedSeed returns the network seed, modelling the shared randomness that
+// the paper's randomized constructions assume.
+func (nd *Node) SharedSeed() int64 { return nd.net.opts.Seed }
+
+// Out returns the arcs of the input graph leaving this node. The slice must
+// not be modified.
+func (nd *Node) Out() []graph.Arc { return nd.net.g.Out(nd.id) }
+
+// In returns the arcs of the input graph entering this node. The slice must
+// not be modified.
+func (nd *Node) In() []graph.Arc { return nd.net.g.In(nd.id) }
+
+// Neighbors returns the deduplicated, sorted communication neighbours. The
+// slice must not be modified.
+func (nd *Node) Neighbors() []int { return nd.st.neighbors }
+
+// Rand returns the node's PRNG.
+func (nd *Node) Rand() *rand.Rand { return nd.st.rng }
+
+// Send enqueues a message on the link to a communication neighbour.
+// Transmission begins next round; a message of size s occupies the link for
+// ceil(s/B) rounds. Send panics if `to` is not a neighbour — that is a
+// programming error in an algorithm, not a runtime condition.
+func (nd *Node) Send(to int, m Msg) {
+	i, ok := nd.st.linkIdx[to]
+	if !ok {
+		panic(fmt.Sprintf("congest: node %d sending to non-neighbor %d", nd.id, to))
+	}
+	l := nd.st.links[i]
+	l.queue = append(l.queue, m)
+	if !l.enqueued {
+		l.enqueued = true
+		nd.st.touched = append(nd.st.touched, l)
+	}
+}
+
+// SendTag is Send with an inline message construction.
+func (nd *Node) SendTag(to int, tag int64, words ...int64) {
+	nd.Send(to, Msg{Tag: tag, Words: words})
+}
+
+// QueueLen returns the number of messages currently queued on the link to
+// the given neighbour (node-local knowledge: a sender knows what it has
+// handed to its own network interface).
+func (nd *Node) QueueLen(to int) int {
+	i, ok := nd.st.linkIdx[to]
+	if !ok {
+		return 0
+	}
+	return len(nd.st.links[i].queue)
+}
+
+// WakeAt schedules a Tick for this node at the given (strictly future)
+// round even if no message arrives.
+func (nd *Node) WakeAt(round int) {
+	if round <= nd.net.now {
+		round = nd.net.now + 1
+	}
+	nd.st.wakes = append(nd.st.wakes, round)
+}
+
+// WakeNext schedules a Tick for the next round.
+func (nd *Node) WakeNext() { nd.WakeAt(nd.net.now + 1) }

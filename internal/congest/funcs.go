@@ -1,0 +1,32 @@
+package congest
+
+// Funcs adapts plain functions to the Program interface, for small protocol
+// phases that do not warrant a named type. Nil fields are no-ops.
+type Funcs struct {
+	OnInit    func(nd *Node)
+	OnDeliver func(nd *Node, d Delivery)
+	OnTick    func(nd *Node)
+}
+
+var _ Program = Funcs{}
+
+// Init implements Program.
+func (f Funcs) Init(nd *Node) {
+	if f.OnInit != nil {
+		f.OnInit(nd)
+	}
+}
+
+// Deliver implements Program.
+func (f Funcs) Deliver(nd *Node, d Delivery) {
+	if f.OnDeliver != nil {
+		f.OnDeliver(nd, d)
+	}
+}
+
+// Tick implements Program.
+func (f Funcs) Tick(nd *Node) {
+	if f.OnTick != nil {
+		f.OnTick(nd)
+	}
+}

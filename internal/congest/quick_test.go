@@ -1,0 +1,124 @@
+package congest
+
+import (
+	"testing"
+	"testing/quick"
+
+	"congestmwc/internal/gen"
+)
+
+// Property: a single message of size s over a bandwidth-B link is delivered
+// at round ceil(s/B), for arbitrary s and B.
+func TestFragmentationRoundProperty(t *testing.T) {
+	prop := func(sizeRaw, bwRaw uint8) bool {
+		size := 1 + int(sizeRaw)%40
+		bw := 1 + int(bwRaw)%8
+		net, err := NewNetwork(gen.Path(2), Options{Bandwidth: bw})
+		if err != nil {
+			return false
+		}
+		at := -1
+		p := &fragProgram{size: size, deliveredAt: &at}
+		if _, err := net.Run(progsFor(2, p), 0); err != nil {
+			return false
+		}
+		want := (size + bw - 1) / bw
+		return at == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: FIFO pipelining — k unit messages over one link are all
+// delivered, in order, with the last arriving at round ceil(k*size/B).
+func TestPipeliningRoundProperty(t *testing.T) {
+	prop := func(kRaw, bwRaw uint8) bool {
+		k := 1 + int(kRaw)%50
+		bw := 1 + int(bwRaw)%6
+		net, err := NewNetwork(gen.Path(2), Options{Bandwidth: bw})
+		if err != nil {
+			return false
+		}
+		last, recv := -1, 0
+		p := &pipelineProgram{k: k, lastAt: &last, received: &recv}
+		if _, err := net.Run(progsFor(2, p), 0); err != nil {
+			return false
+		}
+		want := (2*k + bw - 1) / bw // each message is 2 words
+		return recv == k && last == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// orderProgram records the payload order of received messages.
+type orderProgram struct {
+	Base
+	got *[]int64
+}
+
+func (p *orderProgram) Init(nd *Node) {
+	if nd.ID() == 0 {
+		for i := int64(0); i < 10; i++ {
+			nd.SendTag(1, 1, i)
+		}
+	}
+}
+
+func (p *orderProgram) Deliver(nd *Node, d Delivery) {
+	if nd.ID() == 1 {
+		*p.got = append(*p.got, d.Msg.Words[0])
+	}
+}
+
+func TestFIFOOrderPreserved(t *testing.T) {
+	net, err := NewNetwork(gen.Path(2), Options{Bandwidth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []int64
+	if _, err := net.Run(progsFor(2, &orderProgram{got: &got}), 0); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 {
+		t.Fatalf("received %d messages, want 10", len(got))
+	}
+	for i, v := range got {
+		if v != int64(i) {
+			t.Fatalf("message %d out of order: got payload %d", i, v)
+		}
+	}
+}
+
+// Property: stats are conserved — words delivered equal the sum of message
+// sizes, and the flood touches every node exactly once.
+func TestStatsConservation(t *testing.T) {
+	prop := func(nRaw uint8, seed int64) bool {
+		n := 3 + int(nRaw)%40
+		g, err := (gen.Random{N: n, P: 0.1, Seed: seed}).Graph()
+		if err != nil {
+			return false
+		}
+		net, err := NewNetwork(g, Options{Seed: seed})
+		if err != nil {
+			return false
+		}
+		p := newFlood(n)
+		if _, err := net.Run(progsFor(n, p), 0); err != nil {
+			return false
+		}
+		for v := 0; v < n; v++ {
+			if p.heardAt[v] < 0 {
+				return false // flood must reach everyone
+			}
+		}
+		s := net.Stats()
+		// Flood messages are 1-word (tag only): words == messages.
+		return s.Words == s.Messages && s.Rounds > 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,76 @@
+package congest
+
+import (
+	"fmt"
+	"io"
+)
+
+// Observer receives simulation events. Implementations must be fast; the
+// observer runs synchronously inside the round loop (message events are
+// emitted from the single-threaded transmit phase, so no locking is needed
+// even under the parallel engine).
+type Observer interface {
+	// OnRound fires at the start of every round, before deliveries.
+	OnRound(round int)
+	// OnMessage fires for every delivered message.
+	OnMessage(round, from, to int, m Msg)
+}
+
+// SetObserver installs an observer (nil removes it).
+func (net *Network) SetObserver(obs Observer) { net.obs = obs }
+
+// TraceWriter is an Observer that writes a compact text log, for debugging
+// distributed algorithms:
+//
+//	r=12 3->7 tag=202 words=[5 2 1 5 0]
+//
+// MaxMessages bounds the log volume (0 = unlimited); further messages are
+// counted but not printed.
+type TraceWriter struct {
+	W           io.Writer
+	MaxMessages int
+
+	printed    int
+	suppressed int
+}
+
+var _ Observer = (*TraceWriter)(nil)
+
+// OnRound implements Observer.
+func (t *TraceWriter) OnRound(int) {}
+
+// OnMessage implements Observer.
+func (t *TraceWriter) OnMessage(round, from, to int, m Msg) {
+	if t.MaxMessages > 0 && t.printed >= t.MaxMessages {
+		t.suppressed++
+		return
+	}
+	t.printed++
+	fmt.Fprintf(t.W, "r=%d %d->%d tag=%d words=%v\n", round, from, to, m.Tag, m.Words)
+}
+
+// Suppressed returns the number of messages dropped by MaxMessages.
+func (t *TraceWriter) Suppressed() int { return t.suppressed }
+
+// CountingObserver tallies events without recording them; useful in tests
+// and for cheap instrumentation.
+type CountingObserver struct {
+	Rounds   int
+	Messages int
+	// PerTag counts deliveries by message tag.
+	PerTag map[int64]int
+}
+
+var _ Observer = (*CountingObserver)(nil)
+
+// OnRound implements Observer.
+func (c *CountingObserver) OnRound(int) { c.Rounds++ }
+
+// OnMessage implements Observer.
+func (c *CountingObserver) OnMessage(_, _, _ int, m Msg) {
+	c.Messages++
+	if c.PerTag == nil {
+		c.PerTag = make(map[int64]int)
+	}
+	c.PerTag[m.Tag]++
+}

@@ -1,0 +1,156 @@
+// Package cyclewit reconstructs concrete cycle witnesses from the
+// predecessor pointers of distributed shortest-path computations. The
+// pointers are the paper's "next vertex on the cycle stored at each
+// vertex"; these helpers materialise the vertex sequence for reporting.
+//
+// All constructors may return nil when the pointer chains are broken
+// (bounded computations, terminated nodes) or the reconstruction
+// degenerates; callers treat nil as "no witness materialised" and must
+// validate any non-nil result against the input graph (seq.VerifyCycle)
+// before exposing it.
+package cyclewit
+
+import (
+	"congestmwc/internal/proto"
+)
+
+// PredPath returns src ... dst following res.Pred[.][field] pointers,
+// where field is the result column of the tree rooted at vertex src (for
+// all-vertices computations field == src; for sampled computations it is
+// the sample index). Returns nil on a broken chain (including
+// ksssp.PredUnknown entries, which are negative).
+func PredPath(res *proto.MultiBFSResult, field, src, dst int) []int {
+	var rev []int
+	for v := dst; ; {
+		rev = append(rev, v)
+		if v == src {
+			break
+		}
+		p := res.Pred[v][field]
+		if p < 0 || len(rev) > len(res.Pred) {
+			return nil
+		}
+		v = int(p)
+	}
+	out := make([]int, len(rev))
+	for i, v := range rev {
+		out[len(rev)-1-i] = v
+	}
+	return out
+}
+
+// Chain follows per-node predecessor lookups (next(v) = predecessor of v on
+// the path from src) from dst back to src, for computations that keep their
+// pointers in per-node state rather than a MultiBFSResult (the restricted
+// BFS of Algorithm 3). next returns -1 for "unknown". Returns src ... dst
+// or nil.
+func Chain(n int, next func(v int) int, src, dst int) []int {
+	var rev []int
+	for v := dst; ; {
+		rev = append(rev, v)
+		if v == src {
+			break
+		}
+		p := next(v)
+		if p < 0 || len(rev) > n {
+			return nil
+		}
+		v = p
+	}
+	out := make([]int, len(rev))
+	for i, v := range rev {
+		out[len(rev)-1-i] = v
+	}
+	return out
+}
+
+// FromTreePaths builds the cycle certified by an undirected candidate
+// d(src,x) + <closing> + d(src,y) (field selects the result column of the
+// tree rooted at src, as in PredPath): the two tree paths src ... x and
+// src ... y share a prefix up to their LCA and are vertex-disjoint below
+// it; stripping the prefix yields a simple cycle closed by the candidate
+// edge (x,y), or by the two spokes x-z-y when z >= 0. Returns nil when the
+// chains are broken or z lies on a tree path (degenerate).
+func FromTreePaths(res *proto.MultiBFSResult, field, src, x, y, z int) []int {
+	px := PredPath(res, field, src, x)
+	py := PredPath(res, field, src, y)
+	if px == nil || py == nil {
+		return nil
+	}
+	onPx := make(map[int]int, len(px))
+	for i, v := range px {
+		onPx[v] = i
+	}
+	lcaPy := -1
+	for i := len(py) - 1; i >= 0; i-- {
+		if _, ok := onPx[py[i]]; ok {
+			lcaPy = i
+			break
+		}
+	}
+	if lcaPy < 0 {
+		return nil
+	}
+	lcaPx := onPx[py[lcaPy]]
+	var cycle []int
+	if z >= 0 {
+		if _, ok := onPx[z]; ok {
+			return nil // z on the x-path: degenerate
+		}
+		for i := lcaPy; i < len(py); i++ {
+			if py[i] == z {
+				return nil // z on the y-path: degenerate
+			}
+		}
+		cycle = append(cycle, z)
+	}
+	for i := len(px) - 1; i >= lcaPx; i-- {
+		cycle = append(cycle, px[i])
+	}
+	for i := lcaPy + 1; i < len(py); i++ {
+		cycle = append(cycle, py[i])
+	}
+	return cycle
+}
+
+// SimpleFromClosedWalk extracts a simple cycle from a closed directed walk
+// (walk[0] == walk[len-1] implied by the caller passing the full loop
+// without repeating the endpoint: the closing arc walk[last] -> walk[0] is
+// implicit). It repeatedly removes sub-loops at repeated vertices; with
+// non-negative arc weights the result's weight never exceeds the walk's.
+// Returns nil if the walk collapses entirely.
+func SimpleFromClosedWalk(walk []int) []int {
+	cur := append([]int(nil), walk...)
+	for {
+		pos := make(map[int]int, len(cur))
+		loopStart, loopEnd := -1, -1
+		for i, v := range cur {
+			if j, ok := pos[v]; ok {
+				loopStart, loopEnd = j, i
+				break
+			}
+			pos[v] = i
+		}
+		if loopStart < 0 {
+			if len(cur) < 2 {
+				return nil
+			}
+			return cur
+		}
+		// Two closed sub-walks exist: cur[loopStart:loopEnd] (the inner
+		// loop) and the rest. Keep the inner loop — it is strictly shorter
+		// and still a closed walk.
+		inner := cur[loopStart:loopEnd]
+		if len(inner) >= 2 {
+			cur = append([]int(nil), inner...)
+			continue
+		}
+		// Inner loop degenerate (single vertex): drop it from the walk.
+		rest := append([]int(nil), cur[:loopStart]...)
+		rest = append(rest, cur[loopEnd:]...)
+		if len(rest) == len(cur) {
+			return nil
+		}
+		cur = rest
+	}
+}

@@ -1,0 +1,153 @@
+package cyclewit
+
+import (
+	"testing"
+
+	"congestmwc/internal/congest"
+	"congestmwc/internal/gen"
+	"congestmwc/internal/graph"
+	"congestmwc/internal/proto"
+	"congestmwc/internal/seq"
+)
+
+func multiBFS(t *testing.T, g *graph.Graph, sources []int, dir proto.Direction) *proto.MultiBFSResult {
+	t.Helper()
+	net, err := congest.NewNetwork(g, congest.Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := proto.RunMultiBFS(net, proto.MultiBFSSpec{Sources: sources, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestPredPath(t *testing.T) {
+	g := gen.Path(6)
+	res := multiBFS(t, g, []int{0}, proto.Undirected)
+	p := PredPath(res, 0, 0, 5)
+	want := []int{0, 1, 2, 3, 4, 5}
+	if len(p) != len(want) {
+		t.Fatalf("path %v, want %v", p, want)
+	}
+	for i := range want {
+		if p[i] != want[i] {
+			t.Fatalf("path %v, want %v", p, want)
+		}
+	}
+	if PredPath(res, 0, 0, 0) == nil {
+		t.Error("trivial path should be [src]")
+	}
+}
+
+func TestPredPathBrokenChain(t *testing.T) {
+	// Bounded BFS leaves far vertices without predecessors.
+	g := gen.Path(8)
+	net, err := congest.NewNetwork(g, congest.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := proto.RunMultiBFS(net, proto.MultiBFSSpec{
+		Sources: []int{0}, Dir: proto.Undirected, Bound: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := PredPath(res, 0, 0, 7); p != nil {
+		t.Errorf("expected nil for unreached vertex, got %v", p)
+	}
+}
+
+func TestChain(t *testing.T) {
+	next := map[int]int{3: 2, 2: 1, 1: 0}
+	got := Chain(10, func(v int) int {
+		if p, ok := next[v]; ok {
+			return p
+		}
+		return -1
+	}, 0, 3)
+	if len(got) != 4 || got[0] != 0 || got[3] != 3 {
+		t.Errorf("chain = %v, want [0 1 2 3]", got)
+	}
+	if Chain(10, func(int) int { return -1 }, 0, 5) != nil {
+		t.Error("broken chain should be nil")
+	}
+	if Chain(2, func(v int) int { return v }, 0, 1) != nil {
+		t.Error("cyclic chain must terminate as nil")
+	}
+}
+
+func TestFromTreePathsEdgeCandidate(t *testing.T) {
+	// Ring of 5: from source 0 the BFS tree reaches 2 via 1 and 3 via 4,
+	// so (2,3) is the unique non-tree edge; the certified cycle is the
+	// whole ring.
+	g := gen.Ring(5, false, false, 1)
+	res := multiBFS(t, g, []int{0}, proto.Undirected)
+	cycle := FromTreePaths(res, 0, 0, 2, 3, -1)
+	if cycle == nil {
+		t.Fatal("no cycle reconstructed")
+	}
+	w, err := seq.VerifyCycle(g, cycle)
+	if err != nil {
+		t.Fatalf("invalid cycle %v: %v", cycle, err)
+	}
+	if w != 5 {
+		t.Errorf("cycle weight %d, want 5", w)
+	}
+}
+
+func TestFromTreePathsSpokes(t *testing.T) {
+	// Star + rim: 0 at centre of 1..4; z=5 adjacent to 1 and 2: cycle
+	// 5-1-0-2-5 of length 4 via spokes through z=5.
+	g := graph.MustBuild(6, []graph.Edge{
+		{From: 0, To: 1}, {From: 0, To: 2}, {From: 0, To: 3}, {From: 0, To: 4},
+		{From: 5, To: 1}, {From: 5, To: 2},
+	}, graph.Options{})
+	res := multiBFS(t, g, []int{0}, proto.Undirected)
+	cycle := FromTreePaths(res, 0, 0, 1, 2, 5)
+	if cycle == nil {
+		t.Fatal("no cycle reconstructed")
+	}
+	w, err := seq.VerifyCycle(g, cycle)
+	if err != nil {
+		t.Fatalf("invalid cycle %v: %v", cycle, err)
+	}
+	if w != 4 {
+		t.Errorf("cycle weight %d, want 4", w)
+	}
+}
+
+func TestSimpleFromClosedWalk(t *testing.T) {
+	tests := []struct {
+		name string
+		walk []int
+		want int // expected length, 0 = nil
+	}{
+		{name: "already simple", walk: []int{1, 2, 3}, want: 3},
+		{name: "two cycle", walk: []int{4, 9}, want: 2},
+		{name: "figure eight keeps inner", walk: []int{1, 2, 3, 2, 4}, want: 2},
+		{name: "too short", walk: []int{7}, want: 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := SimpleFromClosedWalk(tt.walk)
+			if tt.want == 0 {
+				if got != nil {
+					t.Errorf("want nil, got %v", got)
+				}
+				return
+			}
+			if len(got) != tt.want {
+				t.Errorf("got %v, want length %d", got, tt.want)
+			}
+			seen := map[int]bool{}
+			for _, v := range got {
+				if seen[v] {
+					t.Errorf("result %v not simple", got)
+				}
+				seen[v] = true
+			}
+		})
+	}
+}

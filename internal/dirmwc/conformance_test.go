@@ -1,0 +1,19 @@
+package dirmwc
+
+import (
+	"testing"
+
+	"congestmwc/internal/conformance"
+	"congestmwc/internal/congest"
+)
+
+func TestConformanceRun(t *testing.T) {
+	algo := func(net *congest.Network) (int64, bool, error) {
+		res, err := Run(net, Spec{SampleFactor: 4})
+		if err != nil {
+			return 0, false, err
+		}
+		return res.Weight, res.Found, nil
+	}
+	conformance.Check(t, true, false, algo, 2, 0, 3)
+}

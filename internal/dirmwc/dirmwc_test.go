@@ -1,0 +1,253 @@
+package dirmwc
+
+import (
+	"testing"
+
+	"congestmwc/internal/congest"
+	"congestmwc/internal/gen"
+	"congestmwc/internal/graph"
+	"congestmwc/internal/seq"
+)
+
+func newNet(t *testing.T, g *graph.Graph, seed int64) *congest.Network {
+	t.Helper()
+	net, err := congest.NewNetwork(g, congest.Options{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestRunValidation(t *testing.T) {
+	und := gen.Ring(5, false, false, 1)
+	if _, err := Run(newNet(t, und, 1), Spec{}); err == nil {
+		t.Error("undirected graph should be rejected")
+	}
+	w := gen.Ring(5, true, true, 3)
+	if _, err := Run(newNet(t, w, 1), Spec{}); err == nil {
+		t.Error("weighted graph without Length should be rejected")
+	}
+}
+
+func TestRunExactOnDirectedRing(t *testing.T) {
+	for _, n := range []int{4, 9, 17} {
+		g := gen.Ring(n, true, false, 1)
+		net := newNet(t, g, int64(n)+1)
+		res, err := Run(net, Spec{SampleFactor: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The ring's unique cycle has n hops >= h, so a sampled vertex lies
+		// on it w.h.p. and the weight is computed exactly.
+		if !res.Found || res.Weight != int64(n) {
+			t.Errorf("ring %d: got (%d,%v), want (%d,true)", n, res.Weight, res.Found, n)
+		}
+	}
+}
+
+func TestRunOnAcyclicDigraph(t *testing.T) {
+	// One-way path: communication connected, no directed cycle.
+	g := graph.MustBuild(8, []graph.Edge{
+		{From: 0, To: 1}, {From: 1, To: 2}, {From: 2, To: 3}, {From: 3, To: 4},
+		{From: 4, To: 5}, {From: 5, To: 6}, {From: 6, To: 7},
+	}, graph.Options{Directed: true})
+	net := newNet(t, g, 3)
+	res, err := Run(net, Spec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Found {
+		t.Errorf("found cycle of weight %d in a DAG", res.Weight)
+	}
+}
+
+func TestRunTwoCycle(t *testing.T) {
+	// Anti-parallel pair: MWC = 2.
+	g := graph.MustBuild(4, []graph.Edge{
+		{From: 0, To: 1}, {From: 1, To: 0},
+		{From: 1, To: 2}, {From: 2, To: 3}, {From: 3, To: 1},
+	}, graph.Options{Directed: true})
+	net := newNet(t, g, 5)
+	res, err := Run(net, Spec{SampleFactor: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found || res.Weight < 2 || res.Weight > 4 {
+		t.Errorf("got (%d,%v), want weight in [2,4]", res.Weight, res.Found)
+	}
+}
+
+func TestRunApproxOnRandomDigraphs(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		g, err := (gen.Random{N: 60, P: 0.04, Directed: true, Seed: seed}).Graph()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, ok := seq.MWC(g)
+		net := newNet(t, g, seed*7+2)
+		res, err := Run(net, Spec{SampleFactor: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			if res.Found {
+				t.Errorf("seed %d: found cycle in acyclic digraph", seed)
+			}
+			continue
+		}
+		if !res.Found {
+			t.Errorf("seed %d: missed MWC %d", seed, want)
+			continue
+		}
+		if res.Weight < want {
+			t.Errorf("seed %d: reported %d below MWC %d (unsound)", seed, res.Weight, want)
+		}
+		if res.Weight > 2*want {
+			t.Errorf("seed %d: reported %d above 2*MWC=%d", seed, res.Weight, 2*want)
+		}
+	}
+}
+
+func TestRunApproxOnPlantedCycle(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		p := gen.PlantedCycle{N: 70, CycleLen: 6, Directed: true, BackgroundDeg: 2, Seed: seed}
+		g, want, err := p.Graph()
+		if err != nil {
+			t.Fatal(err)
+		}
+		net := newNet(t, g, seed+30)
+		res, err := Run(net, Spec{SampleFactor: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Found || res.Weight < want || res.Weight > 2*want {
+			t.Errorf("seed %d: got (%d,%v), want within [%d,%d]",
+				seed, res.Weight, res.Found, want, 2*want)
+		}
+	}
+}
+
+func TestRunSoundnessNeverUndercuts(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		g, err := (gen.Random{N: 30, P: 0.08, Directed: true, Seed: seed + 60}).Graph()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, ok := seq.MWC(g)
+		net := newNet(t, g, seed)
+		res, err := Run(net, Spec{SampleFactor: 1, Cap: 2}) // weak sampling, tight cap
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Found && ok && res.Weight < want {
+			t.Errorf("seed %d: reported %d < MWC %d", seed, res.Weight, want)
+		}
+		if res.Found && !ok {
+			t.Errorf("seed %d: found cycle in acyclic digraph", seed)
+		}
+	}
+}
+
+func TestRunHopLimited(t *testing.T) {
+	// Planted 3-cycle; Bound=2 must miss it, Bound=6 must catch it within
+	// a factor 2.
+	p := gen.PlantedCycle{N: 40, CycleLen: 3, Directed: true, BackgroundDeg: 1, Seed: 2}
+	g, want, err := p.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(newNet(t, g, 11), Spec{Bound: 2, SampleFactor: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Found {
+		t.Errorf("Bound=2 reported %d; planted MWC is 3", res.Weight)
+	}
+	res2, err := Run(newNet(t, g, 12), Spec{Bound: 2 * want, SampleFactor: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Found || res2.Weight < want || res2.Weight > 2*want {
+		t.Errorf("Bound=%d: got (%d,%v), want within [%d,%d]",
+			2*want, res2.Weight, res2.Found, want, 2*want)
+	}
+}
+
+func TestRunHopLimitedWeightedLengths(t *testing.T) {
+	// Weighted directed ring as stretched graph: unique cycle weight 12.
+	g := gen.Ring(4, true, true, 3)
+	net := newNet(t, g, 9)
+	res, err := Run(net, Spec{
+		Bound:        24,
+		Length:       func(a graph.Arc) int64 { return a.Weight },
+		SampleFactor: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found || res.Weight < 12 || res.Weight > 24 {
+		t.Errorf("got (%d,%v), want within [12,24]", res.Weight, res.Found)
+	}
+}
+
+func TestOverflowPathStillSound(t *testing.T) {
+	// A hub-heavy digraph with Cap=1 forces overflow vertices; results must
+	// stay sound and within factor 2 (overflow vertices are handled by the
+	// cleanup BFS).
+	g, err := (gen.Random{N: 50, P: 0.1, Directed: true, Seed: 4}).Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, ok := seq.MWC(g)
+	if !ok {
+		t.Fatal("instance should contain cycles")
+	}
+	net := newNet(t, g, 8)
+	res, err := Run(net, Spec{SampleFactor: 4, Cap: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found || res.Weight < want || res.Weight > 2*want {
+		t.Errorf("got (%d,%v) with MWC %d", res.Weight, res.Found, want)
+	}
+	t.Logf("overflow vertices: %d", res.Overflow)
+}
+
+func TestRunWitnessValidWhenPresent(t *testing.T) {
+	present, valid := 0, 0
+	for seed := int64(0); seed < 12; seed++ {
+		g, err := (gen.Random{N: 50, P: 0.06, Directed: true, Seed: seed + 400}).Graph()
+		if err != nil {
+			t.Fatal(err)
+		}
+		net := newNet(t, g, seed)
+		res, err := Run(net, Spec{SampleFactor: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Found || res.Cycle == nil {
+			continue
+		}
+		present++
+		w, err := seq.VerifyCycle(g, res.Cycle)
+		if err != nil {
+			t.Errorf("seed %d: witness invalid: %v (%v)", seed, err, res.Cycle)
+			continue
+		}
+		if w > res.Weight {
+			t.Errorf("seed %d: witness weight %d exceeds reported %d", seed, w, res.Weight)
+			continue
+		}
+		if truth, ok := seq.MWC(g); ok && w < truth {
+			t.Errorf("seed %d: witness weight %d below MWC %d (impossible)", seed, w, truth)
+		}
+		valid++
+	}
+	if present == 0 {
+		t.Fatal("no witnesses materialised across 12 instances")
+	}
+	if valid != present {
+		t.Errorf("%d of %d witnesses invalid", present-valid, present)
+	}
+	t.Logf("witnesses materialised on %d/12 instances", present)
+}

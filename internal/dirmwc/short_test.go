@@ -1,0 +1,152 @@
+package dirmwc
+
+import (
+	"math"
+	"testing"
+
+	"congestmwc/internal/gen"
+	"congestmwc/internal/graph"
+	"congestmwc/internal/seq"
+)
+
+// buildShortSpec prepares a shortSpec with exact distances for buildR unit
+// tests (no network needed: buildR is node-local computation).
+func buildShortSpec(t *testing.T, g *graph.Graph, s []int) *shortSpec {
+	t.Helper()
+	n := g.N()
+	distF := make([][]int64, n)
+	distB := make([][]int64, n)
+	for v := 0; v < n; v++ {
+		distF[v] = make([]int64, len(s))
+		distB[v] = make([]int64, len(s))
+	}
+	rev := g.Reverse()
+	for j, sv := range s {
+		fw := seq.Dijkstra(g, sv)
+		bw := seq.Dijkstra(rev, sv)
+		for v := 0; v < n; v++ {
+			distF[v][j] = fw[v]
+			distB[v][j] = bw[v]
+		}
+	}
+	dSS := make([][]int64, len(s))
+	for i, sv := range s {
+		dSS[i] = make([]int64, len(s))
+		fw := seq.Dijkstra(g, sv)
+		for j, tv := range s {
+			dSS[i][j] = fw[tv]
+		}
+	}
+	return &shortSpec{
+		s: s, dSS: dSS, distF: distF, distB: distB,
+		hShort: int64(n), distBound: int64(2 * n),
+		length: func(graph.Arc) int64 { return 1 },
+	}
+}
+
+func TestBuildRSizeBound(t *testing.T) {
+	g, err := (gen.Random{N: 80, P: 0.05, Directed: true, Seed: 3}).Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := []int{0, 7, 15, 23, 31, 39, 47, 55, 63, 71, 79, 4, 12, 20}
+	sp := buildShortSpec(t, g, s)
+	rs := buildR(g.N(), sp, 17)
+	beta := int(math.Ceil(math.Log2(float64(g.N()) + 2)))
+	for v, r := range rs {
+		if len(r) > beta {
+			t.Errorf("vertex %d: |R(v)| = %d exceeds beta = %d", v, len(r), beta)
+		}
+		// R(v) entries must be valid sample indices, sorted, unique.
+		for i := range r {
+			if r[i] < 0 || int(r[i]) >= len(s) {
+				t.Fatalf("vertex %d: R entry %d out of range", v, r[i])
+			}
+			if i > 0 && r[i] <= r[i-1] {
+				t.Fatalf("vertex %d: R not sorted/unique: %v", v, r)
+			}
+		}
+	}
+}
+
+func TestBuildRDeterministic(t *testing.T) {
+	g, err := (gen.Random{N: 40, P: 0.08, Directed: true, Seed: 5}).Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := []int{1, 9, 17, 25, 33}
+	sp := buildShortSpec(t, g, s)
+	a := buildR(g.N(), sp, 99)
+	b := buildR(g.N(), sp, 99)
+	for v := range a {
+		if len(a[v]) != len(b[v]) {
+			t.Fatalf("vertex %d: nondeterministic R sizes", v)
+		}
+		for i := range a[v] {
+			if a[v][i] != b[v][i] {
+				t.Fatalf("vertex %d: nondeterministic R", v)
+			}
+		}
+	}
+}
+
+// pvSize computes |P(v)| per Definition 3.1 from exact distances.
+func pvSize(g *graph.Graph, sp *shortSpec, rs [][]int32, v int) int {
+	rev := g.Reverse()
+	dv := seq.Dijkstra(g, v) // d(v, y)
+	_ = rev
+	count := 0
+	for y := 0; y < g.N(); y++ {
+		in := true
+		for _, ti := range rs[v] {
+			lhs := satAdd(sp.distB[y][ti], 2*dv[y])
+			rhs := satAdd(sp.distF[y][ti], 2*sp.distB[v][ti])
+			if lhs > rhs {
+				in = false
+				break
+			}
+		}
+		if in {
+			count++
+		}
+	}
+	return count
+}
+
+func TestPvShrinksWithR(t *testing.T) {
+	// With a reasonable sample, P(v) should typically be much smaller than
+	// V. We assert the average |P(v)| is below half of n on a random
+	// strongly-connected digraph — the qualitative content of the halving
+	// argument (the formal O~(n/|S|) bound is asymptotic).
+	g, err := (gen.Random{N: 60, P: 0.08, Directed: true, Seed: 11}).Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s []int
+	for v := 0; v < g.N(); v += 4 {
+		s = append(s, v)
+	}
+	sp := buildShortSpec(t, g, s)
+	rs := buildR(g.N(), sp, 7)
+	total := 0
+	for v := 0; v < g.N(); v++ {
+		total += pvSize(g, sp, rs, v)
+	}
+	avg := float64(total) / float64(g.N())
+	if avg > float64(g.N())/2 {
+		t.Errorf("average |P(v)| = %.1f, want < n/2 = %d", avg, g.N()/2)
+	}
+	t.Logf("average |P(v)| = %.1f of n = %d", avg, g.N())
+}
+
+func TestSatAdd(t *testing.T) {
+	if satAdd(3, 4) != 7 {
+		t.Error("finite addition broken")
+	}
+	if satAdd(seq.Inf, 4) != seq.Inf || satAdd(4, seq.Inf) != seq.Inf {
+		t.Error("saturation broken")
+	}
+	if satAdd(seq.Inf, seq.Inf) != seq.Inf {
+		t.Error("double-inf saturation broken")
+	}
+}

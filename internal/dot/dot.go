@@ -1,0 +1,73 @@
+// Package dot renders graphs in Graphviz DOT format, optionally
+// highlighting a cycle — used by cmd/mwcrun to visualise instances and MWC
+// witnesses.
+package dot
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"congestmwc/internal/graph"
+)
+
+// Options controls rendering.
+type Options struct {
+	// Name is the graph name (default "G").
+	Name string
+	// Highlight is a vertex sequence (closing edge implicit) whose vertices
+	// and edges are emphasised — typically an MWC witness.
+	Highlight []int
+	// ShowWeights labels edges with their weights (forced off for
+	// unweighted graphs).
+	ShowWeights bool
+}
+
+// Write renders g to w.
+func Write(w io.Writer, g *graph.Graph, opts Options) error {
+	name := opts.Name
+	if name == "" {
+		name = "G"
+	}
+	keyword, sep := "graph", "--"
+	if g.Directed() {
+		keyword, sep = "digraph", "->"
+	}
+	onCycle := make(map[int]bool, len(opts.Highlight))
+	cycleEdge := make(map[[2]int]bool, len(opts.Highlight))
+	for i, v := range opts.Highlight {
+		if v < 0 || v >= g.N() {
+			return fmt.Errorf("dot: highlight vertex %d out of range", v)
+		}
+		onCycle[v] = true
+		u := opts.Highlight[(i+1)%len(opts.Highlight)]
+		cycleEdge[[2]int{v, u}] = true
+		if !g.Directed() {
+			cycleEdge[[2]int{u, v}] = true
+		}
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%s %q {\n", keyword, name)
+	fmt.Fprintf(bw, "  node [shape=circle fontsize=10];\n")
+	for v := 0; v < g.N(); v++ {
+		if onCycle[v] {
+			fmt.Fprintf(bw, "  %d [style=filled fillcolor=gold];\n", v)
+		}
+	}
+	for _, e := range g.Edges() {
+		attrs := ""
+		if opts.ShowWeights && g.Weighted() {
+			attrs = fmt.Sprintf(" [label=%d]", e.Weight)
+		}
+		if cycleEdge[[2]int{e.From, e.To}] {
+			if attrs == "" {
+				attrs = " [color=red penwidth=2]"
+			} else {
+				attrs = fmt.Sprintf(" [label=%d color=red penwidth=2]", e.Weight)
+			}
+		}
+		fmt.Fprintf(bw, "  %d %s %d%s;\n", e.From, sep, e.To, attrs)
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}

@@ -1,0 +1,69 @@
+package dot
+
+import (
+	"strings"
+	"testing"
+
+	"congestmwc/internal/gen"
+)
+
+func TestWriteUndirected(t *testing.T) {
+	g := gen.Ring(4, false, false, 1)
+	var b strings.Builder
+	if err := Write(&b, g, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{`graph "G" {`, "0 -- 1;", "0 -- 3", "}"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "->") {
+		t.Error("undirected output contains directed arrows")
+	}
+}
+
+func TestWriteDirectedWeightedWithHighlight(t *testing.T) {
+	g := gen.Ring(4, true, true, 7)
+	var b strings.Builder
+	err := Write(&b, g, Options{
+		Name:        "mwc",
+		Highlight:   []int{0, 1, 2, 3},
+		ShowWeights: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`digraph "mwc" {`,
+		"0 [style=filled fillcolor=gold];",
+		"0 -> 1 [label=7 color=red penwidth=2];",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteHighlightValidation(t *testing.T) {
+	g := gen.Ring(3, false, false, 1)
+	var b strings.Builder
+	if err := Write(&b, g, Options{Highlight: []int{0, 9}}); err == nil {
+		t.Error("out-of-range highlight should fail")
+	}
+}
+
+func TestWriteHighlightDirectionality(t *testing.T) {
+	// In an undirected graph the stored edge orientation must not matter
+	// for highlighting.
+	g := gen.Ring(5, false, false, 1)
+	var b strings.Builder
+	if err := Write(&b, g, Options{Highlight: []int{4, 3, 2, 1, 0}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(b.String(), "color=red"); got != 5 {
+		t.Errorf("highlighted %d edges, want 5", got)
+	}
+}

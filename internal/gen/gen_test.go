@@ -1,0 +1,199 @@
+package gen
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRandomValidation(t *testing.T) {
+	if _, err := (Random{N: 1}).Graph(); err == nil {
+		t.Error("N=1 should fail")
+	}
+	if _, err := (Random{N: 5, P: 1.5}).Graph(); err == nil {
+		t.Error("P>1 should fail")
+	}
+	if _, err := (Random{N: 5, P: -0.1}).Graph(); err == nil {
+		t.Error("P<0 should fail")
+	}
+}
+
+func TestRandomAlwaysConnected(t *testing.T) {
+	prop := func(nRaw uint8, pRaw uint8, directed bool, seed int64) bool {
+		n := 2 + int(nRaw)%60
+		p := float64(pRaw) / 512.0
+		g, err := (Random{N: n, P: p, Directed: directed, Seed: seed}).Graph()
+		if err != nil {
+			return false
+		}
+		return g.ConnectedComm()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	a, err := (Random{N: 30, P: 0.2, Weighted: true, MaxW: 9, Seed: 5}).Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := (Random{N: 30, P: 0.2, Weighted: true, MaxW: 9, Seed: 5}).Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ea, eb := a.Edges(), b.Edges()
+	if len(ea) != len(eb) {
+		t.Fatalf("edge counts differ: %d vs %d", len(ea), len(eb))
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("edge %d differs: %+v vs %+v", i, ea[i], eb[i])
+		}
+	}
+}
+
+func TestRandomWeightsInRange(t *testing.T) {
+	g, err := (Random{N: 40, P: 0.2, Weighted: true, MaxW: 13, Seed: 2}).Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range g.Edges() {
+		if e.Weight < 1 || e.Weight > 13 {
+			t.Errorf("edge weight %d out of [1,13]", e.Weight)
+		}
+	}
+}
+
+func TestPlantedCycleValidation(t *testing.T) {
+	if _, _, err := (PlantedCycle{N: 10, CycleLen: 2}).Graph(); err == nil {
+		t.Error("undirected 2-cycle should fail")
+	}
+	if _, _, err := (PlantedCycle{N: 10, CycleLen: 12}).Graph(); err == nil {
+		t.Error("cycle longer than N should fail")
+	}
+	if _, _, err := (PlantedCycle{N: 10, CycleLen: 5, Weighted: true, CycleW: 3}).Graph(); err == nil {
+		t.Error("cycle weight below edge count should fail")
+	}
+	if _, _, err := (PlantedCycle{N: 10, CycleLen: 2, Directed: true}).Graph(); err != nil {
+		t.Error("directed 2-cycle should be allowed")
+	}
+}
+
+func TestPlantedCycleConnected(t *testing.T) {
+	prop := func(seed int64, directed, weighted bool) bool {
+		p := PlantedCycle{
+			N: 30, CycleLen: 4, CycleW: 20, Directed: directed,
+			Weighted: weighted, BackgroundDeg: 1, Seed: seed,
+		}
+		g, _, err := p.Graph()
+		return err == nil && g.ConnectedComm()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRing(t *testing.T) {
+	g := Ring(6, true, true, 4)
+	if g.N() != 6 || g.M() != 6 || !g.Directed() || !g.Weighted() {
+		t.Errorf("ring shape wrong: n=%d m=%d", g.N(), g.M())
+	}
+	for _, e := range g.Edges() {
+		if e.Weight != 4 {
+			t.Errorf("ring weight %d, want 4", e.Weight)
+		}
+	}
+}
+
+func TestGrid(t *testing.T) {
+	g := Grid(3, 4, false, 0, 1)
+	if g.N() != 12 {
+		t.Errorf("grid N = %d, want 12", g.N())
+	}
+	// 3x4 grid: 3*3 horizontal + 2*4 vertical = 17 edges.
+	if g.M() != 17 {
+		t.Errorf("grid M = %d, want 17", g.M())
+	}
+	if !g.ConnectedComm() {
+		t.Error("grid must be connected")
+	}
+	wg := Grid(3, 3, true, 9, 2)
+	if !wg.Weighted() {
+		t.Error("weighted grid not weighted")
+	}
+}
+
+func TestPath(t *testing.T) {
+	g := Path(7)
+	if g.N() != 7 || g.M() != 6 || g.Directed() {
+		t.Errorf("path shape wrong: n=%d m=%d", g.N(), g.M())
+	}
+}
+
+func TestPlantedCycleChordFree(t *testing.T) {
+	// The planted cycle's vertices must not acquire chords that could make
+	// a shorter cycle in the unweighted directed case.
+	g, want, err := (PlantedCycle{N: 50, CycleLen: 6, Directed: true, BackgroundDeg: 3, Seed: 9}).Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want != 6 {
+		t.Fatalf("planted weight = %d, want 6", want)
+	}
+	onCycle := func(v int) bool { return v < 6 }
+	for _, e := range g.Edges() {
+		if onCycle(e.From) && onCycle(e.To) {
+			// Only consecutive cycle edges allowed.
+			if (e.From+1)%6 != e.To {
+				t.Errorf("chord (%d,%d) inside planted cycle", e.From, e.To)
+			}
+		}
+	}
+}
+
+func TestRandomRegular(t *testing.T) {
+	g, err := RandomRegular(40, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 40 || g.M() != 80 {
+		t.Fatalf("shape wrong: n=%d m=%d", g.N(), g.M())
+	}
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(v) != 4 {
+			t.Errorf("vertex %d has degree %d, want 4", v, g.Degree(v))
+		}
+	}
+	if !g.ConnectedComm() {
+		t.Error("regular graph must be connected")
+	}
+}
+
+func TestRandomRegularValidation(t *testing.T) {
+	if _, err := RandomRegular(10, 1, 1); err == nil {
+		t.Error("d=1 should fail")
+	}
+	if _, err := RandomRegular(10, 10, 1); err == nil {
+		t.Error("d=n should fail")
+	}
+	if _, err := RandomRegular(9, 3, 1); err == nil {
+		t.Error("odd n*d should fail")
+	}
+}
+
+func TestRandomRegularDeterministic(t *testing.T) {
+	a, err := RandomRegular(20, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RandomRegular(20, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ea, eb := a.Edges(), b.Edges()
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatal("nondeterministic")
+		}
+	}
+}

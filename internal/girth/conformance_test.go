@@ -1,0 +1,30 @@
+package girth
+
+import (
+	"testing"
+
+	"congestmwc/internal/conformance"
+	"congestmwc/internal/congest"
+)
+
+func TestConformanceRun(t *testing.T) {
+	algo := func(net *congest.Network) (int64, bool, error) {
+		res, err := Run(net, Spec{SampleFactor: 4})
+		if err != nil {
+			return 0, false, err
+		}
+		return res.Weight, res.Found, nil
+	}
+	conformance.Check(t, false, false, algo, 2, 0, 3)
+}
+
+func TestConformanceRunPRT(t *testing.T) {
+	algo := func(net *congest.Network) (int64, bool, error) {
+		res, err := RunPRT(net, Spec{SampleFactor: 4})
+		if err != nil {
+			return 0, false, err
+		}
+		return res.Weight, res.Found, nil
+	}
+	conformance.Check(t, false, false, algo, 2, 0, 2)
+}

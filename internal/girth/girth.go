@@ -1,0 +1,367 @@
+// Package girth implements Section 4 of the paper: a (2 - 1/g)-
+// approximation of the girth (undirected unweighted MWC) in O~(sqrt(n) + D)
+// rounds, and the h-hop-limited variant of Corollary 4.1 used by the
+// weighted algorithms of Section 5 on stretched scaled graphs.
+//
+// Structure (Section 4):
+//
+//  1. Sample W of ~sqrt(n)*log n vertices; BFS from every w in W (pipelined
+//     multi-source BFS). For every non-tree edge (x,y) of w's BFS tree,
+//     record the candidate cycle d(w,x) + d(w,y) + len(x,y). For a minimum
+//     weight cycle C that leaves the sigma-neighbourhood of one of its
+//     vertices, some sampled w lies close to C w.h.p. and the candidate is
+//     at most (2 - 1/g) * w(C).
+//  2. Compute each vertex's sigma = ceil(sqrt(n)) nearest vertices with the
+//     top-sigma source-detection BFS; neighbours exchange their lists.
+//     Cycles contained in the neighbourhoods of all their vertices are then
+//     found exactly: for u on C, some edge (x,y) of C is a non-tree edge of
+//     u's shortest-path forest and d(u,x) + len(x,y) + d(u,y) = w(C).
+//  3. The refinement to (2 - 1/g): cycles with exactly one vertex z outside
+//     the neighbourhoods are caught at z, which sees its neighbours' lists:
+//     candidate d(u,x) + len(x,z) + len(z,y) + d(u,y) over common sources u
+//     of two distinct neighbours x, y.
+//
+// Every candidate is the length of a closed walk that provably contains a
+// simple cycle (subject to the predecessor-edge exclusions implemented
+// below), so reported weights never undercut the true MWC; the coverage
+// argument bounds them from above.
+package girth
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"congestmwc/internal/congest"
+	"congestmwc/internal/graph"
+	"congestmwc/internal/proto"
+	"congestmwc/internal/seq"
+)
+
+const tagListEntry int64 = 101
+
+// Spec configures one run.
+type Spec struct {
+	// SampleFactor tunes the Theta(log n / sqrt(n)) sampling constant
+	// (default 3).
+	SampleFactor float64
+	// Sigma is the neighbourhood size (default ceil(sqrt(n))).
+	Sigma int
+	// Bound, when positive, restricts the computation to cycles of weight
+	// at most Bound (the h-hop-limited variant of Corollary 4.1; with unit
+	// lengths weight = hops).
+	Bound int64
+	// Length gives per-arc lengths for the stretched-graph simulation of
+	// Section 5 (nil = unit lengths).
+	Length func(a graph.Arc) int64
+	// Salt separates this phase's shared-randomness sample.
+	Salt int64
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	// Weight is the weight of the lightest cycle found; valid when Found.
+	Weight int64
+	// Found reports whether any cycle was found (within Bound, if set).
+	Found bool
+	// Cycle is a witness when one could be materialised from the
+	// predecessor pointers: a simple cycle (closing edge implicit) whose
+	// weight is at most Weight. Nil when !Found or when the winning
+	// candidate's reconstruction was degenerate.
+	Cycle []int
+	// Rounds consumed by this run.
+	Rounds int
+}
+
+type listEntry struct {
+	dist int64
+	pred int32
+}
+
+// Run executes the girth approximation on an undirected network.
+func Run(net *congest.Network, spec Spec) (*Result, error) {
+	g := net.Graph()
+	if g.Directed() {
+		return nil, fmt.Errorf("girth: graph must be undirected")
+	}
+	n := g.N()
+	factor := spec.SampleFactor
+	if factor <= 0 {
+		factor = 3
+	}
+	sigma := spec.Sigma
+	if sigma <= 0 {
+		sigma = int(math.Ceil(math.Sqrt(float64(n))))
+	}
+	length := spec.Length
+	if length == nil {
+		length = func(graph.Arc) int64 { return 1 }
+	}
+	startRounds := net.Stats().Rounds
+	best := make([]int64, n)
+	wits := make([]witnessInfo, n)
+	for i := range best {
+		best[i] = seq.Inf
+		wits[i].z = -1
+	}
+
+	// Phase 1: BFS from the sampled set W; candidates from non-tree edges.
+	sqrtN := int(math.Ceil(math.Sqrt(float64(n))))
+	w := proto.Sample(n, proto.SampleProb(n, sqrtN, factor), net.Options().Seed, 2000+spec.Salt)
+	if len(w) == 0 {
+		w = []int{0}
+	}
+	boundW := int64(0)
+	if spec.Bound > 0 {
+		boundW = 2 * spec.Bound
+	}
+	resW, err := proto.RunMultiBFS(net, proto.MultiBFSSpec{
+		Sources: w, Dir: proto.Undirected, Bound: boundW, Length: length, Stretch: true,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("girth: sampled BFS: %w", err)
+	}
+	recvW, err := exchangeLists(net, resW, nil)
+	if err != nil {
+		return nil, fmt.Errorf("girth: sampled exchange: %w", err)
+	}
+	for x := 0; x < n; x++ {
+		for _, a := range g.Out(x) {
+			y := a.To
+			al := length(a)
+			for wi := range w {
+				dx := resW.Dist[x][wi]
+				if dx >= seq.Inf {
+					continue
+				}
+				ey, ok := recvW[x][pairKey(y, wi)]
+				if !ok || ey.dist >= seq.Inf {
+					continue
+				}
+				// Non-tree condition: the edge (x,y) must not be a pred
+				// edge in w's shortest-path forest.
+				if int(resW.Pred[x][wi]) == y || int(ey.pred) == x {
+					continue
+				}
+				if c := dx + ey.dist + al; c < best[x] {
+					best[x] = c
+					wits[x] = witnessInfo{res: resW, src: wi, srcV: w[wi], x: x, y: y, z: -1}
+				}
+			}
+		}
+	}
+
+	// Phase 2: sigma-nearest neighbourhoods via top-sigma source detection.
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	resN, err := proto.RunMultiBFS(net, proto.MultiBFSSpec{
+		Sources: all, Dir: proto.Undirected, Bound: spec.Bound,
+		TopSigma: sigma, Length: length, Stretch: true,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("girth: neighbourhood BFS: %w", err)
+	}
+	topSets := topSigmaSets(resN, sigma)
+	recvN, err := exchangeLists(net, resN, topSets)
+	if err != nil {
+		return nil, fmt.Errorf("girth: neighbourhood exchange: %w", err)
+	}
+
+	// Phase 2 candidates: edges within neighbourhoods (exact for cycles
+	// contained in all their vertices' neighbourhoods).
+	for x := 0; x < n; x++ {
+		for _, a := range g.Out(x) {
+			y := a.To
+			al := length(a)
+			for _, u := range topSets[x] {
+				if u == x || u == y {
+					continue
+				}
+				dx := resN.Dist[x][u]
+				ey, ok := recvN[x][pairKey(y, u)]
+				if !ok || ey.dist >= seq.Inf || dx >= seq.Inf {
+					continue
+				}
+				if int(resN.Pred[x][u]) == y || int(ey.pred) == x {
+					continue
+				}
+				if c := dx + ey.dist + al; c < best[x] {
+					best[x] = c
+					wits[x] = witnessInfo{res: resN, src: u, srcV: u, x: x, y: y, z: -1}
+				}
+			}
+		}
+	}
+
+	// Phase 3 candidates (the 2 - 1/g refinement): at each z, combine two
+	// distinct neighbours' list entries for a common source u.
+	for z := 0; z < n; z++ {
+		type arm struct {
+			d1, d2 int64 // two smallest d(u,x)+len(x,z) over distinct x
+			x1, x2 int
+		}
+		arms := make(map[int]*arm)
+		for _, a := range g.Out(z) {
+			x := a.To
+			al := length(a)
+			for key, e := range recvN[z] {
+				from, u := keyPair(key)
+				if from != x || e.dist >= seq.Inf {
+					continue
+				}
+				if u == z || u == x || int(e.pred) == z {
+					continue
+				}
+				c := e.dist + al
+				ar := arms[u]
+				if ar == nil {
+					arms[u] = &arm{d1: c, d2: seq.Inf, x1: x, x2: -1}
+					continue
+				}
+				switch {
+				case c < ar.d1:
+					if ar.x1 != x {
+						ar.d2, ar.x2 = ar.d1, ar.x1
+					}
+					ar.d1, ar.x1 = c, x
+				case ar.x1 != x && c < ar.d2:
+					ar.d2, ar.x2 = c, x
+				}
+			}
+		}
+		for u, ar := range arms {
+			if ar.d2 < seq.Inf {
+				if c := ar.d1 + ar.d2; c < best[z] {
+					best[z] = c
+					wits[z] = witnessInfo{res: resN, src: u, srcV: u, x: ar.x1, y: ar.x2, z: z}
+				}
+			}
+		}
+	}
+
+	if spec.Bound > 0 {
+		for i := range best {
+			if best[i] > spec.Bound {
+				best[i] = seq.Inf
+			}
+		}
+	}
+
+	// Global minimum via tree + convergecast.
+	tree, err := proto.BuildTree(net, 0)
+	if err != nil {
+		return nil, fmt.Errorf("girth: %w", err)
+	}
+	minW, err := proto.ConvergecastMin(net, tree, best)
+	if err != nil {
+		return nil, fmt.Errorf("girth: %w", err)
+	}
+	out := &Result{
+		Weight: minW,
+		Found:  minW < seq.Inf,
+		Rounds: net.Stats().Rounds - startRounds,
+	}
+	if out.Found {
+		for v := 0; v < n; v++ {
+			if best[v] == minW {
+				out.Cycle = buildCycle(g, wits[v])
+				break
+			}
+		}
+	}
+	return out, nil
+}
+
+func pairKey(from, field int) int64 { return int64(from)<<32 | int64(field) }
+
+func keyPair(key int64) (from, field int) {
+	return int(key >> 32), int(key & 0xffffffff)
+}
+
+// topSigmaSets extracts, for each node, the field indices of its sigma
+// lexicographically smallest (dist, field) pairs.
+func topSigmaSets(res *proto.MultiBFSResult, sigma int) [][]int {
+	n := len(res.Dist)
+	out := make([][]int, n)
+	for v := 0; v < n; v++ {
+		type pr struct {
+			d int64
+			f int
+		}
+		var prs []pr
+		for f, d := range res.Dist[v] {
+			if d < seq.Inf {
+				prs = append(prs, pr{d, f})
+			}
+		}
+		sort.Slice(prs, func(i, j int) bool {
+			if prs[i].d != prs[j].d {
+				return prs[i].d < prs[j].d
+			}
+			return prs[i].f < prs[j].f
+		})
+		if len(prs) > sigma {
+			prs = prs[:sigma]
+		}
+		fields := make([]int, len(prs))
+		for i, p := range prs {
+			fields[i] = p.f
+		}
+		out[v] = fields
+	}
+	return out
+}
+
+// exchangeLists has every node send (field, dist, pred) for each of its
+// selected fields (all finite fields when sets is nil) to every neighbour,
+// in O(list length) pipelined rounds. Returns recv[v][pairKey(from,field)].
+func exchangeLists(net *congest.Network, res *proto.MultiBFSResult, sets [][]int) ([]map[int64]listEntry, error) {
+	n := len(res.Dist)
+	recv := make([]map[int64]listEntry, n)
+	for v := range recv {
+		recv[v] = make(map[int64]listEntry)
+	}
+	progs := make([]congest.Program, n)
+	for v := 0; v < n; v++ {
+		v := v
+		progs[v] = congest.Funcs{
+			OnInit: func(nd *congest.Node) {
+				fields := fieldsFor(res, sets, v)
+				for _, u := range nd.Neighbors() {
+					for _, f := range fields {
+						nd.SendTag(u, tagListEntry, int64(f), res.Dist[v][f], int64(res.Pred[v][f]))
+					}
+				}
+			},
+			OnDeliver: func(nd *congest.Node, d congest.Delivery) {
+				if d.Msg.Tag != tagListEntry {
+					return
+				}
+				f := int(d.Msg.Words[0])
+				recv[v][pairKey(d.From, f)] = listEntry{
+					dist: d.Msg.Words[1],
+					pred: int32(d.Msg.Words[2]),
+				}
+			},
+		}
+	}
+	if _, err := net.Run(progs, 0); err != nil {
+		return nil, err
+	}
+	return recv, nil
+}
+
+func fieldsFor(res *proto.MultiBFSResult, sets [][]int, v int) []int {
+	if sets != nil {
+		return sets[v]
+	}
+	var fields []int
+	for f, d := range res.Dist[v] {
+		if d < seq.Inf {
+			fields = append(fields, f)
+		}
+	}
+	return fields
+}

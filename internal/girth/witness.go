@@ -1,0 +1,34 @@
+package girth
+
+import (
+	"congestmwc/internal/cyclewit"
+	"congestmwc/internal/graph"
+	"congestmwc/internal/proto"
+	"congestmwc/internal/seq"
+)
+
+// witnessInfo records where a candidate was found so a concrete cycle can
+// be reconstructed from the predecessor pointers afterwards.
+type witnessInfo struct {
+	res  *proto.MultiBFSResult // run the predecessors live in
+	src  int                   // tree source field index (result column)
+	srcV int                   // tree source vertex
+	x, y int                   // candidate edge endpoints (or spoke ends)
+	z    int                   // middle vertex for two-spoke candidates, -1 otherwise
+}
+
+// buildCycle reconstructs and validates the witness; nil when the
+// reconstruction is degenerate or does not verify as a simple cycle of g.
+func buildCycle(g *graph.Graph, w witnessInfo) []int {
+	if w.res == nil {
+		return nil
+	}
+	cycle := cyclewit.FromTreePaths(w.res, w.src, w.srcV, w.x, w.y, w.z)
+	if cycle == nil {
+		return nil
+	}
+	if _, err := seq.VerifyCycle(g, cycle); err != nil {
+		return nil
+	}
+	return cycle
+}

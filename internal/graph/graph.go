@@ -1,0 +1,311 @@
+// Package graph provides the immutable graph representation shared by the
+// sequential reference solvers, the CONGEST simulator and every distributed
+// algorithm in this repository.
+//
+// A Graph is directed or undirected, weighted or unweighted. Vertices are
+// identified by integers in [0, N). Edge weights are non-negative int64
+// values; unweighted graphs carry implicit weight 1 on every edge.
+//
+// The package also implements the two graph transforms used by the paper's
+// weighted algorithms (Section 5): weight scaling (Nanongkai-style
+// w -> ceil(2*h*w / (eps * 2^i))) and the notion of a stretched graph in
+// which an edge of weight w behaves like a path of w unit edges. The
+// stretched graph is never materialised; algorithms simulate it by delaying
+// propagation across an edge by its (scaled) weight.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Common construction errors, matched by callers with errors.Is.
+var (
+	ErrVertexRange   = errors.New("graph: vertex out of range")
+	ErrSelfLoop      = errors.New("graph: self loop")
+	ErrDuplicateEdge = errors.New("graph: duplicate edge")
+	ErrNegativeW     = errors.New("graph: negative weight")
+	ErrUnweighted    = errors.New("graph: weight other than 1 on unweighted graph")
+	ErrNoVertices    = errors.New("graph: graph must have at least one vertex")
+)
+
+// Edge is an input edge. For undirected graphs From/To are an unordered
+// pair stored with From < To.
+type Edge struct {
+	From, To int
+	Weight   int64
+}
+
+// Arc is a directed adjacency entry: an edge leaving (or entering) a vertex.
+// EdgeID indexes the Graph's edge list and doubles as the communication-link
+// identifier in the CONGEST simulator.
+type Arc struct {
+	To     int
+	Weight int64
+	EdgeID int
+}
+
+// Graph is an immutable graph. Use Build (or the builder helpers in package
+// gen) to construct one; the zero value is not valid.
+type Graph struct {
+	n        int
+	directed bool
+	weighted bool
+	edges    []Edge
+	out      [][]Arc // arcs leaving v (directed) / all incident arcs (undirected)
+	in       [][]Arc // arcs entering v; aliases out for undirected graphs
+	comm     [][]Arc // undirected communication adjacency (union of in/out)
+	maxW     int64
+}
+
+// Options selects the graph class being built.
+type Options struct {
+	Directed bool
+	Weighted bool
+}
+
+// Build validates the edge list and constructs a Graph.
+//
+// Validation rules: every endpoint must lie in [0, n); self loops and
+// duplicate edges (parallel edges, and for undirected graphs both
+// orientations of the same pair) are rejected; weights must be non-negative,
+// and must equal 1 on unweighted graphs (Weight 0 on an unweighted edge is
+// treated as the implicit 1 for convenience).
+func Build(n int, edges []Edge, opts Options) (*Graph, error) {
+	if n <= 0 {
+		return nil, ErrNoVertices
+	}
+	g := &Graph{
+		n:        n,
+		directed: opts.Directed,
+		weighted: opts.Weighted,
+		edges:    make([]Edge, 0, len(edges)),
+		out:      make([][]Arc, n),
+		in:       make([][]Arc, n),
+		comm:     make([][]Arc, n),
+	}
+	seen := make(map[[2]int]struct{}, len(edges))
+	for _, e := range edges {
+		if e.From < 0 || e.From >= n || e.To < 0 || e.To >= n {
+			return nil, fmt.Errorf("%w: (%d,%d) with n=%d", ErrVertexRange, e.From, e.To, n)
+		}
+		if e.From == e.To {
+			return nil, fmt.Errorf("%w: vertex %d", ErrSelfLoop, e.From)
+		}
+		w := e.Weight
+		if !opts.Weighted {
+			if w == 0 {
+				w = 1
+			}
+			if w != 1 {
+				return nil, fmt.Errorf("%w: (%d,%d) weight %d", ErrUnweighted, e.From, e.To, e.Weight)
+			}
+		}
+		if w < 0 {
+			return nil, fmt.Errorf("%w: (%d,%d) weight %d", ErrNegativeW, e.From, e.To, w)
+		}
+		from, to := e.From, e.To
+		if !opts.Directed && from > to {
+			from, to = to, from
+		}
+		key := [2]int{from, to}
+		if _, dup := seen[key]; dup {
+			return nil, fmt.Errorf("%w: (%d,%d)", ErrDuplicateEdge, e.From, e.To)
+		}
+		seen[key] = struct{}{}
+		id := len(g.edges)
+		g.edges = append(g.edges, Edge{From: from, To: to, Weight: w})
+		if w > g.maxW {
+			g.maxW = w
+		}
+		g.out[from] = append(g.out[from], Arc{To: to, Weight: w, EdgeID: id})
+		g.in[to] = append(g.in[to], Arc{To: from, Weight: w, EdgeID: id})
+		if !opts.Directed {
+			g.out[to] = append(g.out[to], Arc{To: from, Weight: w, EdgeID: id})
+			g.in[from] = append(g.in[from], Arc{To: to, Weight: w, EdgeID: id})
+		}
+	}
+	for v := 0; v < n; v++ {
+		sortArcs(g.out[v])
+		sortArcs(g.in[v])
+	}
+	g.buildComm()
+	return g, nil
+}
+
+// MustBuild is Build that panics on error; intended for tests and generators
+// whose inputs are valid by construction.
+func MustBuild(n int, edges []Edge, opts Options) *Graph {
+	g, err := Build(n, edges, opts)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func sortArcs(arcs []Arc) {
+	sort.Slice(arcs, func(i, j int) bool {
+		if arcs[i].To != arcs[j].To {
+			return arcs[i].To < arcs[j].To
+		}
+		return arcs[i].EdgeID < arcs[j].EdgeID
+	})
+}
+
+// buildComm computes the undirected communication adjacency: the union of
+// in- and out-arcs with duplicates (possible in directed graphs that contain
+// both orientations of a pair) kept, since each input edge is its own
+// communication link.
+func (g *Graph) buildComm() {
+	for v := 0; v < g.n; v++ {
+		if !g.directed {
+			g.comm[v] = g.out[v]
+			continue
+		}
+		arcs := make([]Arc, 0, len(g.out[v])+len(g.in[v]))
+		arcs = append(arcs, g.out[v]...)
+		arcs = append(arcs, g.in[v]...)
+		sortArcs(arcs)
+		g.comm[v] = arcs
+	}
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return len(g.edges) }
+
+// Directed reports whether the graph is directed.
+func (g *Graph) Directed() bool { return g.directed }
+
+// Weighted reports whether the graph is weighted.
+func (g *Graph) Weighted() bool { return g.weighted }
+
+// MaxWeight returns the largest edge weight (1 for unweighted graphs with at
+// least one edge, 0 for edgeless graphs).
+func (g *Graph) MaxWeight() int64 { return g.maxW }
+
+// Edges returns a copy of the edge list.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, len(g.edges))
+	copy(out, g.edges)
+	return out
+}
+
+// Edge returns the edge with the given ID.
+func (g *Graph) Edge(id int) Edge { return g.edges[id] }
+
+// Out returns the arcs leaving v. For undirected graphs this is every
+// incident edge. The returned slice must not be modified.
+func (g *Graph) Out(v int) []Arc { return g.out[v] }
+
+// In returns the arcs entering v (as Arc values whose To field names the
+// *other* endpoint, i.e. the tail of the edge). For undirected graphs this
+// equals Out(v). The returned slice must not be modified.
+func (g *Graph) In(v int) []Arc { return g.in[v] }
+
+// Comm returns the undirected communication adjacency of v: one Arc per
+// incident input edge regardless of direction. The returned slice must not
+// be modified.
+func (g *Graph) Comm(v int) []Arc { return g.comm[v] }
+
+// Degree returns the communication degree of v.
+func (g *Graph) Degree(v int) int { return len(g.comm[v]) }
+
+// Reverse returns the graph with every directed edge reversed. For an
+// undirected graph it returns the receiver.
+func (g *Graph) Reverse() *Graph {
+	if !g.directed {
+		return g
+	}
+	edges := make([]Edge, len(g.edges))
+	for i, e := range g.edges {
+		edges[i] = Edge{From: e.To, To: e.From, Weight: e.Weight}
+	}
+	return MustBuild(g.n, edges, Options{Directed: true, Weighted: g.weighted})
+}
+
+// AsWeighted returns a weighted view of the graph: identical edges, with the
+// Weighted flag set (unit weights if the receiver is unweighted). Used by
+// algorithms that treat unweighted inputs as weight-1 instances.
+func (g *Graph) AsWeighted() *Graph {
+	if g.weighted {
+		return g
+	}
+	return MustBuild(g.n, g.edges, Options{Directed: g.directed, Weighted: true})
+}
+
+// ScaleWeights returns a copy of the graph with each weight w replaced by
+// scale(w). Weights must remain non-negative; scale must not map distinct
+// endpoints onto a self loop (it cannot, since it only changes weights).
+func (g *Graph) ScaleWeights(scale func(int64) int64) (*Graph, error) {
+	edges := make([]Edge, len(g.edges))
+	for i, e := range g.edges {
+		edges[i] = Edge{From: e.From, To: e.To, Weight: scale(e.Weight)}
+	}
+	return Build(g.n, edges, Options{Directed: g.directed, Weighted: true})
+}
+
+// ConnectedComm reports whether the undirected communication graph is
+// connected. CONGEST algorithms require a connected network.
+func (g *Graph) ConnectedComm() bool {
+	if g.n == 0 {
+		return false
+	}
+	seen := make([]bool, g.n)
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, a := range g.comm[v] {
+			if !seen[a.To] {
+				seen[a.To] = true
+				count++
+				stack = append(stack, a.To)
+			}
+		}
+	}
+	return count == g.n
+}
+
+// CommDiameter returns the diameter of the undirected communication graph
+// computed by BFS from every vertex, and the eccentricity of vertex 0.
+// Intended for instrumentation and test assertions, not for use inside
+// distributed algorithms (which must discover D themselves).
+func (g *Graph) CommDiameter() (diameter, ecc0 int) {
+	dist := make([]int, g.n)
+	queue := make([]int, 0, g.n)
+	for s := 0; s < g.n; s++ {
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[s] = 0
+		queue = queue[:0]
+		queue = append(queue, s)
+		far := 0
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, a := range g.comm[v] {
+				if dist[a.To] < 0 {
+					dist[a.To] = dist[v] + 1
+					if dist[a.To] > far {
+						far = dist[a.To]
+					}
+					queue = append(queue, a.To)
+				}
+			}
+		}
+		if s == 0 {
+			ecc0 = far
+		}
+		if far > diameter {
+			diameter = far
+		}
+	}
+	return diameter, ecc0
+}

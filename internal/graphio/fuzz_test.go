@@ -1,0 +1,67 @@
+package graphio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"congestmwc/internal/gen"
+)
+
+// FuzzRead asserts the parser never panics and that any successfully
+// parsed graph round-trips through Write/Read unchanged.
+func FuzzRead(f *testing.F) {
+	f.Add("p d 3 3\ne 0 1\ne 1 2\ne 2 0\n")
+	f.Add("p uw 2 1\ne 0 1 5\n")
+	f.Add("c nothing\n")
+	f.Add("p ud 4 0\n")
+	f.Add("p dw 2 1\ne 1 0 9\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		g, err := Read(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, g); err != nil {
+			t.Fatalf("write after successful read: %v", err)
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("re-read of written graph: %v", err)
+		}
+		if back.N() != g.N() || back.M() != g.M() {
+			t.Fatalf("round trip changed shape: %d/%d -> %d/%d", g.N(), g.M(), back.N(), back.M())
+		}
+	})
+}
+
+// FuzzRoundTrip drives Write/Read with generated graphs of random shape.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(int64(1), uint8(10), false, false)
+	f.Add(int64(2), uint8(20), true, true)
+	f.Fuzz(func(t *testing.T, seed int64, nRaw uint8, directed, weighted bool) {
+		n := 2 + int(nRaw)%40
+		g, err := (gen.Random{N: n, P: 0.2, Directed: directed, Weighted: weighted,
+			MaxW: 99, Seed: seed}).Graph()
+		if err != nil {
+			t.Skip()
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, g); err != nil {
+			t.Fatal(err)
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		we, be := g.Edges(), back.Edges()
+		if len(we) != len(be) {
+			t.Fatal("edge count changed")
+		}
+		for i := range we {
+			if we[i] != be[i] {
+				t.Fatalf("edge %d changed: %+v -> %+v", i, we[i], be[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,150 @@
+// Package graphio reads and writes graphs in a DIMACS-like text format so
+// the command-line tools can operate on external instances:
+//
+//	c comment lines
+//	p <class> <n> <m>       class in {ud, d, uw, dw}
+//	e <from> <to> [weight]  m edge lines, weight required for uw/dw
+//
+// Example:
+//
+//	p d 3 3
+//	e 0 1
+//	e 1 2
+//	e 2 0
+package graphio
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"congestmwc/internal/graph"
+)
+
+// Class tokens of the p-line.
+const (
+	ClassUndirected         = "ud"
+	ClassDirected           = "d"
+	ClassUndirectedWeighted = "uw"
+	ClassDirectedWeighted   = "dw"
+)
+
+// ErrFormat reports a malformed input.
+var ErrFormat = errors.New("graphio: malformed input")
+
+// Read parses a graph from r.
+func Read(r io.Reader) (*graph.Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var (
+		opts     graph.Options
+		n, m     int
+		sawP     bool
+		weighted bool
+		edges    []graph.Edge
+		lineNo   int
+	)
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "c") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "p":
+			if sawP {
+				return nil, fmt.Errorf("%w: line %d: duplicate p-line", ErrFormat, lineNo)
+			}
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("%w: line %d: p-line needs 4 fields", ErrFormat, lineNo)
+			}
+			switch fields[1] {
+			case ClassUndirected:
+			case ClassDirected:
+				opts.Directed = true
+			case ClassUndirectedWeighted:
+				opts.Weighted = true
+			case ClassDirectedWeighted:
+				opts.Directed, opts.Weighted = true, true
+			default:
+				return nil, fmt.Errorf("%w: line %d: unknown class %q", ErrFormat, lineNo, fields[1])
+			}
+			weighted = opts.Weighted
+			var err1, err2 error
+			n, err1 = strconv.Atoi(fields[2])
+			m, err2 = strconv.Atoi(fields[3])
+			if err1 != nil || err2 != nil || n <= 0 || m < 0 {
+				return nil, fmt.Errorf("%w: line %d: bad n/m", ErrFormat, lineNo)
+			}
+			sawP = true
+		case "e":
+			if !sawP {
+				return nil, fmt.Errorf("%w: line %d: e-line before p-line", ErrFormat, lineNo)
+			}
+			want := 3
+			if weighted {
+				want = 4
+			}
+			if len(fields) != want {
+				return nil, fmt.Errorf("%w: line %d: e-line needs %d fields", ErrFormat, lineNo, want)
+			}
+			from, err1 := strconv.Atoi(fields[1])
+			to, err2 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("%w: line %d: bad endpoints", ErrFormat, lineNo)
+			}
+			w := int64(1)
+			if weighted {
+				var err error
+				w, err = strconv.ParseInt(fields[3], 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("%w: line %d: bad weight", ErrFormat, lineNo)
+				}
+			}
+			edges = append(edges, graph.Edge{From: from, To: to, Weight: w})
+		default:
+			return nil, fmt.Errorf("%w: line %d: unknown record %q", ErrFormat, lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graphio: %w", err)
+	}
+	if !sawP {
+		return nil, fmt.Errorf("%w: missing p-line", ErrFormat)
+	}
+	if len(edges) != m {
+		return nil, fmt.Errorf("%w: p-line declares %d edges, found %d", ErrFormat, m, len(edges))
+	}
+	g, err := graph.Build(n, edges, opts)
+	if err != nil {
+		return nil, fmt.Errorf("graphio: %w", err)
+	}
+	return g, nil
+}
+
+// Write serialises a graph to w in the same format.
+func Write(w io.Writer, g *graph.Graph) error {
+	class := ClassUndirected
+	switch {
+	case g.Directed() && g.Weighted():
+		class = ClassDirectedWeighted
+	case g.Directed():
+		class = ClassDirected
+	case g.Weighted():
+		class = ClassUndirectedWeighted
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "p %s %d %d\n", class, g.N(), g.M())
+	for _, e := range g.Edges() {
+		if g.Weighted() {
+			fmt.Fprintf(bw, "e %d %d %d\n", e.From, e.To, e.Weight)
+		} else {
+			fmt.Fprintf(bw, "e %d %d\n", e.From, e.To)
+		}
+	}
+	return bw.Flush()
+}

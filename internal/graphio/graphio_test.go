@@ -1,0 +1,97 @@
+package graphio
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"congestmwc/internal/gen"
+)
+
+func TestReadValid(t *testing.T) {
+	in := `c a directed triangle
+p d 3 3
+e 0 1
+e 1 2
+e 2 0
+`
+	g, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 3 || !g.Directed() || g.Weighted() {
+		t.Errorf("parsed graph wrong: n=%d m=%d dir=%v w=%v", g.N(), g.M(), g.Directed(), g.Weighted())
+	}
+}
+
+func TestReadWeighted(t *testing.T) {
+	in := "p uw 3 2\ne 0 1 5\ne 1 2 9\n"
+	g, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Weighted() || g.Edge(1).Weight != 9 {
+		t.Errorf("weights not parsed: %+v", g.Edges())
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	tests := []struct{ name, in string }{
+		{name: "missing p-line", in: "e 0 1\n"},
+		{name: "no p at all", in: "c hi\n"},
+		{name: "duplicate p", in: "p d 2 0\np d 2 0\n"},
+		{name: "unknown class", in: "p x 2 1\ne 0 1\n"},
+		{name: "bad n", in: "p d zero 1\ne 0 1\n"},
+		{name: "edge count mismatch", in: "p d 3 2\ne 0 1\n"},
+		{name: "weight missing", in: "p uw 2 1\ne 0 1\n"},
+		{name: "unexpected weight", in: "p d 2 1\ne 0 1 4\n"},
+		{name: "bad endpoint", in: "p d 2 1\ne a 1\n"},
+		{name: "bad weight", in: "p uw 2 1\ne 0 1 x\n"},
+		{name: "unknown record", in: "p d 2 1\nq 0 1\n"},
+		{name: "out of range endpoint", in: "p d 2 1\ne 0 5\n"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Read(strings.NewReader(tt.in)); err == nil {
+				t.Error("want error, got nil")
+			}
+		})
+	}
+	if _, err := Read(strings.NewReader("e 0 1\n")); !errors.Is(err, ErrFormat) {
+		t.Errorf("error should wrap ErrFormat, got %v", err)
+	}
+}
+
+func TestRoundTripAllClasses(t *testing.T) {
+	for _, directed := range []bool{false, true} {
+		for _, weighted := range []bool{false, true} {
+			g, err := (gen.Random{
+				N: 20, P: 0.15, Directed: directed, Weighted: weighted,
+				MaxW: 50, Seed: 4,
+			}).Graph()
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := Write(&buf, g); err != nil {
+				t.Fatal(err)
+			}
+			back, err := Read(&buf)
+			if err != nil {
+				t.Fatalf("dir=%v w=%v: %v", directed, weighted, err)
+			}
+			if back.N() != g.N() || back.M() != g.M() ||
+				back.Directed() != g.Directed() || back.Weighted() != g.Weighted() {
+				t.Fatalf("round trip changed the graph shape")
+			}
+			want := g.Edges()
+			got := back.Edges()
+			for i := range want {
+				if want[i] != got[i] {
+					t.Fatalf("edge %d: %+v != %+v", i, want[i], got[i])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package harness
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRegistriesComplete(t *testing.T) {
+	ub := UpperBounds()
+	if len(ub) != 10 {
+		t.Errorf("upper-bound registry has %d experiments, want 10", len(ub))
+	}
+	lbs := LowerBounds()
+	if len(lbs) != 4 {
+		t.Errorf("lower-bound registry has %d experiments, want 4", len(lbs))
+	}
+	if got := len(IDs()); got != len(ub)+len(lbs) {
+		t.Errorf("IDs() returned %d, want %d", got, len(ub)+len(lbs))
+	}
+	for id, e := range ub {
+		if e.ID != id || e.Run == nil || e.Claim == "" {
+			t.Errorf("experiment %s misconfigured", id)
+		}
+	}
+}
+
+func TestFitExponent(t *testing.T) {
+	// rounds = 3 * n^0.8 exactly.
+	sizes := []int{64, 128, 256, 512}
+	rounds := make([]float64, len(sizes))
+	for i, n := range sizes {
+		rounds[i] = 3 * math.Pow(float64(n), 0.8)
+	}
+	if got := FitExponent(sizes, rounds); math.Abs(got-0.8) > 1e-9 {
+		t.Errorf("FitExponent = %v, want 0.8", got)
+	}
+	if !math.IsNaN(FitExponent([]int{10}, []float64{5})) {
+		t.Error("single point should give NaN")
+	}
+}
+
+func TestUpperBoundRunsProduceSaneResults(t *testing.T) {
+	for id, ub := range UpperBounds() {
+		res, err := ub.Run(48, 3)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if res.Rounds <= 0 {
+			t.Errorf("%s: rounds = %d", id, res.Rounds)
+		}
+		if !math.IsNaN(res.Ratio) {
+			if res.Ratio < 1-1e-9 {
+				t.Errorf("%s: ratio %v < 1 (unsound)", id, res.Ratio)
+			}
+			// Generous slack over the claimed factor on small instances.
+			if res.Ratio > ub.MaxRatio+1.0 {
+				t.Errorf("%s: ratio %v far above claim %v", id, res.Ratio, ub.MaxRatio)
+			}
+		}
+	}
+}
+
+func TestSweepAndTable(t *testing.T) {
+	ub := UpperBounds()[ExpGirthApprox]
+	res, err := Sweep(ub, []int{32, 64}, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.MeanRounds) != 2 || res.MeanRounds[0] <= 0 {
+		t.Fatalf("sweep results malformed: %+v", res)
+	}
+	var buf bytes.Buffer
+	WriteSweepTable(&buf, res)
+	out := buf.String()
+	for _, want := range []string{"T1-GIRTH-2APX", "fitted exponent", "worst approximation ratio"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunLowerBound(t *testing.T) {
+	for id, lbe := range LowerBounds() {
+		scale := 5
+		res, err := RunLowerBound(lbe, scale, 7)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if !res.GapOK {
+			t.Errorf("%s: weight gap violated", id)
+		}
+		if !res.DecisionOK {
+			t.Errorf("%s: disjointness decision wrong", id)
+		}
+		if res.CutWords <= 0 || res.ImpliedRounds <= 0 {
+			t.Errorf("%s: cut metering empty: %+v", id, res)
+		}
+		if res.CertifiedFactor < 1.9 {
+			t.Errorf("%s: certified factor %.2f too small", id, res.CertifiedFactor)
+		}
+		var buf bytes.Buffer
+		WriteLBTable(&buf, []*LBResult{res})
+		if !strings.Contains(buf.String(), string(id)) {
+			t.Errorf("%s: table output missing ID", id)
+		}
+	}
+}
+
+func TestLowerBoundCutGrowsWithScale(t *testing.T) {
+	lbe := LowerBounds()[ExpDirectedLB2]
+	small, err := RunLowerBound(lbe, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := RunLowerBound(lbe, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if large.CutWords <= small.CutWords {
+		t.Errorf("cut words did not grow: %d -> %d", small.CutWords, large.CutWords)
+	}
+}
+
+func TestUpperBoundsWithFactorChangesSampling(t *testing.T) {
+	// A smaller sampling constant must reduce the girth algorithm's rounds
+	// on a fixed instance (fewer sampled BFS sources).
+	small, err := UpperBoundsWithFactor(1)[ExpGirthApprox].Run(128, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := UpperBoundsWithFactor(9)[ExpGirthApprox].Run(128, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Rounds >= big.Rounds {
+		t.Errorf("factor 1 rounds %d should be below factor 9 rounds %d", small.Rounds, big.Rounds)
+	}
+}

@@ -1,0 +1,388 @@
+// Package lb implements the paper's lower-bound machinery (Theorems 1.2.A,
+// 1.2.B, 1.3.A, 1.4.A, 1.4.B): reduction graph families from two-party set
+// disjointness, and a harness that runs real MWC algorithms on them while
+// metering the communication crossing the Alice/Bob cut.
+//
+// The reduction logic: Alice and Bob hold k-bit strings. The instance graph
+// has an Alice side and a Bob side; the input bits select input-dependent
+// edges entirely within each side, while the edges crossing the cut are
+// fixed. The construction guarantees a weight gap: if the sets intersect
+// the graph has a cycle of weight at most `Light`, otherwise every cycle
+// weighs at least `Heavy` (with Heavy/Light approaching the
+// inapproximability threshold). Any algorithm computing a better-than-gap
+// approximation of MWC therefore decides disjointness, so its transcript
+// across the cut must carry Omega(k) bits (Razborov / Kalyanasundaram-
+// Schnitger), and with C cut edges of B words per round it needs
+// Omega(k / (C * B * wordbits)) rounds. The harness measures exactly that
+// transcript for our algorithms, reproducing the shape of the bound.
+package lb
+
+import (
+	"fmt"
+	"math/rand"
+
+	"congestmwc/internal/graph"
+)
+
+// Disjointness is a two-party set-disjointness instance over a k-bit
+// universe.
+type Disjointness struct {
+	A, B []bool
+}
+
+// K returns the universe size.
+func (d Disjointness) K() int { return len(d.A) }
+
+// Intersects reports whether some position is set in both strings.
+func (d Disjointness) Intersects() bool {
+	for i := range d.A {
+		if d.A[i] && d.B[i] {
+			return true
+		}
+	}
+	return false
+}
+
+// RandomDisjointness draws a dense random instance, forced to intersect or
+// to be disjoint.
+func RandomDisjointness(k int, intersect bool, seed int64) Disjointness {
+	rng := rand.New(rand.NewSource(seed))
+	d := Disjointness{A: make([]bool, k), B: make([]bool, k)}
+	for i := 0; i < k; i++ {
+		d.A[i] = rng.Intn(2) == 0
+		d.B[i] = rng.Intn(2) == 0
+		if !intersect && d.A[i] && d.B[i] {
+			d.B[i] = false
+		}
+	}
+	if intersect {
+		i := rng.Intn(k)
+		d.A[i], d.B[i] = true, true
+	}
+	return d
+}
+
+// Instance is a constructed lower-bound graph together with its cut
+// labelling and the weight gap it certifies.
+type Instance struct {
+	Graph *graph.Graph
+	// Side[v] is true for Bob's vertices, false for Alice's.
+	Side []bool
+	// CutEdges is the number of fixed edges crossing the cut.
+	CutEdges int
+	// Light is the maximum MWC weight when the sets intersect; Heavy is
+	// the minimum MWC weight when they are disjoint. The certified
+	// inapproximability factor is Heavy/Light.
+	Light, Heavy int64
+	// Bits is the number of disjointness bits the instance encodes.
+	Bits int
+}
+
+// Directed2Eps builds the Theorem 1.2.A family: a directed (unweighted)
+// graph on 4m+2 vertices encoding m^2 disjointness bits, with constant
+// communication diameter. If the sets intersect, a directed 4-cycle
+// exists; otherwise every directed cycle has length at least 8. A
+// (2-eps)-approximation of directed MWC separates 4 from 8.
+//
+// Layout: Alice holds L = {l_i}, L' = {l'_j} and a hub; bit (i,j) of Alice
+// adds the arc l_i -> l'_j. Bob symmetrically holds R' = {r'_j}, R = {r_i}
+// and a hub; bit (i,j) of Bob adds r'_j -> r_i. The fixed cut arcs are
+// l'_j -> r'_j and r_i -> l_i; hubs have only out-arcs (communication
+// shortcuts that can never lie on a directed cycle).
+func Directed2Eps(m int, d Disjointness) (*Instance, error) {
+	if d.K() != m*m {
+		return nil, fmt.Errorf("lb: need %d bits for m=%d, got %d", m*m, m, d.K())
+	}
+	// Vertex layout: [0,m) = L, [m,2m) = L', [2m,3m) = R', [3m,4m) = R,
+	// 4m = hubA, 4m+1 = hubB.
+	l := func(i int) int { return i }
+	lp := func(j int) int { return m + j }
+	rp := func(j int) int { return 2*m + j }
+	r := func(i int) int { return 3*m + i }
+	hubA, hubB := 4*m, 4*m+1
+	var edges []graph.Edge
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			bit := i*m + j
+			if d.A[bit] {
+				edges = append(edges, graph.Edge{From: l(i), To: lp(j)})
+			}
+			if d.B[bit] {
+				edges = append(edges, graph.Edge{From: rp(j), To: r(i)})
+			}
+		}
+	}
+	cut := 0
+	for j := 0; j < m; j++ {
+		edges = append(edges, graph.Edge{From: lp(j), To: rp(j)})
+		cut++
+	}
+	for i := 0; i < m; i++ {
+		edges = append(edges, graph.Edge{From: r(i), To: l(i)})
+		cut++
+	}
+	// Hubs: out-arcs only, so they are never on a directed cycle; they make
+	// the communication diameter constant.
+	for i := 0; i < m; i++ {
+		edges = append(edges,
+			graph.Edge{From: hubA, To: l(i)}, graph.Edge{From: hubA, To: lp(i)},
+			graph.Edge{From: hubB, To: rp(i)}, graph.Edge{From: hubB, To: r(i)},
+		)
+	}
+	edges = append(edges, graph.Edge{From: hubA, To: hubB})
+	cut++
+	g, err := graph.Build(4*m+2, edges, graph.Options{Directed: true})
+	if err != nil {
+		return nil, fmt.Errorf("lb: %w", err)
+	}
+	side := make([]bool, g.N())
+	for v := 2 * m; v < 4*m; v++ {
+		side[v] = true
+	}
+	side[hubB] = true
+	return &Instance{
+		Graph: g, Side: side, CutEdges: cut,
+		Light: 4, Heavy: 8, Bits: m * m,
+	}, nil
+}
+
+// UndirWeighted2Eps builds the Theorem 1.4.A family: the undirected
+// weighted analogue of Directed2Eps. Bit edges weigh wb, the fixed cut
+// edges weigh 1 and hub edges weigh 2*wb+2 (heavier than any light cycle).
+// Intersecting sets yield a 4-cycle of weight 2*wb+2; disjoint sets force
+// every cycle to use at least four bit edges or two hub edges, hence weight
+// at least 4*wb. The certified factor 4wb/(2wb+2) approaches 2 as wb grows.
+func UndirWeighted2Eps(m int, d Disjointness, wb int64) (*Instance, error) {
+	if d.K() != m*m {
+		return nil, fmt.Errorf("lb: need %d bits for m=%d, got %d", m*m, m, d.K())
+	}
+	if wb < 2 {
+		return nil, fmt.Errorf("lb: bit weight must be >= 2, got %d", wb)
+	}
+	l := func(i int) int { return i }
+	lp := func(j int) int { return m + j }
+	rp := func(j int) int { return 2*m + j }
+	r := func(i int) int { return 3*m + i }
+	hubA, hubB := 4*m, 4*m+1
+	hubW := 2*wb + 2
+	var edges []graph.Edge
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			bit := i*m + j
+			if d.A[bit] {
+				edges = append(edges, graph.Edge{From: l(i), To: lp(j), Weight: wb})
+			}
+			if d.B[bit] {
+				edges = append(edges, graph.Edge{From: rp(j), To: r(i), Weight: wb})
+			}
+		}
+	}
+	cut := 0
+	for j := 0; j < m; j++ {
+		edges = append(edges, graph.Edge{From: lp(j), To: rp(j), Weight: 1})
+		cut++
+	}
+	for i := 0; i < m; i++ {
+		edges = append(edges, graph.Edge{From: r(i), To: l(i), Weight: 1})
+		cut++
+	}
+	for i := 0; i < m; i++ {
+		edges = append(edges,
+			graph.Edge{From: hubA, To: l(i), Weight: hubW},
+			graph.Edge{From: hubA, To: lp(i), Weight: hubW},
+			graph.Edge{From: hubB, To: rp(i), Weight: hubW},
+			graph.Edge{From: hubB, To: r(i), Weight: hubW},
+		)
+	}
+	edges = append(edges, graph.Edge{From: hubA, To: hubB, Weight: hubW})
+	cut++
+	g, err := graph.Build(4*m+2, edges, graph.Options{Weighted: true})
+	if err != nil {
+		return nil, fmt.Errorf("lb: %w", err)
+	}
+	side := make([]bool, g.N())
+	for v := 2 * m; v < 4*m; v++ {
+		side[v] = true
+	}
+	side[hubB] = true
+	return &Instance{
+		Graph: g, Side: side, CutEdges: cut,
+		Light: 2*wb + 2, Heavy: 4 * wb, Bits: m * m,
+	}, nil
+}
+
+// Alpha builds the arbitrary-constant-factor families (Theorems 1.2.B and
+// 1.4.B, and, with unit-ish weights and long subdivision, the shape of
+// 1.3.A): p parallel paths of length ell between Alice's hub and Bob's hub
+// (the Das Sarma et al. skeleton), where Alice's bit i attaches the left
+// end of path i and Bob's bit i the right end. An intersection closes a
+// light cycle of weight ~ell+3; with disjoint sets the only cycle is the
+// always-present fallback of weight gap*(ell+3). Any alpha < gap
+// approximation separates the cases.
+func Alpha(p, ell int, d Disjointness, directed bool, gap int64) (*Instance, error) {
+	if d.K() != p {
+		return nil, fmt.Errorf("lb: need %d bits, got %d", p, d.K())
+	}
+	if ell < 2 || gap < 2 {
+		return nil, fmt.Errorf("lb: need ell >= 2 and gap >= 2")
+	}
+	// Vertices: hubA, hubB, then p paths of ell+1 vertices each, then the
+	// fallback path of ell+1 vertices.
+	hubA, hubB := 0, 1
+	pathV := func(i, pos int) int { return 2 + i*(ell+1) + pos }
+	fbV := func(pos int) int { return 2 + p*(ell+1) + pos }
+	n := 2 + (p+1)*(ell+1)
+	light := int64(ell + 3)
+	heavy := gap * light
+	var edges []graph.Edge
+	add := func(u, v int, w int64) {
+		edges = append(edges, graph.Edge{From: u, To: v, Weight: w})
+	}
+	cut := 0
+	for i := 0; i < p; i++ {
+		for pos := 0; pos+1 <= ell; pos++ {
+			add(pathV(i, pos), pathV(i, pos+1), 1)
+			if pos == ell/2 {
+				cut++
+			}
+		}
+		if d.A[i] {
+			add(hubA, pathV(i, 0), 1)
+		}
+		if d.B[i] {
+			add(pathV(i, ell), hubB, 1)
+		}
+		// Always-present spine attachments of weight `heavy` keep every
+		// path connected to the hubs without creating any cycle lighter
+		// than heavy+1.
+		add(hubA, pathV(i, 1), heavy)
+		add(pathV(i, ell-1), hubB, heavy)
+	}
+	// Fallback cycle: hubA -> fallback path -> hubB -> hubA, with the
+	// path edges weighted to reach `heavy` in total. The return arc
+	// hubB -> hubA is shared with the light cycles.
+	perEdge := (heavy - 2) / int64(ell)
+	if perEdge < 1 {
+		perEdge = 1
+	}
+	rem := heavy - 2 - perEdge*int64(ell)
+	if rem < 0 {
+		rem = 0
+	}
+	add(hubA, fbV(0), 1)
+	for pos := 0; pos+1 <= ell; pos++ {
+		w := perEdge
+		if pos == 0 {
+			w += rem
+		}
+		add(fbV(pos), fbV(pos+1), w)
+	}
+	add(fbV(ell), hubB, 1)
+	cut++
+	add(hubB, hubA, 1)
+	cut++
+	g, err := graph.Build(n, edges, graph.Options{Directed: directed, Weighted: true})
+	if err != nil {
+		return nil, fmt.Errorf("lb: %w", err)
+	}
+	// Alice owns hubA and the left halves; Bob owns hubB and right halves.
+	side := make([]bool, n)
+	side[hubB] = true
+	for i := 0; i <= p; i++ {
+		base := 2 + i*(ell+1)
+		for pos := 0; pos <= ell; pos++ {
+			if pos > ell/2 {
+				side[base+pos] = true
+			}
+		}
+	}
+	return &Instance{
+		Graph: g, Side: side, CutEdges: cut,
+		Light: light, Heavy: heavy + 1, Bits: p,
+	}, nil
+}
+
+// GirthAlpha builds the undirected *unweighted* arbitrary-factor family of
+// Theorem 1.3.A: the Alpha skeleton with the heavy fallback realised by
+// subdivision (a path of gap*(ell+3) unit edges) instead of weights.
+func GirthAlpha(p, ell int, d Disjointness, gap int) (*Instance, error) {
+	if d.K() != p {
+		return nil, fmt.Errorf("lb: need %d bits, got %d", p, d.K())
+	}
+	if ell < 2 || gap < 2 {
+		return nil, fmt.Errorf("lb: need ell >= 2 and gap >= 2")
+	}
+	light := ell + 3
+	fbLen := gap*light - 2 // fallback cycle length = fbLen + 3
+	// Spines: always-present subdivided attachments of length spineLen
+	// keeping every path connected without cycles below the gap.
+	spineLen := gap * light
+	hubA, hubB := 0, 1
+	pathV := func(i, pos int) int { return 2 + i*(ell+1) + pos }
+	fbBase := 2 + p*(ell+1)
+	spineBase := fbBase + fbLen + 1
+	spineV := func(i, side, pos int) int {
+		return spineBase + (2*i+side)*(spineLen-1) + pos
+	}
+	n := spineBase + 2*p*(spineLen-1)
+	var edges []graph.Edge
+	add := func(u, v int) { edges = append(edges, graph.Edge{From: u, To: v}) }
+	cut := 0
+	for i := 0; i < p; i++ {
+		for pos := 0; pos+1 <= ell; pos++ {
+			add(pathV(i, pos), pathV(i, pos+1))
+			if pos == ell/2 {
+				cut++
+			}
+		}
+		if d.A[i] {
+			add(hubA, pathV(i, 0))
+		}
+		if d.B[i] {
+			add(pathV(i, ell), hubB)
+		}
+		// Left spine: hubA - s_1 - ... - s_{spineLen-1} - pathV(i,1).
+		add(hubA, spineV(i, 0, 0))
+		for pos := 0; pos+1 < spineLen-1; pos++ {
+			add(spineV(i, 0, pos), spineV(i, 0, pos+1))
+		}
+		add(spineV(i, 0, spineLen-2), pathV(i, 1))
+		// Right spine: pathV(i,ell-1) - t_1 - ... - hubB.
+		add(pathV(i, ell-1), spineV(i, 1, 0))
+		for pos := 0; pos+1 < spineLen-1; pos++ {
+			add(spineV(i, 1, pos), spineV(i, 1, pos+1))
+		}
+		add(spineV(i, 1, spineLen-2), hubB)
+	}
+	add(hubA, fbBase)
+	for pos := 0; pos+1 <= fbLen; pos++ {
+		add(fbBase+pos, fbBase+pos+1)
+	}
+	add(fbBase+fbLen, hubB)
+	cut++
+	add(hubB, hubA)
+	cut++
+	g, err := graph.Build(n, edges, graph.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("lb: %w", err)
+	}
+	side := make([]bool, n)
+	side[hubB] = true
+	for i := 0; i < p; i++ {
+		for pos := ell/2 + 1; pos <= ell; pos++ {
+			side[pathV(i, pos)] = true
+		}
+	}
+	for pos := fbLen / 2; pos <= fbLen; pos++ {
+		side[fbBase+pos] = true
+	}
+	for i := 0; i < p; i++ {
+		for pos := 0; pos < spineLen-1; pos++ {
+			side[spineV(i, 1, pos)] = true // right spines belong to Bob
+		}
+	}
+	return &Instance{
+		Graph: g, Side: side, CutEdges: cut,
+		Light: int64(light), Heavy: int64(fbLen + 3), Bits: p,
+	}, nil
+}

@@ -1,0 +1,198 @@
+package lb
+
+import (
+	"testing"
+
+	"congestmwc/internal/congest"
+	"congestmwc/internal/seq"
+)
+
+func TestDisjointnessGenerator(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		di := RandomDisjointness(25, true, seed)
+		if !di.Intersects() {
+			t.Errorf("seed %d: forced-intersecting instance is disjoint", seed)
+		}
+		dd := RandomDisjointness(25, false, seed)
+		if dd.Intersects() {
+			t.Errorf("seed %d: forced-disjoint instance intersects", seed)
+		}
+		if di.K() != 25 {
+			t.Errorf("K() = %d, want 25", di.K())
+		}
+	}
+}
+
+func TestDirected2EpsGap(t *testing.T) {
+	const m = 6
+	for seed := int64(0); seed < 6; seed++ {
+		for _, intersect := range []bool{true, false} {
+			d := RandomDisjointness(m*m, intersect, seed)
+			inst, err := Directed2Eps(m, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w, ok := seq.MWC(inst.Graph)
+			if intersect {
+				if !ok || w != inst.Light {
+					t.Errorf("seed %d intersect: MWC (%d,%v), want (%d,true)", seed, w, ok, inst.Light)
+				}
+			} else if ok && w < inst.Heavy {
+				t.Errorf("seed %d disjoint: MWC %d below Heavy %d", seed, w, inst.Heavy)
+			}
+		}
+	}
+}
+
+func TestDirected2EpsConstantDiameter(t *testing.T) {
+	d := RandomDisjointness(64, false, 1)
+	inst, err := Directed2Eps(8, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diam, _ := inst.Graph.CommDiameter(); diam > 4 {
+		t.Errorf("communication diameter %d, want constant (<= 4)", diam)
+	}
+}
+
+func TestUndirWeighted2EpsGap(t *testing.T) {
+	const m, wb = 5, 50
+	for seed := int64(0); seed < 6; seed++ {
+		for _, intersect := range []bool{true, false} {
+			d := RandomDisjointness(m*m, intersect, seed)
+			inst, err := UndirWeighted2Eps(m, d, wb)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w, ok := seq.MWC(inst.Graph)
+			if intersect {
+				if !ok || w != inst.Light {
+					t.Errorf("seed %d intersect: MWC (%d,%v), want (%d,true)", seed, w, ok, inst.Light)
+				}
+			} else if ok && w < inst.Heavy {
+				t.Errorf("seed %d disjoint: MWC %d below Heavy %d", seed, w, inst.Heavy)
+			}
+		}
+	}
+	// The certified factor approaches 2.
+	d := RandomDisjointness(m*m, true, 3)
+	inst, _ := UndirWeighted2Eps(m, d, wb)
+	if factor := float64(inst.Heavy) / float64(inst.Light); factor < 1.9 {
+		t.Errorf("certified factor %.3f, want >= 1.9", factor)
+	}
+}
+
+func TestAlphaGap(t *testing.T) {
+	const p, ell, gap = 8, 6, 10
+	for _, directed := range []bool{true, false} {
+		for _, intersect := range []bool{true, false} {
+			d := RandomDisjointness(p, intersect, 5)
+			inst, err := Alpha(p, ell, d, directed, gap)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w, ok := seq.MWC(inst.Graph)
+			if !ok {
+				t.Fatalf("directed=%v: fallback cycle missing", directed)
+			}
+			if intersect && w > inst.Light {
+				t.Errorf("directed=%v intersect: MWC %d above Light %d", directed, w, inst.Light)
+			}
+			if !intersect && w < inst.Heavy {
+				t.Errorf("directed=%v disjoint: MWC %d below Heavy %d", directed, w, inst.Heavy)
+			}
+		}
+	}
+	d := RandomDisjointness(p, true, 5)
+	inst, _ := Alpha(p, ell, d, true, gap)
+	if factor := float64(inst.Heavy) / float64(inst.Light); factor < float64(gap) {
+		t.Errorf("certified factor %.2f below gap %d", factor, gap)
+	}
+}
+
+func TestGirthAlphaGap(t *testing.T) {
+	const p, ell, gap = 6, 5, 4
+	for _, intersect := range []bool{true, false} {
+		d := RandomDisjointness(p, intersect, 9)
+		inst, err := GirthAlpha(p, ell, d, gap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if inst.Graph.Weighted() || inst.Graph.Directed() {
+			t.Fatal("girth family must be undirected unweighted")
+		}
+		w, ok := seq.Girth(inst.Graph)
+		if !ok {
+			t.Fatal("fallback cycle missing")
+		}
+		if intersect && w > inst.Light {
+			t.Errorf("intersect: girth %d above Light %d", w, inst.Light)
+		}
+		if !intersect && w < inst.Heavy {
+			t.Errorf("disjoint: girth %d below Heavy %d", w, inst.Heavy)
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Directed2Eps(4, RandomDisjointness(5, true, 1)); err == nil {
+		t.Error("bit-count mismatch should fail")
+	}
+	if _, err := UndirWeighted2Eps(4, RandomDisjointness(16, true, 1), 1); err == nil {
+		t.Error("tiny bit weight should fail")
+	}
+	if _, err := Alpha(4, 0, RandomDisjointness(4, true, 1), true, 4); err == nil {
+		t.Error("ell=0 should fail")
+	}
+	if _, err := GirthAlpha(4, 3, RandomDisjointness(4, true, 1), 1); err == nil {
+		t.Error("gap=1 should fail")
+	}
+}
+
+func TestMeasureDecidesDisjointness(t *testing.T) {
+	const m = 5
+	for seed := int64(0); seed < 4; seed++ {
+		for _, intersect := range []bool{true, false} {
+			d := RandomDisjointness(m*m, intersect, seed)
+			inst, err := Directed2Eps(m, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			meas, err := Measure(inst, congest.Options{Seed: seed}, ExactMWC)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if meas.Intersects != intersect {
+				t.Errorf("seed %d: decision %v, want %v", seed, meas.Intersects, intersect)
+			}
+			if meas.CutWords == 0 {
+				t.Error("no cut traffic metered")
+			}
+			if meas.TranscriptBits != 64*meas.CutWords {
+				t.Error("transcript bits inconsistent")
+			}
+			if meas.ImpliedRounds < 1 {
+				t.Error("implied rounds must be >= 1")
+			}
+		}
+	}
+}
+
+func TestCutTrafficGrowsWithBits(t *testing.T) {
+	cut := func(m int) int {
+		d := RandomDisjointness(m*m, false, 7)
+		inst, err := Directed2Eps(m, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		meas, err := Measure(inst, congest.Options{Seed: 7}, ExactMWC)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return meas.CutWords
+	}
+	small, large := cut(4), cut(8)
+	if large <= small {
+		t.Errorf("cut words did not grow with instance size: %d vs %d", small, large)
+	}
+}

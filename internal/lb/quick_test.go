@@ -1,0 +1,87 @@
+package lb
+
+import (
+	"testing"
+	"testing/quick"
+
+	"congestmwc/internal/seq"
+)
+
+// Property: the Directed2Eps weight gap holds for arbitrary bit strings,
+// not just the random instances the other tests draw: MWC = Light iff the
+// sets intersect, and >= Heavy (or no cycle) otherwise.
+func TestDirected2EpsGapProperty(t *testing.T) {
+	const m = 4
+	prop := func(aRaw, bRaw uint16) bool {
+		d := Disjointness{A: make([]bool, m*m), B: make([]bool, m*m)}
+		for i := 0; i < m*m; i++ {
+			d.A[i] = aRaw&(1<<uint(i)) != 0
+			d.B[i] = bRaw&(1<<uint(i)) != 0
+		}
+		inst, err := Directed2Eps(m, d)
+		if err != nil {
+			return false
+		}
+		w, ok := seq.MWC(inst.Graph)
+		if d.Intersects() {
+			return ok && w == inst.Light
+		}
+		return !ok || w >= inst.Heavy
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: same for the undirected weighted family.
+func TestUndirWeighted2EpsGapProperty(t *testing.T) {
+	const m = 4
+	prop := func(aRaw, bRaw uint16, wbRaw uint8) bool {
+		wb := int64(2 + wbRaw%60)
+		d := Disjointness{A: make([]bool, m*m), B: make([]bool, m*m)}
+		for i := 0; i < m*m; i++ {
+			d.A[i] = aRaw&(1<<uint(i)) != 0
+			d.B[i] = bRaw&(1<<uint(i)) != 0
+		}
+		inst, err := UndirWeighted2Eps(m, d, wb)
+		if err != nil {
+			return false
+		}
+		w, ok := seq.MWC(inst.Graph)
+		if d.Intersects() {
+			return ok && w == inst.Light
+		}
+		return !ok || w >= inst.Heavy
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the Alpha family always contains the fallback cycle, and the
+// light cycle exactly when the sets intersect.
+func TestAlphaGapProperty(t *testing.T) {
+	const p, ell = 6, 4
+	prop := func(aRaw, bRaw uint8, directed bool) bool {
+		d := Disjointness{A: make([]bool, p), B: make([]bool, p)}
+		for i := 0; i < p; i++ {
+			d.A[i] = aRaw&(1<<uint(i)) != 0
+			d.B[i] = bRaw&(1<<uint(i)) != 0
+		}
+		inst, err := Alpha(p, ell, d, directed, 8)
+		if err != nil {
+			return false
+		}
+		w, ok := seq.MWC(inst.Graph)
+		if !ok {
+			return false // fallback cycle must always exist
+		}
+		if d.Intersects() {
+			return w <= inst.Light
+		}
+		return w >= inst.Heavy
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,97 @@
+package proto
+
+import (
+	"fmt"
+
+	"congestmwc/internal/congest"
+)
+
+// AggregateOp is an associative, commutative reduction over int64 values,
+// computable by convergecast.
+type AggregateOp int
+
+// Supported reductions.
+const (
+	OpMin AggregateOp = iota + 1
+	OpMax
+	OpSum
+)
+
+func (op AggregateOp) apply(a, b int64) int64 {
+	switch op {
+	case OpMin:
+		if b < a {
+			return b
+		}
+		return a
+	case OpMax:
+		if b > a {
+			return b
+		}
+		return a
+	default:
+		return a + b
+	}
+}
+
+// Convergecast reduces the per-node values with the given operation over
+// the tree and broadcasts the result back down, in O(D) rounds; every node
+// (and the caller) learns the result. This is the standard aggregate
+// primitive of [43] used throughout the paper ("computed by a convergecast
+// operation").
+func Convergecast(net *congest.Network, tree *Tree, op AggregateOp, value []int64) (int64, error) {
+	n := net.Graph().N()
+	if len(value) != n {
+		return 0, fmt.Errorf("proto: %d values for %d nodes", len(value), n)
+	}
+	switch op {
+	case OpMin, OpMax, OpSum:
+	default:
+		return 0, fmt.Errorf("proto: unknown aggregate op %d", int(op))
+	}
+	agg := make([]int64, n)
+	pending := make([]int, n)
+	result := make([]int64, n)
+	progs := make([]congest.Program, n)
+	for v := 0; v < n; v++ {
+		v := v
+		up := func(nd *congest.Node) {
+			if tree.Parent[v] >= 0 {
+				nd.SendTag(tree.Parent[v], tagConvergeUp, agg[v])
+				return
+			}
+			result[v] = agg[v]
+			for _, c := range tree.Children[v] {
+				nd.SendTag(c, tagConvergeDown, agg[v])
+			}
+		}
+		progs[v] = congest.Funcs{
+			OnInit: func(nd *congest.Node) {
+				agg[v] = value[v]
+				pending[v] = len(tree.Children[v])
+				if pending[v] == 0 {
+					up(nd)
+				}
+			},
+			OnDeliver: func(nd *congest.Node, d congest.Delivery) {
+				switch d.Msg.Tag {
+				case tagConvergeUp:
+					agg[v] = op.apply(agg[v], d.Msg.Words[0])
+					pending[v]--
+					if pending[v] == 0 {
+						up(nd)
+					}
+				case tagConvergeDown:
+					result[v] = d.Msg.Words[0]
+					for _, c := range tree.Children[v] {
+						nd.SendTag(c, tagConvergeDown, d.Msg.Words[0])
+					}
+				}
+			},
+		}
+	}
+	if _, err := net.Run(progs, 0); err != nil {
+		return 0, fmt.Errorf("convergecast: %w", err)
+	}
+	return result[tree.Root], nil
+}

@@ -1,0 +1,294 @@
+package proto
+
+import (
+	"container/heap"
+	"fmt"
+
+	"congestmwc/internal/congest"
+	"congestmwc/internal/graph"
+	"congestmwc/internal/seq"
+)
+
+// Direction selects how distance propagation relates to the input graph's
+// arc orientations.
+type Direction int
+
+// Traversal directions.
+const (
+	// Forward follows arc directions: the result is d(source -> v).
+	Forward Direction = iota + 1
+	// Backward follows reversed arcs: the result is d(v -> source) of the
+	// original graph, i.e. BFS in the reversed graph.
+	Backward
+	// Undirected ignores orientations.
+	Undirected
+)
+
+// MultiBFSSpec describes one run of the pipelined multi-source BFS / SSSP
+// substrate (Lenzen-Patt-Shamir style source detection, [37] in the paper).
+//
+// The protocol maintains at every node a distance estimate per field
+// (source). Estimates relax over arcs; each node forwards at most one
+// (field, dist) pair per round per link, smallest pair first. FIFO links
+// pipeline the waves, giving the O(k+h) behaviour for k-source hop-h BFS.
+type MultiBFSSpec struct {
+	// Sources lists the source vertices; field i corresponds to Sources[i].
+	// The source list is global knowledge (in the paper it is derived from
+	// shared randomness or is the full vertex set).
+	Sources []int
+	// InitDist optionally overrides the initial estimates: InitDist[v][i]
+	// is node v's starting estimate for field i (seq.Inf when absent).
+	// When set, Sources only labels the fields and may even be nil if
+	// Fields is set. Used to propagate already-known values (e.g. line 9 of
+	// Algorithm 1 floods d(u,s) from sampled vertices).
+	InitDist [][]int64
+	// Fields is the number of fields when InitDist is used with nil
+	// Sources.
+	Fields int
+	// Dir is the traversal direction.
+	Dir Direction
+	// Bound caps recorded distances: estimates above Bound are discarded
+	// (the h-hop / h-weight restriction). <= 0 means unbounded.
+	Bound int64
+	// TopSigma, when positive, stops a node from forwarding pairs that do
+	// not rank among the sigma lexicographically smallest (dist, field)
+	// pairs it knows — the source-detection cutoff used for the
+	// sqrt(n)-neighbourhood computation of Section 4.
+	TopSigma int
+	// Length gives each arc's length (clamped to >= 1); nil means unit
+	// lengths (BFS).
+	Length func(a graph.Arc) int64
+	// Stretch selects the stretched-graph simulation of Section 5:
+	// traversing an arc of length L takes L rounds, exactly as if the edge
+	// were subdivided into unit edges simulated at the tail endpoint. When
+	// false (plain weighted CONGEST), weights are data: every message
+	// crosses its edge in one round and the protocol is the pipelined
+	// distributed Bellman-Ford.
+	Stretch bool
+	// Budget caps the rounds of this run (<= 0: default).
+	Budget int
+}
+
+// MultiBFSResult holds per-node distance fields.
+type MultiBFSResult struct {
+	// Dist[v][i] is the computed distance for field i at node v (seq.Inf
+	// if unknown or beyond Bound).
+	Dist [][]int64
+	// Pred[v][i] is the neighbour from which v first obtained its final
+	// estimate (-1 for none, e.g. at the source itself). Pred edges form,
+	// per field, a tree of shortest paths.
+	Pred [][]int32
+	// Rounds consumed by this run.
+	Rounds int
+}
+
+// pairHeap is a lazy min-heap of (dist, field) pairs pending forwarding.
+type pairItem struct {
+	dist  int64
+	field int32
+}
+
+type pairHeap []pairItem
+
+func (h pairHeap) Len() int { return len(h) }
+func (h pairHeap) Less(i, j int) bool {
+	if h[i].dist != h[j].dist {
+		return h[i].dist < h[j].dist
+	}
+	return h[i].field < h[j].field
+}
+func (h pairHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *pairHeap) Push(x interface{}) { *h = append(*h, x.(pairItem)) }
+func (h *pairHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+type delayedSend struct {
+	fire int
+	to   int
+	msg  congest.Msg
+}
+
+type bfsNode struct {
+	congest.Base
+	v      int
+	spec   *MultiBFSSpec
+	dist   []int64
+	pred   []int32
+	dirty  pairHeap
+	pends  []delayedSend
+	shared *MultiBFSResult
+}
+
+func (b *bfsNode) record(field int32, d int64, from int32) bool {
+	if b.spec.Bound > 0 && d > b.spec.Bound {
+		return false
+	}
+	if d >= b.dist[field] {
+		return false
+	}
+	b.dist[field] = d
+	b.pred[field] = from
+	heap.Push(&b.dirty, pairItem{dist: d, field: field})
+	return true
+}
+
+func (b *bfsNode) Init(nd *congest.Node) {
+	k := len(b.dist)
+	if b.spec.InitDist != nil {
+		for i := 0; i < k; i++ {
+			if d := b.spec.InitDist[b.v][i]; d < seq.Inf {
+				b.record(int32(i), d, -1)
+			}
+		}
+	} else {
+		for i, s := range b.spec.Sources {
+			if s == b.v {
+				b.record(int32(i), 0, -1)
+			}
+		}
+	}
+	if len(b.dirty) > 0 {
+		nd.WakeNext()
+	}
+}
+
+func (b *bfsNode) Deliver(nd *congest.Node, d congest.Delivery) {
+	if d.Msg.Tag != tagBFSPair {
+		return
+	}
+	field := int32(d.Msg.Words[0])
+	b.record(field, d.Msg.Words[1], int32(d.From))
+}
+
+// rank returns how many known (dist, field) pairs are lexicographically
+// smaller than (d, f).
+func (b *bfsNode) rank(d int64, f int32) int {
+	count := 0
+	for i, dd := range b.dist {
+		if dd < d || (dd == d && int32(i) < f) {
+			count++
+		}
+	}
+	return count
+}
+
+func (b *bfsNode) Tick(nd *congest.Node) {
+	now := nd.Round()
+	// Flush due delayed sends (stretched-edge simulation).
+	if len(b.pends) > 0 {
+		rest := b.pends[:0]
+		for _, p := range b.pends {
+			if p.fire <= now {
+				nd.Send(p.to, p.msg)
+			} else {
+				rest = append(rest, p)
+			}
+		}
+		b.pends = rest
+	}
+	// Forward the smallest still-valid dirty pair.
+	forwarded := false
+	for len(b.dirty) > 0 && !forwarded {
+		it, _ := heap.Pop(&b.dirty).(pairItem)
+		if it.dist != b.dist[it.field] {
+			continue // stale entry
+		}
+		if b.spec.TopSigma > 0 && b.rank(it.dist, it.field) >= b.spec.TopSigma {
+			continue // beyond the sigma nearest: do not forward
+		}
+		for _, a := range arcsFor(nd, b.spec.Dir) {
+			length := int64(1)
+			if b.spec.Length != nil {
+				l := b.spec.Length(a)
+				switch {
+				case b.spec.Stretch:
+					// Stretched simulation: traversal takes max(1, l) rounds
+					// and contributes the same to the distance.
+					if l > 1 {
+						length = l
+					}
+				case l >= 0:
+					// Plain weighted relaxation: weights are data; zero is a
+					// legal arc length.
+					length = l
+				}
+			}
+			nd2 := it.dist + length
+			if b.spec.Bound > 0 && nd2 > b.spec.Bound {
+				continue
+			}
+			msg := congest.Msg{Tag: tagBFSPair, Words: []int64{int64(it.field), nd2}}
+			if length == 1 || !b.spec.Stretch {
+				nd.Send(a.To, msg)
+			} else {
+				fire := now + int(length) - 1
+				b.pends = append(b.pends, delayedSend{fire: fire, to: a.To, msg: msg})
+				nd.WakeAt(fire)
+			}
+		}
+		forwarded = true
+	}
+	if len(b.dirty) > 0 {
+		nd.WakeNext()
+	}
+	if len(b.pends) > 0 {
+		// Earliest pending send keeps the node armed.
+		minFire := b.pends[0].fire
+		for _, p := range b.pends[1:] {
+			if p.fire < minFire {
+				minFire = p.fire
+			}
+		}
+		nd.WakeAt(minFire)
+	}
+}
+
+// RunMultiBFS executes the spec on the network and returns per-node
+// distances and predecessors.
+func RunMultiBFS(net *congest.Network, spec MultiBFSSpec) (*MultiBFSResult, error) {
+	n := net.Graph().N()
+	k := len(spec.Sources)
+	if spec.InitDist != nil {
+		if len(spec.InitDist) != n {
+			return nil, fmt.Errorf("proto: InitDist has %d rows for %d nodes", len(spec.InitDist), n)
+		}
+		k = len(spec.InitDist[0])
+	} else if k == 0 {
+		return nil, fmt.Errorf("proto: no sources and no InitDist")
+	}
+	if spec.Fields > 0 && spec.Fields != k {
+		return nil, fmt.Errorf("proto: Fields=%d inconsistent with %d fields", spec.Fields, k)
+	}
+	if spec.Dir == 0 {
+		spec.Dir = Undirected
+	}
+	res := &MultiBFSResult{
+		Dist: make([][]int64, n),
+		Pred: make([][]int32, n),
+	}
+	progs := make([]congest.Program, n)
+	nodes := make([]*bfsNode, n)
+	for v := 0; v < n; v++ {
+		dist := make([]int64, k)
+		pred := make([]int32, k)
+		for i := range dist {
+			dist[i] = seq.Inf
+			pred[i] = -1
+		}
+		nodes[v] = &bfsNode{v: v, spec: &spec, dist: dist, pred: pred, shared: res}
+		res.Dist[v] = dist
+		res.Pred[v] = pred
+		progs[v] = nodes[v]
+	}
+	rounds, err := net.Run(progs, spec.Budget)
+	res.Rounds = rounds
+	if err != nil {
+		return res, fmt.Errorf("multi-bfs: %w", err)
+	}
+	return res, nil
+}

@@ -1,0 +1,198 @@
+package proto
+
+import (
+	"testing"
+	"testing/quick"
+
+	"congestmwc/internal/congest"
+	"congestmwc/internal/gen"
+	"congestmwc/internal/graph"
+	"congestmwc/internal/seq"
+)
+
+// Property: multi-source BFS equals the sequential reference on random
+// graphs, for random source sets, both directions, all graph classes.
+func TestMultiBFSAgreesWithSeqProperty(t *testing.T) {
+	prop := func(nRaw, srcRaw uint8, directed bool, seed int64) bool {
+		n := 5 + int(nRaw)%40
+		g, err := (gen.Random{N: n, P: 0.12, Directed: directed, Seed: seed}).Graph()
+		if err != nil {
+			return false
+		}
+		net, err := congest.NewNetwork(g, congest.Options{Seed: seed + 1})
+		if err != nil {
+			return false
+		}
+		sources := []int{int(srcRaw) % n, (int(srcRaw) * 7) % n}
+		if sources[0] == sources[1] {
+			sources = sources[:1]
+		}
+		res, err := RunMultiBFS(net, MultiBFSSpec{Sources: sources, Dir: Forward})
+		if err != nil {
+			return false
+		}
+		for i, s := range sources {
+			want := seq.BFS(g, s)
+			for v := 0; v < n; v++ {
+				if res.Dist[v][i] != want[v] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: weighted relaxation (non-stretched) equals Dijkstra.
+func TestMultiBFSWeightedAgreesWithDijkstraProperty(t *testing.T) {
+	prop := func(nRaw uint8, seed int64) bool {
+		n := 5 + int(nRaw)%30
+		g, err := (gen.Random{N: n, P: 0.15, Directed: true, Weighted: true,
+			MaxW: 12, Seed: seed}).Graph()
+		if err != nil {
+			return false
+		}
+		net, err := congest.NewNetwork(g, congest.Options{Seed: seed})
+		if err != nil {
+			return false
+		}
+		res, err := RunMultiBFS(net, MultiBFSSpec{
+			Sources: []int{0},
+			Dir:     Forward,
+			Length:  func(a graph.Arc) int64 { return a.Weight },
+		})
+		if err != nil {
+			return false
+		}
+		want := seq.Dijkstra(g, 0)
+		for v := 0; v < n; v++ {
+			if res.Dist[v][0] != want[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the approximate hop-bounded SSSP brackets the true distance:
+// d <= d' <= (1+eps) d (+1 rounding) for pairs whose shortest paths fit the
+// hop budget.
+func TestApproxHopSSSPBracketsProperty(t *testing.T) {
+	const eps = 0.5
+	prop := func(nRaw uint8, seed int64) bool {
+		n := 5 + int(nRaw)%25
+		g, err := (gen.Random{N: n, P: 0.15, Weighted: true, MaxW: 16, Seed: seed}).Graph()
+		if err != nil {
+			return false
+		}
+		net, err := congest.NewNetwork(g, congest.Options{Seed: seed})
+		if err != nil {
+			return false
+		}
+		res, err := RunApproxHopSSSP(net, ApproxHopSSSPSpec{
+			Sources: []int{0}, H: n, Eps: eps, Dir: Undirected,
+		})
+		if err != nil {
+			return false
+		}
+		want := seq.Dijkstra(g, 0)
+		for v := 0; v < n; v++ {
+			got := res.Dist[v][0]
+			if want[v] >= seq.Inf {
+				if got < seq.Inf {
+					return false
+				}
+				continue
+			}
+			if got < want[v] || float64(got) > (1+eps)*float64(want[v])+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: broadcast delivers every record to every node exactly once.
+func TestBroadcastCompletenessProperty(t *testing.T) {
+	prop := func(nRaw uint8, mRaw uint8, seed int64) bool {
+		n := 3 + int(nRaw)%30
+		g, err := (gen.Random{N: n, P: 0.1, Seed: seed}).Graph()
+		if err != nil {
+			return false
+		}
+		net, err := congest.NewNetwork(g, congest.Options{Seed: seed})
+		if err != nil {
+			return false
+		}
+		tree, err := BuildTree(net, 0)
+		if err != nil {
+			return false
+		}
+		total := 0
+		values := make([][][]int64, n)
+		for v := 0; v < n && total < int(mRaw)%20; v++ {
+			values[v] = [][]int64{{int64(v)}}
+			total++
+		}
+		out, err := Broadcast(net, tree, values)
+		if err != nil {
+			return false
+		}
+		for v := 0; v < n; v++ {
+			if len(out[v]) != total {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: plain weighted relaxation handles zero-weight edges exactly
+// (they are data, not delays).
+func TestMultiBFSZeroWeightsProperty(t *testing.T) {
+	prop := func(nRaw uint8, seed int64) bool {
+		n := 4 + int(nRaw)%20
+		g, err := (gen.Random{N: n, P: 0.2, Weighted: true, MaxW: 5, Seed: seed}).Graph()
+		if err != nil {
+			return false
+		}
+		// Zero out every third edge.
+		zg, err := g.ScaleWeights(func(w int64) int64 { return w % 3 })
+		if err != nil {
+			return false
+		}
+		net, err := congest.NewNetwork(zg, congest.Options{Seed: seed})
+		if err != nil {
+			return false
+		}
+		res, err := RunMultiBFS(net, MultiBFSSpec{
+			Sources: []int{0}, Dir: Undirected,
+			Length: func(a graph.Arc) int64 { return a.Weight },
+		})
+		if err != nil {
+			return false
+		}
+		want := seq.Dijkstra(zg, 0)
+		for v := 0; v < n; v++ {
+			if res.Dist[v][0] != want[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,298 @@
+package seq
+
+import (
+	"math/rand"
+	"testing"
+
+	"congestmwc/internal/gen"
+	"congestmwc/internal/graph"
+)
+
+func TestBFSPath(t *testing.T) {
+	g := gen.Path(5)
+	dist := BFS(g, 0)
+	for v := 0; v < 5; v++ {
+		if dist[v] != int64(v) {
+			t.Errorf("dist[%d] = %d, want %d", v, dist[v], v)
+		}
+	}
+}
+
+func TestBFSDirectedUnreachable(t *testing.T) {
+	g := graph.MustBuild(3, []graph.Edge{{From: 0, To: 1}, {From: 2, To: 1}},
+		graph.Options{Directed: true})
+	dist := BFS(g, 0)
+	if dist[1] != 1 {
+		t.Errorf("dist[1] = %d, want 1", dist[1])
+	}
+	if dist[2] != Inf {
+		t.Errorf("dist[2] = %d, want Inf", dist[2])
+	}
+	// Communication BFS ignores direction.
+	cd := BFSComm(g, 0)
+	if cd[2] != 2 {
+		t.Errorf("comm dist[2] = %d, want 2", cd[2])
+	}
+}
+
+func TestDijkstraAgreesWithBFSOnUnitWeights(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		g, err := (gen.Random{N: 40, P: 0.1, Directed: seed%2 == 0, Seed: seed}).Graph()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for src := 0; src < g.N(); src += 7 {
+			b := BFS(g, src)
+			d := Dijkstra(g, src)
+			for v := range b {
+				if b[v] != d[v] {
+					t.Fatalf("seed %d src %d v %d: BFS %d != Dijkstra %d", seed, src, v, b[v], d[v])
+				}
+			}
+		}
+	}
+}
+
+func TestDijkstraKnownDistances(t *testing.T) {
+	// 0 -5-> 1 -1-> 2, 0 -10-> 2 : d(0,2) = 6 via 1.
+	g := graph.MustBuild(3, []graph.Edge{
+		{From: 0, To: 1, Weight: 5},
+		{From: 1, To: 2, Weight: 1},
+		{From: 0, To: 2, Weight: 10},
+	}, graph.Options{Directed: true, Weighted: true})
+	dist := Dijkstra(g, 0)
+	want := []int64{0, 5, 6}
+	for v, w := range want {
+		if dist[v] != w {
+			t.Errorf("dist[%d] = %d, want %d", v, dist[v], w)
+		}
+	}
+}
+
+func TestHopBounded(t *testing.T) {
+	// Cheap long path vs expensive direct edge: hop budget decides.
+	g := graph.MustBuild(4, []graph.Edge{
+		{From: 0, To: 1, Weight: 1},
+		{From: 1, To: 2, Weight: 1},
+		{From: 2, To: 3, Weight: 1},
+		{From: 0, To: 3, Weight: 10},
+	}, graph.Options{Directed: true, Weighted: true})
+	if d := HopBounded(g, 0, 1); d[3] != 10 {
+		t.Errorf("1-hop d(0,3) = %d, want 10", d[3])
+	}
+	if d := HopBounded(g, 0, 2); d[3] != 10 {
+		t.Errorf("2-hop d(0,3) = %d, want 10", d[3])
+	}
+	if d := HopBounded(g, 0, 3); d[3] != 3 {
+		t.Errorf("3-hop d(0,3) = %d, want 3", d[3])
+	}
+	if d := HopBounded(g, 0, 0); d[1] != Inf || d[0] != 0 {
+		t.Errorf("0-hop distances wrong: %v", d)
+	}
+}
+
+func TestHopBoundedConvergesToDijkstra(t *testing.T) {
+	g, err := (gen.Random{N: 30, P: 0.15, Directed: true, Weighted: true, MaxW: 20, Seed: 3}).Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for src := 0; src < g.N(); src += 5 {
+		hb := HopBounded(g, src, g.N())
+		dj := Dijkstra(g, src)
+		for v := range hb {
+			if hb[v] != dj[v] {
+				t.Fatalf("src %d v %d: hop-bounded %d != dijkstra %d", src, v, hb[v], dj[v])
+			}
+		}
+	}
+}
+
+func TestMWCKnownCases(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *graph.Graph
+		want int64
+		ok   bool
+	}{
+		{name: "directed triangle", g: gen.Ring(3, true, false, 1), want: 3, ok: true},
+		{name: "undirected triangle", g: gen.Ring(3, false, false, 1), want: 3, ok: true},
+		{name: "directed 2-cycle", g: graph.MustBuild(2, []graph.Edge{
+			{From: 0, To: 1}, {From: 1, To: 0}}, graph.Options{Directed: true}), want: 2, ok: true},
+		{name: "acyclic directed path", g: graph.MustBuild(3, []graph.Edge{
+			{From: 0, To: 1}, {From: 1, To: 2}}, graph.Options{Directed: true}), ok: false},
+		{name: "tree has no cycle", g: gen.Path(6), ok: false},
+		{name: "weighted directed ring", g: gen.Ring(4, true, true, 7), want: 28, ok: true},
+		{name: "weighted undirected ring", g: gen.Ring(5, false, true, 3), want: 15, ok: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, ok := MWC(tt.g)
+			if ok != tt.ok || (ok && got != tt.want) {
+				t.Errorf("MWC() = (%d,%v), want (%d,%v)", got, ok, tt.want, tt.ok)
+			}
+		})
+	}
+}
+
+func TestMWCUndirectedNoEdgeReuse(t *testing.T) {
+	// Two vertices joined by one weighted edge: no cycle (an edge walked
+	// back and forth is not a cycle).
+	g := graph.MustBuild(2, []graph.Edge{{From: 0, To: 1, Weight: 5}},
+		graph.Options{Weighted: true})
+	if _, ok := MWC(g); ok {
+		t.Error("single undirected edge must not yield a cycle")
+	}
+	// Two parallel routes of different weight: cycle uses both.
+	g2 := graph.MustBuild(3, []graph.Edge{
+		{From: 0, To: 1, Weight: 1},
+		{From: 1, To: 2, Weight: 1},
+		{From: 0, To: 2, Weight: 5},
+	}, graph.Options{Weighted: true})
+	got, ok := MWC(g2)
+	if !ok || got != 7 {
+		t.Errorf("MWC = (%d,%v), want (7,true)", got, ok)
+	}
+}
+
+func TestMWCMatchesPlanted(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		for _, directed := range []bool{false, true} {
+			for _, weighted := range []bool{false, true} {
+				p := gen.PlantedCycle{
+					N: 40, CycleLen: 5, CycleW: 37, Directed: directed,
+					Weighted: weighted, BackgroundDeg: 2, Seed: seed,
+				}
+				g, want, err := p.Graph()
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, ok := MWC(g)
+				if !ok || got != want {
+					t.Errorf("seed %d dir=%v w=%v: MWC = (%d,%v), want (%d,true)",
+						seed, directed, weighted, got, ok, want)
+				}
+			}
+		}
+	}
+}
+
+// Brute-force MWC by DFS enumeration of simple cycles, for cross-checking on
+// tiny graphs.
+func bruteMWC(g *graph.Graph) (int64, bool) {
+	best := Inf
+	n := g.N()
+	onPath := make([]bool, n)
+	var dfs func(start, v int, weight int64, hops int)
+	dfs = func(start, v int, weight int64, hops int) {
+		for _, a := range g.Out(v) {
+			if a.To == start && hops >= 1 {
+				// For undirected graphs a single edge back is not a cycle
+				// unless we used a different edge to leave start.
+				if !g.Directed() && hops == 1 {
+					continue
+				}
+				if weight+a.Weight < best {
+					best = weight + a.Weight
+				}
+				continue
+			}
+			if a.To < start || onPath[a.To] {
+				continue // canonical: cycles rooted at their min vertex
+			}
+			onPath[a.To] = true
+			dfs(start, a.To, weight+a.Weight, hops+1)
+			onPath[a.To] = false
+		}
+	}
+	for s := 0; s < n; s++ {
+		onPath[s] = true
+		dfs(s, s, 0, 0)
+		onPath[s] = false
+	}
+	if best >= Inf {
+		return 0, false
+	}
+	return best, true
+}
+
+func TestMWCAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 120; trial++ {
+		n := 3 + rng.Intn(6)
+		directed := trial%2 == 0
+		weighted := trial%4 < 2
+		g, err := (gen.Random{
+			N: n, P: 0.4, Directed: directed, Weighted: weighted,
+			MaxW: 9, Seed: int64(trial),
+		}).Graph()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, gok := MWC(g)
+		want, wok := bruteMWC(g)
+		if gok != wok || (gok && got != want) {
+			t.Fatalf("trial %d (dir=%v w=%v n=%d): MWC = (%d,%v), brute = (%d,%v)",
+				trial, directed, weighted, n, got, gok, want, wok)
+		}
+	}
+}
+
+func TestMWCThrough(t *testing.T) {
+	// Triangle 0-1-2 (weight 3) plus a pendant 3: no cycle through 3.
+	g := graph.MustBuild(4, []graph.Edge{
+		{From: 0, To: 1}, {From: 1, To: 2}, {From: 0, To: 2}, {From: 2, To: 3},
+	}, graph.Options{})
+	if w, ok := MWCThrough(g, 0); !ok || w != 3 {
+		t.Errorf("MWCThrough(0) = (%d,%v), want (3,true)", w, ok)
+	}
+	if _, ok := MWCThrough(g, 3); ok {
+		t.Error("no cycle passes through pendant vertex 3")
+	}
+}
+
+func TestMWCThroughDirected(t *testing.T) {
+	// 2-cycle 0<->1 (weight 2) and triangle 0->2->3->0 (weight 3).
+	g := graph.MustBuild(4, []graph.Edge{
+		{From: 0, To: 1}, {From: 1, To: 0},
+		{From: 0, To: 2}, {From: 2, To: 3}, {From: 3, To: 0},
+	}, graph.Options{Directed: true})
+	if w, ok := MWCThrough(g, 2); !ok || w != 3 {
+		t.Errorf("MWCThrough(2) = (%d,%v), want (3,true)", w, ok)
+	}
+	if w, ok := MWCThrough(g, 1); !ok || w != 2 {
+		t.Errorf("MWCThrough(1) = (%d,%v), want (2,true)", w, ok)
+	}
+}
+
+func TestHopMWC(t *testing.T) {
+	// Directed: 2-cycle of weight 20 and a 4-cycle of weight 4.
+	g := graph.MustBuild(5, []graph.Edge{
+		{From: 0, To: 1, Weight: 10}, {From: 1, To: 0, Weight: 10},
+		{From: 1, To: 2, Weight: 1}, {From: 2, To: 3, Weight: 1},
+		{From: 3, To: 4, Weight: 1}, {From: 4, To: 1, Weight: 1},
+	}, graph.Options{Directed: true, Weighted: true})
+	if w, ok := HopMWC(g, 2); !ok || w != 20 {
+		t.Errorf("HopMWC(2) = (%d,%v), want (20,true)", w, ok)
+	}
+	if w, ok := HopMWC(g, 4); !ok || w != 4 {
+		t.Errorf("HopMWC(4) = (%d,%v), want (4,true)", w, ok)
+	}
+	if _, ok := HopMWC(g, 1); ok {
+		t.Error("no 1-hop cycle exists")
+	}
+}
+
+func TestHopMWCMatchesMWCAtFullBudget(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		g, err := (gen.Random{N: 20, P: 0.2, Directed: seed%2 == 0, Weighted: true,
+			MaxW: 10, Seed: seed}).Graph()
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, fok := MWC(g)
+		hop, hok := HopMWC(g, g.N())
+		if fok != hok || (fok && full != hop) {
+			t.Errorf("seed %d: MWC (%d,%v) != HopMWC@n (%d,%v)", seed, full, fok, hop, hok)
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package seq
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+
+	"congestmwc/internal/graph"
+)
+
+func popItem(q *pq) pqItem {
+	item, _ := heap.Pop(q).(pqItem)
+	return item
+}
+
+func pushItem(q *pq, it pqItem) { heap.Push(q, it) }
+
+// ErrNotCycle reports that a vertex sequence is not a simple cycle of the
+// graph.
+var ErrNotCycle = errors.New("seq: not a simple cycle")
+
+// VerifyCycle checks that the vertex sequence (each vertex listed once; the
+// closing edge back to cycle[0] is implicit) is a simple cycle of g and
+// returns its weight. For undirected graphs a 2-vertex sequence is rejected
+// (an edge walked back and forth is not a cycle).
+func VerifyCycle(g *graph.Graph, cycle []int) (int64, error) {
+	minLen := 3
+	if g.Directed() {
+		minLen = 2
+	}
+	if len(cycle) < minLen {
+		return 0, fmt.Errorf("%w: %d vertices", ErrNotCycle, len(cycle))
+	}
+	seen := make(map[int]bool, len(cycle))
+	for _, v := range cycle {
+		if v < 0 || v >= g.N() {
+			return 0, fmt.Errorf("%w: vertex %d out of range", ErrNotCycle, v)
+		}
+		if seen[v] {
+			return 0, fmt.Errorf("%w: vertex %d repeated", ErrNotCycle, v)
+		}
+		seen[v] = true
+	}
+	var total int64
+	for i, u := range cycle {
+		v := cycle[(i+1)%len(cycle)]
+		w, ok := arcWeight(g, u, v)
+		if !ok {
+			return 0, fmt.Errorf("%w: missing edge (%d,%d)", ErrNotCycle, u, v)
+		}
+		total += w
+	}
+	return total, nil
+}
+
+func arcWeight(g *graph.Graph, u, v int) (int64, bool) {
+	for _, a := range g.Out(u) {
+		if a.To == v {
+			return a.Weight, true
+		}
+	}
+	return 0, false
+}
+
+// MWCWitness returns a minimum weight cycle of g as a vertex sequence,
+// together with its weight; found is false for acyclic graphs. The returned
+// sequence always satisfies VerifyCycle with the returned weight.
+func MWCWitness(g *graph.Graph) (cycle []int, weight int64, found bool) {
+	best := Inf
+	var bestCycle []int
+	if g.Directed() {
+		for v := 0; v < g.N(); v++ {
+			if len(g.In(v)) == 0 {
+				continue
+			}
+			dist, pred := dijkstraPred(g, v, -1)
+			for _, a := range g.In(v) {
+				u := a.To
+				if dist[u] >= Inf || a.Weight+dist[u] >= best {
+					continue
+				}
+				best = a.Weight + dist[u]
+				bestCycle = pathTo(pred, v, u) // v ... u; closing arc (u,v) implicit
+			}
+		}
+	} else {
+		for id, e := range g.Edges() {
+			dist, pred := dijkstraPred(g, e.From, id)
+			if dist[e.To] >= Inf || e.Weight+dist[e.To] >= best {
+				continue
+			}
+			best = e.Weight + dist[e.To]
+			bestCycle = pathTo(pred, e.From, e.To) // From ... To; closing edge implicit
+		}
+	}
+	if best >= Inf {
+		return nil, 0, false
+	}
+	return bestCycle, best, true
+}
+
+// dijkstraPred is Dijkstra with predecessor tracking, skipping edge
+// skipEdge (-1 keeps all edges).
+func dijkstraPred(g *graph.Graph, src, skipEdge int) ([]int64, []int32) {
+	dist := make([]int64, g.N())
+	pred := make([]int32, g.N())
+	for i := range dist {
+		dist[i] = Inf
+		pred[i] = -1
+	}
+	dist[src] = 0
+	q := &pq{{v: src, dist: 0}}
+	for q.Len() > 0 {
+		item := popItem(q)
+		if item.dist > dist[item.v] {
+			continue
+		}
+		for _, a := range g.Out(item.v) {
+			if a.EdgeID == skipEdge {
+				continue
+			}
+			if nd := item.dist + a.Weight; nd < dist[a.To] {
+				dist[a.To] = nd
+				pred[a.To] = int32(item.v)
+				pushItem(q, pqItem{v: a.To, dist: nd})
+			}
+		}
+	}
+	return dist, pred
+}
+
+// pathTo reconstructs src ... dst from predecessor pointers.
+func pathTo(pred []int32, src, dst int) []int {
+	var rev []int
+	for v := dst; v != src; v = int(pred[v]) {
+		rev = append(rev, v)
+		if pred[v] < 0 {
+			return nil
+		}
+	}
+	rev = append(rev, src)
+	out := make([]int, len(rev))
+	for i, v := range rev {
+		out[len(rev)-1-i] = v
+	}
+	return out
+}

@@ -1,0 +1,81 @@
+package seq
+
+import (
+	"errors"
+	"testing"
+
+	"congestmwc/internal/gen"
+	"congestmwc/internal/graph"
+)
+
+func TestVerifyCycleValid(t *testing.T) {
+	g := gen.Ring(5, true, false, 1)
+	w, err := VerifyCycle(g, []int{0, 1, 2, 3, 4})
+	if err != nil || w != 5 {
+		t.Errorf("VerifyCycle = (%d,%v), want (5,nil)", w, err)
+	}
+}
+
+func TestVerifyCycleRejections(t *testing.T) {
+	ring := gen.Ring(5, true, false, 1)
+	und := gen.Ring(5, false, false, 1)
+	tests := []struct {
+		name  string
+		g     *graph.Graph
+		cycle []int
+	}{
+		{name: "too short directed", g: ring, cycle: []int{0}},
+		{name: "two vertices undirected", g: und, cycle: []int{0, 1}},
+		{name: "repeated vertex", g: ring, cycle: []int{0, 1, 0, 1, 2}},
+		{name: "out of range", g: ring, cycle: []int{0, 1, 9}},
+		{name: "missing edge", g: ring, cycle: []int{0, 2, 4}},
+		{name: "wrong direction", g: ring, cycle: []int{4, 3, 2, 1, 0}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := VerifyCycle(tt.g, tt.cycle); !errors.Is(err, ErrNotCycle) {
+				t.Errorf("error = %v, want ErrNotCycle", err)
+			}
+		})
+	}
+}
+
+func TestMWCWitnessMatchesMWC(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		for _, directed := range []bool{false, true} {
+			for _, weighted := range []bool{false, true} {
+				g, err := (gen.Random{
+					N: 25, P: 0.1, Directed: directed, Weighted: weighted,
+					MaxW: 7, Seed: seed,
+				}).Graph()
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, ok := MWC(g)
+				cycle, weight, found := MWCWitness(g)
+				if found != ok {
+					t.Fatalf("seed %d dir=%v w=%v: found=%v ok=%v", seed, directed, weighted, found, ok)
+				}
+				if !found {
+					continue
+				}
+				if weight != want {
+					t.Errorf("seed %d: witness weight %d != MWC %d", seed, weight, want)
+				}
+				vw, err := VerifyCycle(g, cycle)
+				if err != nil {
+					t.Errorf("seed %d: witness invalid: %v", seed, err)
+				} else if vw != want {
+					t.Errorf("seed %d: verified weight %d != MWC %d", seed, vw, want)
+				}
+			}
+		}
+	}
+}
+
+func TestMWCWitnessAcyclic(t *testing.T) {
+	g := gen.Path(5)
+	if _, _, found := MWCWitness(g); found {
+		t.Error("witness found in a tree")
+	}
+}

@@ -1,0 +1,30 @@
+package wmwc
+
+import (
+	"testing"
+
+	"congestmwc/internal/conformance"
+	"congestmwc/internal/congest"
+)
+
+func TestConformanceRunUndirected(t *testing.T) {
+	algo := func(net *congest.Network) (int64, bool, error) {
+		res, err := Run(net, Spec{Eps: 0.5, SampleFactor: 4})
+		if err != nil {
+			return 0, false, err
+		}
+		return res.Weight, res.Found, nil
+	}
+	conformance.Check(t, false, true, algo, 2.5, 2, 2)
+}
+
+func TestConformanceRunDirected(t *testing.T) {
+	algo := func(net *congest.Network) (int64, bool, error) {
+		res, err := Run(net, Spec{Eps: 0.5, SampleFactor: 4})
+		if err != nil {
+			return 0, false, err
+		}
+		return res.Weight, res.Found, nil
+	}
+	conformance.Check(t, true, true, algo, 2.5, 2, 2)
+}

@@ -1,0 +1,23 @@
+#!/bin/bash
+set -e
+cd "$(dirname "$0")/.."
+out=experiments_raw.txt
+: > $out
+go build -o /tmp/mwcbench ./cmd/mwcbench
+for exp in T1-GIRTH-2APX T1-GIRTH-EX; do
+  /tmp/mwcbench -exp $exp -sizes 64,128,256,512 -reps 3 >> $out
+done
+for exp in T1-DIR-EX T1-UW-EX T6-KBFS; do
+  /tmp/mwcbench -exp $exp -sizes 64,128,256,384 -reps 2 >> $out
+done
+for exp in T1-DIR-2APX T6-KSSSP; do
+  /tmp/mwcbench -exp $exp -sizes 48,96,192,288 -reps 2 >> $out
+done
+for exp in T1-DIR-W2APX T1-UW-2APX; do
+  /tmp/mwcbench -exp $exp -sizes 48,96,144,216 -reps 2 >> $out
+done
+/tmp/mwcbench -exp T1-DIR-LB2 -scales 4,6,8,12,16 >> $out
+/tmp/mwcbench -exp T1-UW-LB2 -scales 4,6,8,12 >> $out
+/tmp/mwcbench -exp T1-DIR-LBA -scales 4,6,8,12 >> $out
+/tmp/mwcbench -exp T1-GIRTH-LBA -scales 3,4,6,8 >> $out
+echo EXPERIMENTS-COMPLETE >> $out

@@ -1,0 +1,12 @@
+#!/bin/bash
+set -e
+cd "$(dirname "$0")/.."
+out=experiments_supp.txt
+: > $out
+go build -o /tmp/mwcbench ./cmd/mwcbench
+echo "# Supplementary: larger sizes / reduced sampling constant (leaving the saturated regime)" >> $out
+/tmp/mwcbench -exp T1-GIRTH-2APX -sizes 256,512,1024,2048 -reps 2 >> $out
+/tmp/mwcbench -exp T1-GIRTH-2APX -sizes 256,512,1024,2048 -reps 2 -factor 1 >> $out
+/tmp/mwcbench -exp T1-DIR-2APX -sizes 96,192,384 -reps 2 -factor 1 >> $out
+/tmp/mwcbench -exp T1-GIRTH-EX -sizes 256,512,1024,2048 -reps 2 >> $out
+echo SUPP-COMPLETE >> $out

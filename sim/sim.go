@@ -1,0 +1,114 @@
+// Package sim exposes the CONGEST-model simulator that powers congestmwc,
+// so downstream users can write and cost their own distributed algorithms
+// against the same substrate the paper's algorithms run on.
+//
+// A network is built from a congestmwc graph; algorithms are one Program
+// per node, driven by Init / Deliver / Tick handlers that see only
+// node-local state. Per round, each link carries Bandwidth words (default
+// 4, the concrete stand-in for one Theta(log n)-bit message); larger
+// messages fragment and honestly occupy their link for multiple rounds;
+// links are FIFO, so pipelined protocols get their textbook round counts.
+// Run executes to quiescence and returns the rounds consumed — the CONGEST
+// complexity measure.
+//
+// See docs/TUTORIAL.md for a worked example, and package proto-level
+// building blocks via the congestmwc top-level functions.
+package sim
+
+import (
+	"fmt"
+
+	"congestmwc"
+	"congestmwc/internal/congest"
+	"congestmwc/internal/graph"
+)
+
+// Core simulator types, shared with the algorithms in this module.
+type (
+	// Program is the per-node logic of a distributed algorithm.
+	Program = congest.Program
+	// Node is the node-local view handed to Program handlers.
+	Node = congest.Node
+	// Msg is one CONGEST message: a tag plus payload words.
+	Msg = congest.Msg
+	// Delivery is a received message together with its sender.
+	Delivery = congest.Delivery
+	// Base is a Program with no-op handlers, for embedding.
+	Base = congest.Base
+	// Funcs adapts plain functions to the Program interface.
+	Funcs = congest.Funcs
+	// Stats accumulates rounds, messages and words across runs.
+	Stats = congest.Stats
+	// Observer receives simulation events (see TraceWriter).
+	Observer = congest.Observer
+	// TraceWriter logs deliveries as compact text.
+	TraceWriter = congest.TraceWriter
+	// CountingObserver tallies events without recording them.
+	CountingObserver = congest.CountingObserver
+)
+
+// Network is a CONGEST network ready to run Programs.
+type Network struct {
+	net *congest.Network
+	n   int
+}
+
+// New builds a network over the communication graph of g (the undirected
+// closure of its edges; it must be connected).
+func New(g *congestmwc.Graph, opts congestmwc.Options) (*Network, error) {
+	if g == nil {
+		return nil, fmt.Errorf("sim: nil graph")
+	}
+	edges := g.Edges()
+	ge := make([]graph.Edge, len(edges))
+	for i, e := range edges {
+		ge[i] = graph.Edge{From: e.From, To: e.To, Weight: e.Weight}
+	}
+	inner, err := graph.Build(g.N(), ge, graph.Options{
+		Directed: g.Class() == congestmwc.Directed || g.Class() == congestmwc.DirectedWeighted,
+		Weighted: g.Class() == congestmwc.UndirectedWeighted || g.Class() == congestmwc.DirectedWeighted,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	net, err := congest.NewNetwork(inner, congest.Options{
+		Bandwidth: opts.Bandwidth,
+		Seed:      opts.Seed,
+		Parallel:  opts.Parallel,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	return &Network{net: net, n: g.N()}, nil
+}
+
+// Run executes one Program per node until quiescence (no queued traffic,
+// no pending wake-ups) and returns the rounds consumed. Call it repeatedly
+// to sequence the phases of a composite algorithm; statistics accumulate.
+func (nw *Network) Run(progs []Program) (int, error) {
+	rounds, err := nw.net.Run(progs, 0)
+	if err != nil {
+		return rounds, fmt.Errorf("sim: %w", err)
+	}
+	return rounds, nil
+}
+
+// RunUniform runs the same Program value on every node (the Program must
+// then key its state by nd.ID(), as the shared-slice pattern in
+// docs/TUTORIAL.md does).
+func (nw *Network) RunUniform(p Program) (int, error) {
+	progs := make([]Program, nw.n)
+	for i := range progs {
+		progs[i] = p
+	}
+	return nw.Run(progs)
+}
+
+// Stats returns the accumulated cost counters.
+func (nw *Network) Stats() Stats { return nw.net.Stats() }
+
+// Round returns the current global round number.
+func (nw *Network) Round() int { return nw.net.Round() }
+
+// SetObserver installs an event observer (nil removes it).
+func (nw *Network) SetObserver(obs Observer) { nw.net.SetObserver(obs) }

@@ -1,0 +1,77 @@
+package congestmwc
+
+import (
+	"fmt"
+
+	"congestmwc/internal/congest"
+	"congestmwc/internal/ksssp"
+	"congestmwc/internal/proto"
+)
+
+// SSSPResult reports a multi-source distance computation.
+type SSSPResult struct {
+	// Dist[v][i] is the distance from Sources[i] to v (Inf when
+	// unreachable). Distances follow arc directions on directed graphs.
+	Dist [][]int64
+	// Sources echoes the requested sources.
+	Sources []int
+	// Rounds, Messages, Words: CONGEST cost of the computation.
+	Rounds, Messages, Words int
+}
+
+// KSourceBFS computes exact hop distances from the given sources on an
+// unweighted graph, using Algorithm 1 of the paper (skeleton-graph
+// multi-source BFS, O~(sqrt(nk) + D) rounds for k >= n^{1/3} sources;
+// Theorem 1.6.A).
+func KSourceBFS(g *Graph, sources []int, opts Options) (*SSSPResult, error) {
+	if g.class != Undirected && g.class != Directed {
+		return nil, fmt.Errorf("congestmwc: KSourceBFS needs an unweighted graph; use KSourceSSSP")
+	}
+	return runKSSSP(g, sources, 0, opts)
+}
+
+// KSourceSSSP computes (1+eps)-approximate weighted distances from the
+// given sources (Theorem 1.6.B). Estimates never underestimate the true
+// distance.
+func KSourceSSSP(g *Graph, sources []int, eps float64, opts Options) (*SSSPResult, error) {
+	if g.class != UndirectedWeighted && g.class != DirectedWeighted {
+		return nil, fmt.Errorf("congestmwc: KSourceSSSP needs a weighted graph; use KSourceBFS")
+	}
+	if eps <= 0 {
+		return nil, fmt.Errorf("congestmwc: eps must be positive, got %v", eps)
+	}
+	return runKSSSP(g, sources, eps, opts)
+}
+
+func runKSSSP(g *Graph, sources []int, eps float64, opts Options) (*SSSPResult, error) {
+	if len(sources) == 0 {
+		return nil, fmt.Errorf("congestmwc: no sources")
+	}
+	for _, s := range sources {
+		if s < 0 || s >= g.N() {
+			return nil, fmt.Errorf("congestmwc: source %d out of range [0,%d)", s, g.N())
+		}
+	}
+	net, err := congest.NewNetwork(g.g, opts.netOptions())
+	if err != nil {
+		return nil, fmt.Errorf("congestmwc: %w", err)
+	}
+	res, err := ksssp.Run(net, ksssp.Spec{
+		Sources:      sources,
+		Eps:          eps,
+		Dir:          proto.Forward,
+		SampleFactor: opts.SampleFactor,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("congestmwc: %w", err)
+	}
+	stats := net.Stats()
+	out := &SSSPResult{
+		Dist:     res.Dist,
+		Sources:  append([]int(nil), sources...),
+		Rounds:   stats.Rounds,
+		Messages: stats.Messages,
+		Words:    stats.Words,
+	}
+	return out, nil
+}

@@ -1,0 +1,206 @@
+package congestmwc
+
+// Failure-injection and edge-case integration tests: starved bandwidth,
+// minimum-size networks, dense graphs, extreme weights, and repeated runs
+// on one network. These exercise configurations outside the benchmark
+// sweet spot where transport queueing, fragmentation and sampling corner
+// cases are most likely to misbehave.
+
+import (
+	"testing"
+)
+
+func TestBandwidthStarvation(t *testing.T) {
+	// Bandwidth 1: every message fragments (even a bare tag plus one word
+	// takes 2 rounds). Results must stay correct, only rounds grow.
+	g := randomGraph(t, 30, 0.08, Directed, 0, 21)
+	want, wantErr := ReferenceMWC(g)
+	if wantErr != nil {
+		t.Skip("instance acyclic")
+	}
+	wide, err := ApproxMWC(g, Options{Seed: 5, SampleFactor: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	narrow, err := ApproxMWC(g, Options{Seed: 5, SampleFactor: 4, Bandwidth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !narrow.Found || narrow.Weight < want || narrow.Weight > 2*want {
+		t.Errorf("starved run broke correctness: (%d,%v) vs MWC %d",
+			narrow.Weight, narrow.Found, want)
+	}
+	if narrow.Rounds <= wide.Rounds {
+		t.Errorf("bandwidth 1 should cost more rounds: %d vs %d", narrow.Rounds, wide.Rounds)
+	}
+}
+
+func TestMinimumNetworks(t *testing.T) {
+	// Two nodes, one directed edge: connected communication, no cycle.
+	g2, err := NewGraph(2, []Edge{{From: 0, To: 1}}, Directed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, run := range map[string]func() (*Result, error){
+		"approx": func() (*Result, error) { return ApproxMWC(g2, Options{Seed: 1}) },
+		"exact":  func() (*Result, error) { return ExactMWC(g2, Options{Seed: 1}) },
+	} {
+		res, err := run()
+		if err != nil {
+			t.Fatalf("%s on 2-node digraph: %v", name, err)
+		}
+		if res.Found {
+			t.Errorf("%s found a cycle in a single directed edge", name)
+		}
+	}
+	// Two nodes, anti-parallel arcs: MWC = 2.
+	g2c, err := NewGraph(2, []Edge{{From: 0, To: 1}, {From: 1, To: 0}}, Directed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ExactMWC(g2c, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found || res.Weight != 2 {
+		t.Errorf("2-cycle: got (%d,%v), want (2,true)", res.Weight, res.Found)
+	}
+	// Triangle: smallest undirected cycle.
+	g3, err := NewGraph(3, []Edge{{From: 0, To: 1}, {From: 1, To: 2}, {From: 0, To: 2}}, Undirected)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ares, err := ApproxMWC(g3, Options{Seed: 2, SampleFactor: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ares.Found || ares.Weight < 3 || ares.Weight > 5 {
+		t.Errorf("triangle: got (%d,%v), want weight in [3,5]", ares.Weight, ares.Found)
+	}
+}
+
+func TestDenseGraph(t *testing.T) {
+	// Near-complete digraph: MWC is a 2-cycle with overwhelming probability;
+	// heavy congestion stresses the overflow machinery.
+	g := randomGraph(t, 40, 0.5, Directed, 0, 31)
+	want, err := ReferenceMWC(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ApproxMWC(g, Options{Seed: 3, SampleFactor: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found || res.Weight < want || res.Weight > 2*want {
+		t.Errorf("dense: got (%d,%v) vs MWC %d", res.Weight, res.Found, want)
+	}
+}
+
+func TestExtremeWeights(t *testing.T) {
+	// Weights spanning five orders of magnitude: scaling must stay sound.
+	edges := []Edge{
+		{From: 0, To: 1, Weight: 1},
+		{From: 1, To: 2, Weight: 100_000},
+		{From: 2, To: 3, Weight: 3},
+		{From: 3, To: 0, Weight: 7},
+		{From: 1, To: 3, Weight: 90_000},
+	}
+	g, err := NewGraph(4, edges, UndirectedWeighted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ReferenceMWC(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ApproxMWC(g, Options{Seed: 4, Eps: 0.25, SampleFactor: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found || res.Weight < want || float64(res.Weight) > 2.25*float64(want)+2 {
+		t.Errorf("extreme weights: got (%d,%v) vs MWC %d", res.Weight, res.Found, want)
+	}
+}
+
+func TestStarTopology(t *testing.T) {
+	// A star has diameter 2 and no cycle; high-degree hubs stress per-link
+	// fan-out.
+	edges := make([]Edge, 0, 49)
+	for i := 1; i < 50; i++ {
+		edges = append(edges, Edge{From: 0, To: i})
+	}
+	g, err := NewGraph(50, edges, Undirected)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ApproxMWC(g, Options{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Found {
+		t.Errorf("star is a tree; found cycle %d", res.Weight)
+	}
+	// Add one leaf-leaf edge: girth 3 through the hub.
+	edges = append(edges, Edge{From: 7, To: 21})
+	g2, err := NewGraph(50, edges, Undirected)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := ApproxMWC(g2, Options{Seed: 6, SampleFactor: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Found || res2.Weight < 3 || res2.Weight > 5 {
+		t.Errorf("star+chord: got (%d,%v), want weight in [3,5]", res2.Weight, res2.Found)
+	}
+}
+
+func TestZeroWeightEdgesExactOnly(t *testing.T) {
+	// Weight-0 edges are legal input; the exact algorithm must handle them
+	// (the approximation rejects them per its documented contract).
+	edges := []Edge{
+		{From: 0, To: 1, Weight: 0},
+		{From: 1, To: 2, Weight: 4},
+		{From: 0, To: 2, Weight: 1},
+	}
+	g, err := NewGraph(3, edges, UndirectedWeighted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ReferenceMWC(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want != 5 {
+		t.Fatalf("reference = %d, want 5", want)
+	}
+	res, err := ExactMWC(g, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found || res.Weight != 5 {
+		t.Errorf("exact with zero-weight edge: got (%d,%v), want (5,true)", res.Weight, res.Found)
+	}
+	if _, err := ApproxMWC(g, Options{Seed: 1}); err == nil {
+		t.Error("approx should reject zero-weight edges per contract")
+	}
+}
+
+func TestRepeatedSeedsStayUnsound_Free(t *testing.T) {
+	// A battery of seeds on one instance: the approximation must never
+	// under-report across repeated randomness draws.
+	g := randomGraph(t, 36, 0.08, UndirectedWeighted, 11, 77)
+	want, err := ReferenceMWC(g)
+	if err != nil {
+		t.Skip("acyclic instance")
+	}
+	for seed := int64(0); seed < 10; seed++ {
+		res, err := ApproxMWC(g, Options{Seed: seed, SampleFactor: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Found && res.Weight < want {
+			t.Errorf("seed %d: %d under-reports MWC %d", seed, res.Weight, want)
+		}
+	}
+}
