@@ -33,7 +33,7 @@ func benchUpper(b *testing.B, id harness.Experiment, n int) {
 	if !ok {
 		b.Fatalf("unknown experiment %s", id)
 	}
-	totalRounds := 0
+	totalRounds, totalWords, peakLink := 0, 0, 0
 	worst := 0.0
 	for i := 0; i < b.N; i++ {
 		res, err := ub.Run(n, int64(i)*37+1)
@@ -41,11 +41,17 @@ func benchUpper(b *testing.B, id harness.Experiment, n int) {
 			b.Fatal(err)
 		}
 		totalRounds += res.Rounds
+		totalWords += res.Words
+		if res.PeakLinkWords > peakLink {
+			peakLink = res.PeakLinkWords
+		}
 		if res.Ratio > worst {
 			worst = res.Ratio
 		}
 	}
 	b.ReportMetric(float64(totalRounds)/float64(b.N), "rounds/op")
+	b.ReportMetric(float64(totalWords)/float64(b.N), "words/op")
+	b.ReportMetric(float64(peakLink), "peak-link-words")
 	b.ReportMetric(worst, "worst-ratio")
 }
 
@@ -87,7 +93,7 @@ func benchLower(b *testing.B, id harness.Experiment, scale int) {
 	if !ok {
 		b.Fatalf("unknown experiment %s", id)
 	}
-	cut, implied, bits := 0, 0, 0
+	cut, implied, bits, peak := 0, 0, 0, 0
 	for i := 0; i < b.N; i++ {
 		res, err := harness.RunLowerBound(lbe, scale, int64(i)*13+1)
 		if err != nil {
@@ -99,10 +105,14 @@ func benchLower(b *testing.B, id harness.Experiment, scale int) {
 		cut += res.CutWords
 		implied += res.ImpliedRounds
 		bits = res.Bits
+		if res.PeakCutWords > peak {
+			peak = res.PeakCutWords
+		}
 	}
 	b.ReportMetric(float64(cut)/float64(b.N), "cutwords/op")
 	b.ReportMetric(float64(implied)/float64(b.N), "implied-rounds/op")
 	b.ReportMetric(float64(bits), "bits")
+	b.ReportMetric(float64(peak), "peak-cut-words")
 }
 
 func BenchmarkT1DirectedLowerBound2Eps(b *testing.B)  { benchLower(b, harness.ExpDirectedLB2, 8) }

@@ -8,6 +8,11 @@
 //
 //	lbharness -exp T1-DIR-LB2 -scales 4,6,8,12,16
 //	lbharness -exp all
+//	lbharness -exp T1-DIR-LB2 -scales 8 -cutseries
+//
+// Besides the per-instance totals, the table reports the peak cut traffic
+// of any single round (peak-cut/rd); -cutseries dumps the full
+// round-by-round cut-word series behind it.
 package main
 
 import (
@@ -33,6 +38,7 @@ func run(args []string) error {
 		expFlag   = fs.String("exp", "all", "lower-bound experiment ID or 'all'")
 		scalesArg = fs.String("scales", "4,6,8,12", "comma-separated instance scales")
 		seed      = fs.Int64("seed", 1, "base seed")
+		cutSeries = fs.Bool("cutseries", false, "dump the round-by-round cut-word series for every row")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -67,6 +73,11 @@ func run(args []string) error {
 			rows = append(rows, row)
 		}
 		harness.WriteLBTable(os.Stdout, rows)
+		if *cutSeries {
+			for _, row := range rows {
+				harness.WriteCutSeries(os.Stdout, row)
+			}
+		}
 		fmt.Println()
 	}
 	return nil

@@ -8,11 +8,18 @@
 //	mwcrun -gen planted -n 150 -class uw -cyclelen 6 -cyclew 40 -algo approx -eps 0.25
 //	mwcrun -graph instance.gr -algo exact
 //	mwcrun -gen random -n 300 -class d -algo ksssp -k 17
+//
+// Observability (see docs/OBSERVABILITY.md):
+//
+//	mwcrun -gen random -n 200 -class uw -algo approx -metrics out.json -phases
+//	mwcrun -gen ring -n 64 -algo exact -trace trace.jsonl -cpuprofile cpu.pprof
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"strings"
@@ -26,6 +33,7 @@ import (
 	"congestmwc/internal/graph"
 	"congestmwc/internal/graphio"
 	"congestmwc/internal/ksssp"
+	"congestmwc/internal/obs"
 	"congestmwc/internal/seq"
 	"congestmwc/internal/wmwc"
 )
@@ -55,6 +63,12 @@ type config struct {
 	check     bool
 	dotFile   string
 	traceMsgs int
+
+	metricsFile string
+	traceFile   string
+	phases      bool
+	sampleMsgs  int
+	cpuProfile  string
 }
 
 func run(args []string) error {
@@ -76,7 +90,12 @@ func run(args []string) error {
 	fs.BoolVar(&cfg.parallel, "parallel", false, "run node handlers on worker goroutines")
 	fs.BoolVar(&cfg.check, "check", true, "compare against the sequential reference")
 	fs.StringVar(&cfg.dotFile, "dot", "", "write the instance (with the witness cycle highlighted, if any) as Graphviz DOT to this file")
-	fs.IntVar(&cfg.traceMsgs, "trace", 0, "print the first N delivered messages (simulator trace)")
+	fs.IntVar(&cfg.traceMsgs, "tracemsgs", 0, "print the first N delivered messages as text (simulator trace)")
+	fs.StringVar(&cfg.metricsFile, "metrics", "", "write a JSON metrics summary (per-round series, per-tag words, phase table) to this file; '-' for stdout")
+	fs.StringVar(&cfg.traceFile, "trace", "", "stream every simulation event as JSON lines to this file")
+	fs.BoolVar(&cfg.phases, "phases", false, "print the phase-span table after the run")
+	fs.IntVar(&cfg.sampleMsgs, "samplemsgs", 0, "keep a uniform reservoir sample of N message events in the metrics summary")
+	fs.StringVar(&cfg.cpuProfile, "cpuprofile", "", "write a CPU profile of the run to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -93,19 +112,101 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	// Assemble the observer stack the flags ask for.
+	var observers congest.Multi
 	if cfg.traceMsgs > 0 {
-		net.SetObserver(&congest.TraceWriter{W: os.Stdout, MaxMessages: cfg.traceMsgs})
+		observers = append(observers, &congest.TraceWriter{W: os.Stdout, MaxMessages: cfg.traceMsgs})
 	}
+	var col *obs.Collector
+	if cfg.metricsFile != "" || cfg.phases {
+		col = &obs.Collector{Wall: true, SampleMessages: cfg.sampleMsgs}
+		observers = append(observers, col)
+	}
+	var (
+		traceOut  *os.File
+		traceBuf  *bufio.Writer
+		traceJSON *obs.JSONL
+	)
+	if cfg.traceFile != "" {
+		f, err := os.Create(cfg.traceFile)
+		if err != nil {
+			return err
+		}
+		traceOut, traceBuf = f, bufio.NewWriter(f)
+		traceJSON = &obs.JSONL{W: traceBuf}
+		observers = append(observers, traceJSON)
+	}
+	switch len(observers) {
+	case 0:
+	case 1:
+		net.SetObserver(observers[0])
+	default:
+		net.SetObserver(observers)
+	}
+	if cfg.cpuProfile != "" {
+		stop, err := obs.StartCPUProfile(cfg.cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer stop()
+	}
+
 	switch cfg.algo {
 	case "approx":
-		return runApprox(cfg, g, net)
+		err = runApprox(cfg, g, net)
 	case "exact":
-		return runExact(cfg, g, net)
+		err = runExact(cfg, g, net)
 	case "ksssp":
-		return runKSSSP(cfg, g, net)
+		err = runKSSSP(cfg, g, net)
 	default:
-		return fmt.Errorf("unknown algorithm %q", cfg.algo)
+		err = fmt.Errorf("unknown algorithm %q", cfg.algo)
 	}
+	if err != nil {
+		return err
+	}
+	return writeObs(cfg, col, traceJSON, traceBuf, traceOut)
+}
+
+// writeObs emits the observability outputs after a successful run.
+func writeObs(cfg config, col *obs.Collector, traceJSON *obs.JSONL, traceBuf *bufio.Writer, traceOut *os.File) error {
+	if traceJSON != nil {
+		if err := traceJSON.Err(); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		if err := traceBuf.Flush(); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		if err := traceOut.Close(); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		fmt.Printf("wrote event trace to %s\n", cfg.traceFile)
+	}
+	if col == nil {
+		return nil
+	}
+	sum := col.Summary()
+	if cfg.phases {
+		fmt.Println()
+		obs.WritePhaseTable(os.Stdout, sum.Phases)
+	}
+	if cfg.metricsFile != "" {
+		var w io.Writer = os.Stdout
+		if cfg.metricsFile != "-" {
+			f, err := os.Create(cfg.metricsFile)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := sum.WriteJSON(w); err != nil {
+			return fmt.Errorf("metrics: %w", err)
+		}
+		if cfg.metricsFile != "-" {
+			fmt.Printf("wrote metrics to %s\n", cfg.metricsFile)
+		}
+	}
+	return nil
 }
 
 func buildGraph(cfg config) (*graph.Graph, error) {

@@ -18,6 +18,7 @@ import (
 	"congestmwc/internal/congest"
 	"congestmwc/internal/gen"
 	"congestmwc/internal/graph"
+	"congestmwc/internal/obs"
 	"congestmwc/internal/seq"
 )
 
@@ -116,9 +117,24 @@ func Check(t *testing.T, directed, weighted bool, algo Algo, maxRatio float64, s
 				if err != nil {
 					t.Fatalf("seed %d: network: %v", seed, err)
 				}
+				// Every conformance run carries a collector, so the
+				// observer path is exercised on all algorithms and its
+				// totals are cross-checked against the engine's Stats.
+				col := &obs.Collector{}
+				net.SetObserver(col)
 				w, found, err := algo(net)
 				if err != nil {
 					t.Fatalf("seed %d: algorithm: %v", seed, err)
+				}
+				if s := net.Stats(); col.Messages != s.Messages || col.Words != s.Words ||
+					col.Rounds != s.Rounds || col.Activations != s.Activations {
+					t.Errorf("seed %d: collector totals %+v disagree with stats %+v",
+						seed, []int{col.Rounds, col.Messages, col.Words, col.Activations}, s)
+				}
+				for _, sp := range col.Phases {
+					if sp.Open {
+						t.Errorf("seed %d: phase %q left open", seed, sp.Path)
+					}
 				}
 				truth, ok := seq.MWC(g)
 				if !ok {

@@ -148,7 +148,18 @@ type Network struct {
 	wakeups map[int][]int // future round -> nodes to wake
 	queued  []*link       // links with pending traffic, kept sorted
 	workers int
-	obs     Observer
+
+	obs      Observer
+	msgObs   Observer      // obs, or nil when its MessageFilter declines messages
+	roundObs RoundObserver // obs's optional extensions, resolved in SetObserver
+	phaseObs PhaseObserver
+	runObs   RunObserver
+	phases   []string // stack of open phase names (BeginPhase/EndPhase)
+
+	// Per-round congestion figures, reset at the start of every round and
+	// reported through RoundObserver.
+	roundMaxLink  int // most words delivered over one link this round
+	roundMaxQueue int // longest link backlog left after transmit
 }
 
 // NewNetwork validates connectivity and builds the network.
@@ -240,6 +251,9 @@ func (net *Network) Run(progs []Program, budget int) (int, error) {
 		budget = 1000*n + 1_000_000
 	}
 	start := net.now
+	if net.runObs != nil {
+		net.runObs.OnRunStart(net.now)
+	}
 	for v, st := range net.nodes {
 		st.program = progs[v]
 		st.inbox = st.inbox[:0]
@@ -255,6 +269,9 @@ func (net *Network) Run(progs []Program, budget int) (int, error) {
 
 	for len(net.queued) > 0 || len(net.wakeups) > 0 {
 		if net.now-start >= budget {
+			if net.runObs != nil {
+				net.runObs.OnRunEnd(net.now)
+			}
 			return net.now - start, fmt.Errorf("%w (%d rounds)", ErrBudget, budget)
 		}
 		net.now++
@@ -262,6 +279,8 @@ func (net *Network) Run(progs []Program, budget int) (int, error) {
 		if net.obs != nil {
 			net.obs.OnRound(net.now)
 		}
+		before := net.stats
+		net.roundMaxLink, net.roundMaxQueue = 0, 0
 		active := net.transmit()
 		if wk, ok := net.wakeups[net.now]; ok {
 			delete(net.wakeups, net.now)
@@ -271,9 +290,22 @@ func (net *Network) Run(progs []Program, budget int) (int, error) {
 		net.runHandlers(active, false)
 		net.afterHandlers(active)
 		net.stats.Activations += len(active)
+		if net.roundObs != nil {
+			net.roundObs.OnRoundEnd(net.now, RoundStats{
+				Messages:     net.stats.Messages - before.Messages,
+				Words:        net.stats.Words - before.Words,
+				CutWords:     net.stats.CutWords - before.CutWords,
+				Active:       len(active),
+				MaxLinkWords: net.roundMaxLink,
+				MaxQueueLen:  net.roundMaxQueue,
+			})
+		}
 	}
 	for _, st := range net.nodes {
 		st.program = nil
+	}
+	if net.runObs != nil {
+		net.runObs.OnRunEnd(net.now)
 	}
 	return net.now - start, nil
 }
@@ -360,21 +392,26 @@ func (net *Network) transmit() []int {
 	for _, l := range net.queued {
 		l.credit += b
 		delivered := false
+		linkWords := 0
 		for len(l.queue) > 0 && l.queue[0].Size() <= l.credit {
 			m := l.queue[0]
 			l.queue = l.queue[1:]
 			l.credit -= m.Size()
 			dst := net.nodes[l.to]
 			dst.inbox = append(dst.inbox, Delivery{From: l.owner, Msg: m})
-			if net.obs != nil {
-				net.obs.OnMessage(net.now, l.owner, l.to, m)
+			if net.msgObs != nil {
+				net.msgObs.OnMessage(net.now, l.owner, l.to, m)
 			}
 			net.stats.Messages++
 			net.stats.Words += m.Size()
+			linkWords += m.Size()
 			if l.cut {
 				net.stats.CutWords += m.Size()
 			}
 			delivered = true
+		}
+		if linkWords > net.roundMaxLink {
+			net.roundMaxLink = linkWords
 		}
 		if delivered {
 			receivers = append(receivers, l.to)
@@ -384,6 +421,9 @@ func (net *Network) transmit() []int {
 			l.enqueued = false
 			l.queue = nil
 		} else {
+			if len(l.queue) > net.roundMaxQueue {
+				net.roundMaxQueue = len(l.queue)
+			}
 			remaining = append(remaining, l)
 		}
 	}

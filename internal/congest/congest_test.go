@@ -2,6 +2,7 @@ package congest
 
 import (
 	"errors"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -445,14 +446,17 @@ func TestTraceWriter(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := buf.String()
-	if !strings.Contains(out, "r=1 0->1 tag=1") {
+	if !strings.Contains(out, "r=1 0->1 tag=1 size=1") {
 		t.Errorf("trace missing first delivery:\n%s", out)
 	}
-	if strings.Count(out, "\n") != 2 {
-		t.Errorf("MaxMessages=2 should cap output at 2 lines:\n%s", out)
+	if strings.Count(out, "\n") != 3 {
+		t.Errorf("MaxMessages=2 should cap output at 2 lines plus the suppression line:\n%s", out)
 	}
 	if tw.Suppressed() == 0 {
 		t.Error("suppressed counter should be positive")
+	}
+	if !strings.Contains(out, fmt.Sprintf("... %d messages suppressed", tw.Suppressed())) {
+		t.Errorf("run end should flush the suppression accounting:\n%s", out)
 	}
 	net.SetObserver(nil) // removal must not panic on next run
 	if _, err := net.Run(progsFor(4, newFlood(4)), 0); err != nil {

@@ -1,0 +1,198 @@
+package congest
+
+import "strings"
+
+// Observer receives simulation events. Implementations must be fast; the
+// observer runs synchronously inside the round loop (message events are
+// emitted from the single-threaded transmit phase, so no locking is needed
+// even under the parallel engine, and both engines produce the identical
+// event stream).
+//
+// Observers may additionally implement any of the optional extension
+// interfaces RoundObserver, PhaseObserver and RunObserver; the network
+// detects them once in SetObserver and invokes them with no per-event
+// type assertions.
+type Observer interface {
+	// OnRound fires at the start of every round, before deliveries.
+	OnRound(round int)
+	// OnMessage fires for every delivered message.
+	OnMessage(round, from, to int, m Msg)
+}
+
+// RoundStats are the totals of one synchronous round, handed to a
+// RoundObserver after the round's handlers finish. They are per-round
+// deltas, so collectors do not have to diff cumulative Stats themselves.
+type RoundStats struct {
+	// Messages and Words delivered this round.
+	Messages int
+	Words    int
+	// CutWords delivered across the metered cut this round (0 without a cut).
+	CutWords int
+	// Active is the number of nodes activated this round.
+	Active int
+	// MaxLinkWords is the most words delivered over any single directed
+	// link this round — the realized per-link congestion.
+	MaxLinkWords int
+	// MaxQueueLen is the longest link queue left after the round's
+	// transmissions — the backlog pipelined protocols are working through.
+	MaxQueueLen int
+}
+
+// RoundObserver is an optional Observer extension: OnRoundEnd fires once
+// per round after all deliveries and handler invocations, carrying the
+// round's totals.
+type RoundObserver interface {
+	OnRoundEnd(round int, rs RoundStats)
+}
+
+// PhaseObserver is an optional Observer extension receiving the phase
+// spans opened and closed via Network.BeginPhase / Network.EndPhase.
+// path is the "/"-joined stack of open phase names (innermost last).
+type PhaseObserver interface {
+	OnPhaseBegin(path string, round int)
+	OnPhaseEnd(path string, round int)
+}
+
+// RunObserver is an optional Observer extension bracketing each
+// Network.Run call. OnRunEnd fires on quiescence and on budget
+// exhaustion, so buffering observers can flush.
+type RunObserver interface {
+	OnRunStart(round int)
+	OnRunEnd(round int)
+}
+
+// MessageFilter is an optional Observer extension: an observer whose
+// WantsMessages returns false is never invoked per delivered message,
+// sparing the engine one OnMessage call per message on its hottest path.
+// Round, phase and run events are unaffected. Checked once in
+// SetObserver, so the answer must not change while installed.
+type MessageFilter interface {
+	WantsMessages() bool
+}
+
+// SetObserver installs an observer (nil removes it). Optional extension
+// interfaces are detected here, once.
+func (net *Network) SetObserver(obs Observer) {
+	net.obs = obs
+	net.msgObs = obs
+	if mf, ok := obs.(MessageFilter); ok && !mf.WantsMessages() {
+		net.msgObs = nil
+	}
+	net.roundObs, _ = obs.(RoundObserver)
+	net.phaseObs, _ = obs.(PhaseObserver)
+	net.runObs, _ = obs.(RunObserver)
+}
+
+// BeginPhase opens a named phase span: until the matching EndPhase, a
+// PhaseObserver attributes rounds and traffic to this span. Phases nest;
+// the span's path is the "/"-joined stack of open names. Composite
+// algorithms call BeginPhase/EndPhase around their sub-algorithm Run
+// calls, so span boundaries always fall between rounds.
+func (net *Network) BeginPhase(name string) {
+	net.phases = append(net.phases, name)
+	if net.phaseObs != nil {
+		net.phaseObs.OnPhaseBegin(net.PhasePath(), net.now)
+	}
+}
+
+// EndPhase closes the innermost open phase span. It panics if no phase is
+// open — mismatched Begin/End pairs are a programming error.
+func (net *Network) EndPhase() {
+	if len(net.phases) == 0 {
+		panic("congest: EndPhase without matching BeginPhase")
+	}
+	if net.phaseObs != nil {
+		net.phaseObs.OnPhaseEnd(net.PhasePath(), net.now)
+	}
+	net.phases = net.phases[:len(net.phases)-1]
+}
+
+// PhasePath returns the "/"-joined stack of open phase names ("" when no
+// phase is open).
+func (net *Network) PhasePath() string { return strings.Join(net.phases, "/") }
+
+// Multi fans simulation events out to several observers. Each optional
+// extension event is forwarded to exactly the observers implementing it.
+type Multi []Observer
+
+var (
+	_ Observer      = Multi(nil)
+	_ RoundObserver = Multi(nil)
+	_ PhaseObserver = Multi(nil)
+	_ RunObserver   = Multi(nil)
+	_ MessageFilter = Multi(nil)
+)
+
+// OnRound implements Observer.
+func (m Multi) OnRound(round int) {
+	for _, o := range m {
+		o.OnRound(round)
+	}
+}
+
+// OnMessage implements Observer.
+func (m Multi) OnMessage(round, from, to int, msg Msg) {
+	for _, o := range m {
+		if mf, ok := o.(MessageFilter); ok && !mf.WantsMessages() {
+			continue
+		}
+		o.OnMessage(round, from, to, msg)
+	}
+}
+
+// WantsMessages implements MessageFilter: message events are needed
+// unless every member observer declines them.
+func (m Multi) WantsMessages() bool {
+	for _, o := range m {
+		mf, ok := o.(MessageFilter)
+		if !ok || mf.WantsMessages() {
+			return true
+		}
+	}
+	return false
+}
+
+// OnRoundEnd implements RoundObserver.
+func (m Multi) OnRoundEnd(round int, rs RoundStats) {
+	for _, o := range m {
+		if ro, ok := o.(RoundObserver); ok {
+			ro.OnRoundEnd(round, rs)
+		}
+	}
+}
+
+// OnPhaseBegin implements PhaseObserver.
+func (m Multi) OnPhaseBegin(path string, round int) {
+	for _, o := range m {
+		if po, ok := o.(PhaseObserver); ok {
+			po.OnPhaseBegin(path, round)
+		}
+	}
+}
+
+// OnPhaseEnd implements PhaseObserver.
+func (m Multi) OnPhaseEnd(path string, round int) {
+	for _, o := range m {
+		if po, ok := o.(PhaseObserver); ok {
+			po.OnPhaseEnd(path, round)
+		}
+	}
+}
+
+// OnRunStart implements RunObserver.
+func (m Multi) OnRunStart(round int) {
+	for _, o := range m {
+		if ro, ok := o.(RunObserver); ok {
+			ro.OnRunStart(round)
+		}
+	}
+}
+
+// OnRunEnd implements RunObserver.
+func (m Multi) OnRunEnd(round int) {
+	for _, o := range m {
+		if ro, ok := o.(RunObserver); ok {
+			ro.OnRunEnd(round)
+		}
+	}
+}

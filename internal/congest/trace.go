@@ -5,36 +5,36 @@ import (
 	"io"
 )
 
-// Observer receives simulation events. Implementations must be fast; the
-// observer runs synchronously inside the round loop (message events are
-// emitted from the single-threaded transmit phase, so no locking is needed
-// even under the parallel engine).
-type Observer interface {
-	// OnRound fires at the start of every round, before deliveries.
-	OnRound(round int)
-	// OnMessage fires for every delivered message.
-	OnMessage(round, from, to int, m Msg)
-}
-
-// SetObserver installs an observer (nil removes it).
-func (net *Network) SetObserver(obs Observer) { net.obs = obs }
-
 // TraceWriter is an Observer that writes a compact text log, for debugging
 // distributed algorithms:
 //
-//	r=12 3->7 tag=202 words=[5 2 1 5 0]
+//	r=12 3->7 tag=202 size=6 words=[5 2 1 5 0]
+//
+// size is the message size in words (tag + payload), so fragmentation cost
+// — a size-s message occupies its link for ceil(s/B) rounds — is visible
+// directly in the trace.
 //
 // MaxMessages bounds the log volume (0 = unlimited); further messages are
-// counted but not printed.
+// counted but not printed. At the end of every Run (the writer implements
+// RunObserver) a trailing
+//
+//	... 17 messages suppressed
+//
+// line accounts for the drop; Flush writes it on demand for callers that
+// bypass Run-end notifications.
 type TraceWriter struct {
 	W           io.Writer
 	MaxMessages int
 
 	printed    int
 	suppressed int
+	reported   int // suppressed messages already accounted for by Flush
 }
 
-var _ Observer = (*TraceWriter)(nil)
+var (
+	_ Observer    = (*TraceWriter)(nil)
+	_ RunObserver = (*TraceWriter)(nil)
+)
 
 // OnRound implements Observer.
 func (t *TraceWriter) OnRound(int) {}
@@ -46,7 +46,23 @@ func (t *TraceWriter) OnMessage(round, from, to int, m Msg) {
 		return
 	}
 	t.printed++
-	fmt.Fprintf(t.W, "r=%d %d->%d tag=%d words=%v\n", round, from, to, m.Tag, m.Words)
+	fmt.Fprintf(t.W, "r=%d %d->%d tag=%d size=%d words=%v\n", round, from, to, m.Tag, m.Size(), m.Words)
+}
+
+// OnRunStart implements RunObserver.
+func (t *TraceWriter) OnRunStart(int) {}
+
+// OnRunEnd implements RunObserver by flushing the suppression accounting.
+func (t *TraceWriter) OnRunEnd(int) { t.Flush() }
+
+// Flush writes a "... N messages suppressed" line covering the messages
+// suppressed since the previous Flush (none is written when nothing new
+// was suppressed).
+func (t *TraceWriter) Flush() {
+	if d := t.suppressed - t.reported; d > 0 {
+		fmt.Fprintf(t.W, "... %d messages suppressed\n", d)
+		t.reported = t.suppressed
+	}
 }
 
 // Suppressed returns the number of messages dropped by MaxMessages.

@@ -1,0 +1,127 @@
+package congest
+
+import (
+	"strings"
+	"testing"
+)
+
+// Direct unit tests for the bundled observers: TraceWriter's suppression
+// accounting and CountingObserver's tallies, plus the Multi fan-out.
+
+func TestTraceWriterSuppressionAccounting(t *testing.T) {
+	var sb strings.Builder
+	tw := &TraceWriter{W: &sb, MaxMessages: 2}
+	for i := 0; i < 5; i++ {
+		tw.OnMessage(1, 0, 1, Msg{Tag: 9, Words: []int64{int64(i), 3}})
+	}
+	if got := tw.Suppressed(); got != 3 {
+		t.Fatalf("Suppressed() = %d, want 3", got)
+	}
+	tw.Flush()
+	out := sb.String()
+	lines := strings.Split(strings.TrimSuffix(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 2 printed + 1 suppression:\n%s", len(lines), out)
+	}
+	// The size field must be 1 (tag) + payload words.
+	if want := "r=1 0->1 tag=9 size=3 words=[0 3]"; lines[0] != want {
+		t.Errorf("line 0 = %q, want %q", lines[0], want)
+	}
+	if want := "... 3 messages suppressed"; lines[2] != want {
+		t.Errorf("line 2 = %q, want %q", lines[2], want)
+	}
+
+	// Flush is incremental: nothing new suppressed, nothing written.
+	before := sb.Len()
+	tw.Flush()
+	if sb.Len() != before {
+		t.Errorf("second Flush wrote output with nothing new suppressed")
+	}
+
+	// Further suppressed messages are reported as a delta by the next
+	// run-end notification.
+	tw.OnMessage(2, 1, 0, Msg{Tag: 9})
+	tw.OnRunEnd(2)
+	if !strings.HasSuffix(sb.String(), "... 1 messages suppressed\n") {
+		t.Errorf("OnRunEnd did not flush the delta:\n%s", sb.String())
+	}
+	if got := tw.Suppressed(); got != 4 {
+		t.Errorf("Suppressed() = %d, want 4", got)
+	}
+}
+
+func TestTraceWriterUnlimited(t *testing.T) {
+	var sb strings.Builder
+	tw := &TraceWriter{W: &sb}
+	for i := 0; i < 4; i++ {
+		tw.OnMessage(i, 0, 1, Msg{Tag: 1})
+	}
+	tw.Flush()
+	if got := strings.Count(sb.String(), "\n"); got != 4 {
+		t.Errorf("got %d lines, want 4 (no suppression line without MaxMessages)", got)
+	}
+	if tw.Suppressed() != 0 {
+		t.Errorf("Suppressed() = %d, want 0", tw.Suppressed())
+	}
+}
+
+func TestCountingObserver(t *testing.T) {
+	var c CountingObserver
+	if c.PerTag != nil {
+		t.Fatal("PerTag should start nil (lazy init)")
+	}
+	c.OnRound(1)
+	c.OnRound(2)
+	c.OnMessage(1, 0, 1, Msg{Tag: 7})
+	c.OnMessage(1, 1, 0, Msg{Tag: 7, Words: []int64{1}})
+	c.OnMessage(2, 0, 1, Msg{Tag: 8})
+	if c.Rounds != 2 || c.Messages != 3 {
+		t.Errorf("Rounds=%d Messages=%d, want 2 and 3", c.Rounds, c.Messages)
+	}
+	if c.PerTag[7] != 2 || c.PerTag[8] != 1 {
+		t.Errorf("PerTag = %v, want {7:2, 8:1}", c.PerTag)
+	}
+}
+
+// extRecorder records every event including all optional extensions.
+type extRecorder struct {
+	events []string
+}
+
+func (r *extRecorder) add(e string)                 { r.events = append(r.events, e) }
+func (r *extRecorder) OnRound(round int)            { r.add("round") }
+func (r *extRecorder) OnMessage(_, _, _ int, _ Msg) { r.add("msg") }
+func (r *extRecorder) OnRoundEnd(int, RoundStats)   { r.add("roundEnd") }
+func (r *extRecorder) OnPhaseBegin(string, int)     { r.add("phaseBegin") }
+func (r *extRecorder) OnPhaseEnd(string, int)       { r.add("phaseEnd") }
+func (r *extRecorder) OnRunStart(int)               { r.add("runStart") }
+func (r *extRecorder) OnRunEnd(int)                 { r.add("runEnd") }
+
+func TestMultiFanOut(t *testing.T) {
+	full := &extRecorder{}
+	base := &CountingObserver{}
+	m := Multi{full, base}
+
+	m.OnRunStart(0)
+	m.OnPhaseBegin("p", 0)
+	m.OnRound(1)
+	m.OnMessage(1, 0, 1, Msg{Tag: 5})
+	m.OnRoundEnd(1, RoundStats{Messages: 1, Words: 1})
+	m.OnPhaseEnd("p", 1)
+	m.OnRunEnd(1)
+
+	want := []string{"runStart", "phaseBegin", "round", "msg", "roundEnd", "phaseEnd", "runEnd"}
+	if len(full.events) != len(want) {
+		t.Fatalf("full recorder saw %v, want %v", full.events, want)
+	}
+	for i := range want {
+		if full.events[i] != want[i] {
+			t.Fatalf("full recorder saw %v, want %v", full.events, want)
+		}
+	}
+	// The base observer only implements Observer; extension events must not
+	// reach it (and must not panic the fan-out).
+	if base.Rounds != 1 || base.Messages != 1 {
+		t.Errorf("base observer saw Rounds=%d Messages=%d, want 1 and 1", base.Rounds, base.Messages)
+	}
+}

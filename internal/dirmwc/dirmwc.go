@@ -171,7 +171,9 @@ func Run(net *congest.Network, spec Spec) (*Result, error) {
 	}
 
 	// --- Line 3: distances between S and all vertices, both directions. ---
+	net.BeginPhase("dirmwc:sample-dist")
 	distF, distB, predF, err := sampleDistances(net, spec, s, distBound, length)
+	net.EndPhase()
 	if err != nil {
 		return nil, fmt.Errorf("dirmwc: %w", err)
 	}
@@ -197,8 +199,10 @@ func Run(net *congest.Network, spec Spec) (*Result, error) {
 	}
 
 	// --- Line 5: broadcast S x S distances. ---
+	net.BeginPhase("dirmwc:sxs-broadcast")
 	tree, err := proto.BuildTree(net, 0)
 	if err != nil {
+		net.EndPhase()
 		return nil, fmt.Errorf("dirmwc: %w", err)
 	}
 	values := make([][][]int64, n)
@@ -211,6 +215,7 @@ func Run(net *congest.Network, spec Spec) (*Result, error) {
 		}
 	}
 	recs, err := proto.Broadcast(net, tree, values)
+	net.EndPhase()
 	if err != nil {
 		return nil, fmt.Errorf("dirmwc: broadcast S x S: %w", err)
 	}
@@ -231,11 +236,13 @@ func Run(net *congest.Network, spec Spec) (*Result, error) {
 	}
 
 	// --- Algorithm 3: short cycles avoiding S. ---
+	net.BeginPhase("dirmwc:short-cycles")
 	overflow, shortWits, err := shortCycles(net, shortSpec{
 		s: s, dSS: dSS, distF: distF, distB: distB, mu: mu, wit: wit,
 		hShort: hShort, distBound: distBound, rho: rho, cap: capLog,
 		length: length, salt: spec.Salt,
 	})
+	net.EndPhase()
 	if err != nil {
 		return nil, fmt.Errorf("dirmwc: %w", err)
 	}
@@ -247,7 +254,9 @@ func Run(net *congest.Network, spec Spec) (*Result, error) {
 			}
 		}
 	}
+	net.BeginPhase("dirmwc:convergecast")
 	minW, err := proto.ConvergecastMin(net, tree, mu)
+	net.EndPhase()
 	if err != nil {
 		return nil, fmt.Errorf("dirmwc: %w", err)
 	}

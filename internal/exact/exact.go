@@ -75,9 +75,11 @@ func MWC(net *congest.Network) (*Result, error) {
 	if !g.Directed() {
 		dir = proto.Undirected
 	}
+	net.BeginPhase("exact:apsp")
 	res, err := proto.RunMultiBFS(net, proto.MultiBFSSpec{
 		Sources: all, Dir: dir, Length: length,
 	})
+	net.EndPhase()
 	if err != nil {
 		return nil, fmt.Errorf("exact: apsp: %w", err)
 	}
@@ -100,7 +102,9 @@ func MWC(net *congest.Network) (*Result, error) {
 			}
 		}
 	} else {
+		net.BeginPhase("exact:exchange")
 		recv, err := exchangeVectors(net, res)
+		net.EndPhase()
 		if err != nil {
 			return nil, fmt.Errorf("exact: exchange: %w", err)
 		}
@@ -129,11 +133,14 @@ func MWC(net *congest.Network) (*Result, error) {
 			}
 		}
 	}
+	net.BeginPhase("exact:convergecast")
 	tree, err := proto.BuildTree(net, 0)
 	if err != nil {
+		net.EndPhase()
 		return nil, fmt.Errorf("exact: %w", err)
 	}
 	minW, err := proto.ConvergecastMin(net, tree, mu)
+	net.EndPhase()
 	if err != nil {
 		return nil, fmt.Errorf("exact: %w", err)
 	}

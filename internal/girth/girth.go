@@ -115,13 +115,16 @@ func Run(net *congest.Network, spec Spec) (*Result, error) {
 	if spec.Bound > 0 {
 		boundW = 2 * spec.Bound
 	}
+	net.BeginPhase("girth:sampled-bfs")
 	resW, err := proto.RunMultiBFS(net, proto.MultiBFSSpec{
 		Sources: w, Dir: proto.Undirected, Bound: boundW, Length: length, Stretch: true,
 	})
 	if err != nil {
+		net.EndPhase()
 		return nil, fmt.Errorf("girth: sampled BFS: %w", err)
 	}
 	recvW, err := exchangeLists(net, resW, nil)
+	net.EndPhase()
 	if err != nil {
 		return nil, fmt.Errorf("girth: sampled exchange: %w", err)
 	}
@@ -156,15 +159,18 @@ func Run(net *congest.Network, spec Spec) (*Result, error) {
 	for i := range all {
 		all[i] = i
 	}
+	net.BeginPhase("girth:neighbourhood-bfs")
 	resN, err := proto.RunMultiBFS(net, proto.MultiBFSSpec{
 		Sources: all, Dir: proto.Undirected, Bound: spec.Bound,
 		TopSigma: sigma, Length: length, Stretch: true,
 	})
 	if err != nil {
+		net.EndPhase()
 		return nil, fmt.Errorf("girth: neighbourhood BFS: %w", err)
 	}
 	topSets := topSigmaSets(resN, sigma)
 	recvN, err := exchangeLists(net, resN, topSets)
+	net.EndPhase()
 	if err != nil {
 		return nil, fmt.Errorf("girth: neighbourhood exchange: %w", err)
 	}
@@ -250,11 +256,14 @@ func Run(net *congest.Network, spec Spec) (*Result, error) {
 	}
 
 	// Global minimum via tree + convergecast.
+	net.BeginPhase("girth:convergecast")
 	tree, err := proto.BuildTree(net, 0)
 	if err != nil {
+		net.EndPhase()
 		return nil, fmt.Errorf("girth: %w", err)
 	}
 	minW, err := proto.ConvergecastMin(net, tree, best)
+	net.EndPhase()
 	if err != nil {
 		return nil, fmt.Errorf("girth: %w", err)
 	}

@@ -26,6 +26,7 @@ import (
 	"congestmwc/internal/girth"
 	"congestmwc/internal/ksssp"
 	"congestmwc/internal/lb"
+	"congestmwc/internal/obs"
 	"congestmwc/internal/seq"
 	"congestmwc/internal/wmwc"
 )
@@ -70,11 +71,17 @@ type UpperBound struct {
 	Run func(n int, seed int64) (RunResult, error)
 }
 
-// RunResult is one measured execution.
+// RunResult is one measured execution. Beyond the round count it carries
+// the communication-cost figures recorded by the obs.Collector every
+// harness run now threads through the network: total messages and words,
+// and the peak single-round single-link word count (realized congestion).
 type RunResult struct {
-	N      int
-	Rounds int
-	Ratio  float64
+	N             int
+	Rounds        int
+	Messages      int
+	Words         int
+	PeakLinkWords int
+	Ratio         float64
 }
 
 // UpperBounds returns the registry of upper-bound experiments keyed by ID,
@@ -221,6 +228,23 @@ func pick(n int) float64 {
 	return p
 }
 
+// meter attaches a lean collector (totals and congestion peaks only — no
+// series, tag or link maps) so every harness run reports communication
+// cost at negligible overhead.
+func meter(net *congest.Network) *obs.Collector {
+	col := &obs.Collector{NoSeries: true, NoPerTag: true, NoPerLink: true}
+	net.SetObserver(col)
+	return col
+}
+
+func fill(res *RunResult, net *congest.Network, col *obs.Collector) {
+	s := net.Stats()
+	res.Rounds = s.Rounds
+	res.Messages = s.Messages
+	res.Words = s.Words
+	res.PeakLinkWords = col.PeakLinkWords
+}
+
 func runMWC(n int, seed int64, r gen.Random, algo func(*congest.Network) (int64, bool, error)) (RunResult, error) {
 	g, err := r.Graph()
 	if err != nil {
@@ -230,6 +254,7 @@ func runMWC(n int, seed int64, r gen.Random, algo func(*congest.Network) (int64,
 	if err != nil {
 		return RunResult{}, err
 	}
+	col := meter(net)
 	w, found, err := algo(net)
 	if err != nil {
 		return RunResult{}, err
@@ -242,7 +267,9 @@ func runMWC(n int, seed int64, r gen.Random, algo func(*congest.Network) (int64,
 	case !ok && !found:
 		ratio = 1
 	}
-	return RunResult{N: n, Rounds: net.Stats().Rounds, Ratio: ratio}, nil
+	out := RunResult{N: n, Ratio: ratio}
+	fill(&out, net, col)
+	return out, nil
 }
 
 func runKSourceBFS(n int, seed int64) (RunResult, error) {
@@ -256,6 +283,7 @@ func runKSourceBFS(n int, seed int64) (RunResult, error) {
 	if err != nil {
 		return RunResult{}, err
 	}
+	col := meter(net)
 	res, err := ksssp.Run(net, ksssp.Spec{Sources: sources})
 	if err != nil {
 		return RunResult{}, err
@@ -269,7 +297,9 @@ func runKSourceBFS(n int, seed int64) (RunResult, error) {
 			}
 		}
 	}
-	return RunResult{N: n, Rounds: net.Stats().Rounds, Ratio: ratio}, nil
+	out := RunResult{N: n, Ratio: ratio}
+	fill(&out, net, col)
+	return out, nil
 }
 
 func runKSourceSSSP(n int, seed int64) (RunResult, error) {
@@ -284,6 +314,7 @@ func runKSourceSSSP(n int, seed int64) (RunResult, error) {
 	if err != nil {
 		return RunResult{}, err
 	}
+	col := meter(net)
 	res, err := ksssp.Run(net, ksssp.Spec{Sources: sources, Eps: eps})
 	if err != nil {
 		return RunResult{}, err
@@ -301,7 +332,9 @@ func runKSourceSSSP(n int, seed int64) (RunResult, error) {
 			}
 		}
 	}
-	return RunResult{N: n, Rounds: net.Stats().Rounds, Ratio: worst}, nil
+	out := RunResult{N: n, Ratio: worst}
+	fill(&out, net, col)
+	return out, nil
 }
 
 func spread(n, k int) []int {
@@ -319,6 +352,8 @@ type SweepResult struct {
 	ClaimExponent  float64
 	Sizes          []int
 	MeanRounds     []float64
+	MeanWords      []float64
+	PeakLinkWords  []int // worst realized per-round link congestion per size
 	WorstRatio     float64
 	FittedExponent float64
 }
@@ -331,18 +366,24 @@ func Sweep(ub UpperBound, sizes []int, reps int, baseSeed int64) (*SweepResult, 
 		Sizes: append([]int(nil), sizes...),
 	}
 	for _, n := range sizes {
-		total := 0.0
+		total, totalWords, peak := 0.0, 0.0, 0
 		for rep := 0; rep < reps; rep++ {
 			res, err := ub.Run(n, baseSeed+int64(rep)*101+int64(n))
 			if err != nil {
 				return nil, fmt.Errorf("harness %s n=%d rep=%d: %w", ub.ID, n, rep, err)
 			}
 			total += float64(res.Rounds)
+			totalWords += float64(res.Words)
+			if res.PeakLinkWords > peak {
+				peak = res.PeakLinkWords
+			}
 			if !math.IsNaN(res.Ratio) && res.Ratio > out.WorstRatio {
 				out.WorstRatio = res.Ratio
 			}
 		}
 		out.MeanRounds = append(out.MeanRounds, total/float64(reps))
+		out.MeanWords = append(out.MeanWords, totalWords/float64(reps))
+		out.PeakLinkWords = append(out.PeakLinkWords, peak)
 	}
 	out.FittedExponent = FitExponent(out.Sizes, out.MeanRounds)
 	return out, nil
@@ -414,6 +455,10 @@ type LBResult struct {
 	ImpliedRounds     int
 	MeasuredRounds    int
 	CertifiedFactor   float64
+	// CutPerRound / PeakCutWords are the disjoint instance's round-by-round
+	// cut traffic (the Section-5 measurement) and its per-round maximum.
+	CutPerRound  []int
+	PeakCutWords int
 }
 
 // RunLowerBound verifies the gap and meters the cut at one scale (both an
@@ -447,6 +492,8 @@ func RunLowerBound(lbe LowerBound, scale int, seed int64) (*LBResult, error) {
 			out.CutWords = meas.CutWords
 			out.ImpliedRounds = meas.ImpliedRounds
 			out.MeasuredRounds = meas.Rounds
+			out.CutPerRound = meas.CutPerRound
+			out.PeakCutWords = meas.PeakCutWords
 		}
 	}
 	return out, nil
@@ -455,9 +502,10 @@ func RunLowerBound(lbe LowerBound, scale int, seed int64) (*LBResult, error) {
 // WriteSweepTable prints a SweepResult as an aligned text table.
 func WriteSweepTable(w io.Writer, res *SweepResult) {
 	fmt.Fprintf(w, "%s  claim %s (exponent %.2f)\n", res.ID, res.Claim, res.ClaimExponent)
-	fmt.Fprintf(w, "  %-8s %s\n", "n", "mean rounds")
+	fmt.Fprintf(w, "  %-8s %-12s %-12s %s\n", "n", "mean rounds", "mean words", "peak link-words/round")
 	for i, n := range res.Sizes {
-		fmt.Fprintf(w, "  %-8d %.0f\n", n, res.MeanRounds[i])
+		fmt.Fprintf(w, "  %-8d %-12.0f %-12.0f %d\n",
+			n, res.MeanRounds[i], res.MeanWords[i], res.PeakLinkWords[i])
 	}
 	fmt.Fprintf(w, "  fitted exponent: %.3f (claimed %.2f)\n", res.FittedExponent, res.ClaimExponent)
 	if res.WorstRatio > 0 {
@@ -471,11 +519,23 @@ func WriteLBTable(w io.Writer, rows []*LBResult) {
 		return
 	}
 	fmt.Fprintf(w, "%s  claim %s\n", rows[0].ID, LowerBounds()[rows[0].ID].Claim)
-	fmt.Fprintf(w, "  %-7s %-7s %-7s %-6s %-9s %-10s %-9s %s\n",
-		"scale", "n", "bits", "gap", "decision", "cut-words", "implied", "rounds")
+	fmt.Fprintf(w, "  %-7s %-7s %-7s %-6s %-9s %-10s %-9s %-8s %s\n",
+		"scale", "n", "bits", "gap", "decision", "cut-words", "implied", "rounds", "peak-cut/rd")
 	for _, r := range rows {
-		fmt.Fprintf(w, "  %-7d %-7d %-7d %-6v %-9v %-10d %-9d %d\n",
-			r.Scale, r.N, r.Bits, r.GapOK, r.DecisionOK, r.CutWords, r.ImpliedRounds, r.MeasuredRounds)
+		fmt.Fprintf(w, "  %-7d %-7d %-7d %-6v %-9v %-10d %-9d %-8d %d\n",
+			r.Scale, r.N, r.Bits, r.GapOK, r.DecisionOK, r.CutWords, r.ImpliedRounds,
+			r.MeasuredRounds, r.PeakCutWords)
+	}
+}
+
+// WriteCutSeries prints one lower-bound row's round-by-round cut traffic
+// as "round cut-words" pairs (rounds with zero cut traffic elided).
+func WriteCutSeries(w io.Writer, r *LBResult) {
+	fmt.Fprintf(w, "%s scale=%d cut-words per round (nonzero):\n", r.ID, r.Scale)
+	for i, c := range r.CutPerRound {
+		if c > 0 {
+			fmt.Fprintf(w, "  r=%-6d %d\n", i+1, c)
+		}
 	}
 }
 

@@ -121,7 +121,9 @@ func Run(net *congest.Network, spec Spec) (*Result, error) {
 	}
 
 	// Step 2: h-hop multi-source distances from S.
+	net.BeginPhase("ksssp:sample-bfs")
 	sampleRes, err := runHopDist(net, spec, sampled, h, dir)
+	net.EndPhase()
 	if err != nil {
 		return nil, fmt.Errorf("ksssp: sample BFS: %w", err)
 	}
@@ -130,8 +132,10 @@ func Run(net *congest.Network, spec Spec) (*Result, error) {
 	// at t (for Forward; at t as well for Backward with the reversed
 	// meaning), so each sampled vertex t contributes records
 	// (sIdx, tIdx, d).
+	net.BeginPhase("ksssp:skeleton-broadcast")
 	tree, err := proto.BuildTree(net, 0)
 	if err != nil {
+		net.EndPhase()
 		return nil, fmt.Errorf("ksssp: %w", err)
 	}
 	sampleIdx := make(map[int]int, len(sampled))
@@ -147,6 +151,7 @@ func Run(net *congest.Network, spec Spec) (*Result, error) {
 		}
 	}
 	skelEdges, err := proto.Broadcast(net, tree, values)
+	net.EndPhase()
 	if err != nil {
 		return nil, fmt.Errorf("ksssp: skeleton broadcast: %w", err)
 	}
@@ -156,7 +161,9 @@ func Run(net *congest.Network, spec Spec) (*Result, error) {
 	skel := skeletonAPSP(len(sampled), skelEdges[0])
 
 	// Step 5: h-hop distances from the k sources.
+	net.BeginPhase("ksssp:source-bfs")
 	srcRes, err := runHopDist(net, spec, spec.Sources, h, dir)
+	net.EndPhase()
 	if err != nil {
 		return nil, fmt.Errorf("ksssp: source BFS: %w", err)
 	}
@@ -169,7 +176,9 @@ func Run(net *congest.Network, spec Spec) (*Result, error) {
 			}
 		}
 	}
+	net.BeginPhase("ksssp:source-broadcast")
 	srcToSample, err := proto.Broadcast(net, tree, values)
+	net.EndPhase()
 	if err != nil {
 		return nil, fmt.Errorf("ksssp: source-sample broadcast: %w", err)
 	}
@@ -350,6 +359,8 @@ func RunSequential(net *congest.Network, spec Spec) (*Result, error) {
 		dist[v] = make([]int64, len(spec.Sources))
 		pred[v] = make([]int32, len(spec.Sources))
 	}
+	net.BeginPhase("ksssp:sequential")
+	defer net.EndPhase()
 	for i, s := range spec.Sources {
 		var res *proto.MultiBFSResult
 		var err error

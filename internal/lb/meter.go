@@ -5,6 +5,7 @@ import (
 
 	"congestmwc/internal/congest"
 	"congestmwc/internal/exact"
+	"congestmwc/internal/obs"
 )
 
 // Measurement is the outcome of running an algorithm on a lower-bound
@@ -26,6 +27,11 @@ type Measurement struct {
 	// rounds this much cut traffic needs at full cut bandwidth — the
 	// quantity the reduction lower-bounds by Omega(Bits / (C*B*wordbits)).
 	ImpliedRounds int
+	// CutPerRound is the cut traffic round by round (element i is the
+	// words that crossed the cut in round i+1) — the paper's Section-5
+	// communication-over-time measurement. PeakCutWords is its maximum.
+	CutPerRound  []int
+	PeakCutWords int
 }
 
 // Algorithm runs an MWC computation on a prepared network and returns the
@@ -48,6 +54,8 @@ func Measure(inst *Instance, opts congest.Options, algo Algorithm) (*Measurement
 		return nil, fmt.Errorf("lb: %w", err)
 	}
 	net.MeterCut(inst.Side)
+	col := &obs.Collector{NoPerTag: true, NoPerLink: true}
+	net.SetObserver(col)
 	w, found, err := algo(net)
 	if err != nil {
 		return nil, fmt.Errorf("lb: algorithm: %w", err)
@@ -61,6 +69,13 @@ func Measure(inst *Instance, opts congest.Options, algo Algorithm) (*Measurement
 		den := 2 * inst.CutEdges * b
 		implied = (stats.CutWords + den - 1) / den
 	}
+	cutPerRound := col.CutSeries()
+	peak := 0
+	for _, c := range cutPerRound {
+		if c > peak {
+			peak = c
+		}
+	}
 	return &Measurement{
 		Weight:         w,
 		Found:          found,
@@ -69,5 +84,7 @@ func Measure(inst *Instance, opts congest.Options, algo Algorithm) (*Measurement
 		CutWords:       stats.CutWords,
 		TranscriptBits: 64 * stats.CutWords,
 		ImpliedRounds:  implied,
+		CutPerRound:    cutPerRound,
+		PeakCutWords:   peak,
 	}, nil
 }

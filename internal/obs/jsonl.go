@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+
+	"congestmwc/internal/congest"
+)
+
+// JSONL is an Observer that streams every simulation event as one JSON
+// object per line — a machine-readable trace for offline analysis. Event
+// shapes (field `ev` discriminates):
+//
+//	{"ev":"run","round":0,"begin":true}
+//	{"ev":"phase","path":"girth:sampled-bfs","round":3,"begin":true}
+//	{"ev":"msg","round":4,"from":1,"to":2,"tag":101,"size":3,"words":[7,9]}
+//	{"ev":"round","round":4,"messages":12,"words":30,"cutWords":0,
+//	 "active":5,"maxLinkWords":8,"maxQueueLen":3}
+//
+// Payload words are included only when Words is set (they dominate trace
+// size). Write errors are sticky and reported by Err, not per event.
+type JSONL struct {
+	W io.Writer
+	// Words includes message payloads in msg events.
+	Words bool
+
+	enc *json.Encoder
+	err error
+}
+
+var (
+	_ congest.Observer      = (*JSONL)(nil)
+	_ congest.RoundObserver = (*JSONL)(nil)
+	_ congest.PhaseObserver = (*JSONL)(nil)
+	_ congest.RunObserver   = (*JSONL)(nil)
+)
+
+func (j *JSONL) emit(v any) {
+	if j.err != nil {
+		return
+	}
+	if j.enc == nil {
+		j.enc = json.NewEncoder(j.W)
+	}
+	j.err = j.enc.Encode(v)
+}
+
+// Err returns the first write/encode error, if any.
+func (j *JSONL) Err() error { return j.err }
+
+type jsonlMsg struct {
+	Ev    string  `json:"ev"`
+	Round int     `json:"round"`
+	From  int     `json:"from"`
+	To    int     `json:"to"`
+	Tag   int64   `json:"tag"`
+	Size  int     `json:"size"`
+	Words []int64 `json:"words,omitempty"`
+}
+
+type jsonlRound struct {
+	Ev           string `json:"ev"`
+	Round        int    `json:"round"`
+	Messages     int    `json:"messages"`
+	Words        int    `json:"words"`
+	CutWords     int    `json:"cutWords"`
+	Active       int    `json:"active"`
+	MaxLinkWords int    `json:"maxLinkWords"`
+	MaxQueueLen  int    `json:"maxQueueLen"`
+}
+
+type jsonlPhase struct {
+	Ev    string `json:"ev"`
+	Path  string `json:"path"`
+	Round int    `json:"round"`
+	Begin bool   `json:"begin"`
+}
+
+type jsonlRun struct {
+	Ev    string `json:"ev"`
+	Round int    `json:"round"`
+	Begin bool   `json:"begin"`
+}
+
+// OnRound implements congest.Observer (round starts are implied by the
+// round-end events; nothing is written here).
+func (j *JSONL) OnRound(int) {}
+
+// OnMessage implements congest.Observer.
+func (j *JSONL) OnMessage(round, from, to int, m congest.Msg) {
+	ev := jsonlMsg{Ev: "msg", Round: round, From: from, To: to, Tag: m.Tag, Size: m.Size()}
+	if j.Words {
+		ev.Words = m.Words
+	}
+	j.emit(ev)
+}
+
+// OnRoundEnd implements congest.RoundObserver.
+func (j *JSONL) OnRoundEnd(round int, rs congest.RoundStats) {
+	j.emit(jsonlRound{
+		Ev: "round", Round: round,
+		Messages: rs.Messages, Words: rs.Words, CutWords: rs.CutWords,
+		Active: rs.Active, MaxLinkWords: rs.MaxLinkWords, MaxQueueLen: rs.MaxQueueLen,
+	})
+}
+
+// OnPhaseBegin implements congest.PhaseObserver.
+func (j *JSONL) OnPhaseBegin(path string, round int) {
+	j.emit(jsonlPhase{Ev: "phase", Path: path, Round: round, Begin: true})
+}
+
+// OnPhaseEnd implements congest.PhaseObserver.
+func (j *JSONL) OnPhaseEnd(path string, round int) {
+	j.emit(jsonlPhase{Ev: "phase", Path: path, Round: round})
+}
+
+// OnRunStart implements congest.RunObserver.
+func (j *JSONL) OnRunStart(round int) {
+	j.emit(jsonlRun{Ev: "run", Round: round, Begin: true})
+}
+
+// OnRunEnd implements congest.RunObserver.
+func (j *JSONL) OnRunEnd(round int) {
+	j.emit(jsonlRun{Ev: "run", Round: round})
+}

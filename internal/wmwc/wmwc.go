@@ -103,11 +103,15 @@ func Run(net *congest.Network, spec Spec) (*Result, error) {
 	subEps := spec.Eps / 4
 	startRounds := net.Stats().Rounds
 
+	net.BeginPhase("wmwc:long-cycles")
 	long, longCyc, err := longCycles(net, spec, h, factor, subEps)
+	net.EndPhase()
 	if err != nil {
 		return nil, fmt.Errorf("wmwc: long cycles: %w", err)
 	}
+	net.BeginPhase("wmwc:short-cycles")
 	short, shortCyc, err := shortCycles(net, spec, h, factor, subEps)
+	net.EndPhase()
 	if err != nil {
 		return nil, fmt.Errorf("wmwc: short cycles: %w", err)
 	}
@@ -299,12 +303,14 @@ func shortCycles(net *congest.Network, spec Spec, h int, factor, subEps float64)
 		var scaled int64
 		var found bool
 		var cycle []int
+		net.BeginPhase(fmt.Sprintf("level-%d", level))
 		if g.Directed() {
 			res, err := dirmwc.Run(net, dirmwc.Spec{
 				Bound: hstar, Length: length,
 				SampleFactor: factor, Salt: spec.Salt + int64(level)*17,
 			})
 			if err != nil {
+				net.EndPhase()
 				return 0, nil, fmt.Errorf("level %d: %w", level, err)
 			}
 			scaled, found, cycle = res.Weight, res.Found, res.Cycle
@@ -314,10 +320,12 @@ func shortCycles(net *congest.Network, spec Spec, h int, factor, subEps float64)
 				SampleFactor: factor, Salt: spec.Salt + int64(level)*17,
 			})
 			if err != nil {
+				net.EndPhase()
 				return 0, nil, fmt.Errorf("level %d: %w", level, err)
 			}
 			scaled, found, cycle = res.Weight, res.Found, res.Cycle
 		}
+		net.EndPhase()
 		if found {
 			if est := int64(math.Ceil(sc.Unscale(scaled, level))); est < best {
 				best = est

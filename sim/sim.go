@@ -21,6 +21,7 @@ import (
 	"congestmwc"
 	"congestmwc/internal/congest"
 	"congestmwc/internal/graph"
+	"congestmwc/internal/obs"
 )
 
 // Core simulator types, shared with the algorithms in this module.
@@ -41,10 +42,27 @@ type (
 	Stats = congest.Stats
 	// Observer receives simulation events (see TraceWriter).
 	Observer = congest.Observer
+	// RoundObserver is the optional per-round-totals Observer extension.
+	RoundObserver = congest.RoundObserver
+	// RoundStats are one round's totals, delivered to a RoundObserver.
+	RoundStats = congest.RoundStats
+	// PhaseObserver is the optional phase-span Observer extension.
+	PhaseObserver = congest.PhaseObserver
+	// RunObserver is the optional run-bracketing Observer extension.
+	RunObserver = congest.RunObserver
+	// MultiObserver fans events out to several observers.
+	MultiObserver = congest.Multi
 	// TraceWriter logs deliveries as compact text.
 	TraceWriter = congest.TraceWriter
 	// CountingObserver tallies events without recording them.
 	CountingObserver = congest.CountingObserver
+	// Collector records per-round series, per-tag/per-link totals and
+	// phase spans, and exports them as JSON/CSV (see docs/OBSERVABILITY.md).
+	Collector = obs.Collector
+	// Summary is a Collector's machine-readable digest.
+	Summary = obs.Summary
+	// TraceJSONL streams every simulation event as JSON lines.
+	TraceJSONL = obs.JSONL
 )
 
 // Network is a CONGEST network ready to run Programs.
@@ -112,3 +130,12 @@ func (nw *Network) Round() int { return nw.net.Round() }
 
 // SetObserver installs an event observer (nil removes it).
 func (nw *Network) SetObserver(obs Observer) { nw.net.SetObserver(obs) }
+
+// BeginPhase opens a named phase span; until the matching EndPhase,
+// observers attribute rounds and traffic to it. Phases nest (the span
+// path is the "/"-joined stack of open names). Call it around the Run
+// invocations that make up one stage of a composite algorithm.
+func (nw *Network) BeginPhase(name string) { nw.net.BeginPhase(name) }
+
+// EndPhase closes the innermost open phase span.
+func (nw *Network) EndPhase() { nw.net.EndPhase() }
