@@ -24,6 +24,7 @@ import (
 	"congestmwc/internal/ksssp"
 	"congestmwc/internal/lb"
 	"congestmwc/internal/proto"
+	"congestmwc/internal/wmwc"
 )
 
 // benchUpper runs one upper-bound experiment at a fixed size.
@@ -275,6 +276,94 @@ func BenchmarkAblationEngine(b *testing.B) {
 				if _, err := girth.Run(net, girth.Spec{}); err != nil {
 					b.Fatal(err)
 				}
+			}
+		})
+	}
+}
+
+// BenchmarkStretchedIdleRounds measures the event-driven scheduler on the
+// workloads it exists for: the scaling/stretching reductions (Section 5),
+// where round counts are Theta(stretched distances) and almost every round
+// is empty. Each case runs once with round skipping (the default) and once
+// with Options.Stepwise iteration; results and round counts are asserted
+// identical, so the ns/op ratio between the sub-benchmarks is exactly the
+// scheduler's win (wall clock per delivered message vs per elapsed round).
+// Recorded in bench/stretched_idle.json; the CI bench smoke keeps it
+// compiling and honest.
+func BenchmarkStretchedIdleRounds(b *testing.B) {
+	type result struct {
+		rounds   int
+		messages int
+	}
+	cases := []struct {
+		name string
+		run  func(b *testing.B, stepwise bool, seed int64) result
+	}{
+		{
+			// High-weight scaled SSSP: on a heavy ring at tight accuracy the
+			// stretched simulation is almost pure idle time — ~620k rounds
+			// carry ~650 messages, so the single BFS wavefront sleeps through
+			// long scaled edge traversals. Measured ~8x event-driven vs
+			// stepwise (bench/stretched_idle.json; acceptance bar >=5x).
+			name: "scaledsssp",
+			run: func(b *testing.B, stepwise bool, seed int64) result {
+				g := gen.Ring(96, false, true, 3500)
+				net, err := congest.NewNetwork(g, congest.Options{Seed: seed, Stepwise: stepwise})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := proto.RunApproxHopSSSP(net, proto.ApproxHopSSSPSpec{
+					Sources: []int{0}, H: 48, Eps: 0.001, Dir: proto.Undirected,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				return result{rounds: res.Rounds, messages: net.Stats().Messages}
+			},
+		},
+		{
+			// Weighted MWC approximation on high weights: its short-cycle
+			// levels run the same stretched substrate, but deliveries
+			// dominate rounds, so this case guards the other side — the
+			// event-driven scheduler must not slow message-bound workloads.
+			name: "wmwc",
+			run: func(b *testing.B, stepwise bool, seed int64) result {
+				g, err := (gen.Random{N: 40, P: 5.0 / 40, Weighted: true,
+					MaxW: 1024, Seed: 11}).Graph()
+				if err != nil {
+					b.Fatal(err)
+				}
+				net, err := congest.NewNetwork(g, congest.Options{Seed: seed, Stepwise: stepwise})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := wmwc.Run(net, wmwc.Spec{Eps: 0.5})
+				if err != nil {
+					b.Fatal(err)
+				}
+				return result{rounds: res.Rounds, messages: net.Stats().Messages}
+			},
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			want := tc.run(b, true, 1) // stepwise reference, also warms caches
+			for _, mode := range []string{"event", "stepwise"} {
+				mode := mode
+				b.Run(mode, func(b *testing.B) {
+					rounds, messages := 0, 0
+					for i := 0; i < b.N; i++ {
+						got := tc.run(b, mode == "stepwise", 1)
+						if got != want {
+							b.Fatalf("%s: %+v, want %+v (scheduler equivalence broken)", mode, got, want)
+						}
+						rounds += got.rounds
+						messages += got.messages
+					}
+					b.ReportMetric(float64(rounds)/float64(b.N), "rounds/op")
+					b.ReportMetric(float64(messages)/float64(b.N), "messages/op")
+				})
 			}
 		})
 	}

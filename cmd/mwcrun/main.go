@@ -60,6 +60,7 @@ type config struct {
 	seed      int64
 	bandwidth int
 	parallel  bool
+	stepwise  bool
 	check     bool
 	dotFile   string
 	traceMsgs int
@@ -88,6 +89,7 @@ func run(args []string) error {
 	fs.Int64Var(&cfg.seed, "seed", 1, "random seed")
 	fs.IntVar(&cfg.bandwidth, "bandwidth", 0, "link bandwidth in words per round (0 = default)")
 	fs.BoolVar(&cfg.parallel, "parallel", false, "run node handlers on worker goroutines")
+	fs.BoolVar(&cfg.stepwise, "stepwise", false, "iterate every round one by one instead of event-driven round skipping (debug/reference mode, identical results)")
 	fs.BoolVar(&cfg.check, "check", true, "compare against the sequential reference")
 	fs.StringVar(&cfg.dotFile, "dot", "", "write the instance (with the witness cycle highlighted, if any) as Graphviz DOT to this file")
 	fs.IntVar(&cfg.traceMsgs, "tracemsgs", 0, "print the first N delivered messages as text (simulator trace)")
@@ -108,6 +110,7 @@ func run(args []string) error {
 
 	net, err := congest.NewNetwork(g, congest.Options{
 		Seed: cfg.seed, Bandwidth: cfg.bandwidth, Parallel: cfg.parallel,
+		Stepwise: cfg.stepwise,
 	})
 	if err != nil {
 		return err

@@ -145,6 +145,11 @@ type Options struct {
 	// Parallel runs node handlers on worker goroutines (identical results,
 	// uses multiple cores).
 	Parallel bool
+	// Stepwise disables event-driven round skipping and iterates every
+	// synchronous round one by one, including empty ones. Results, Rounds
+	// and Stats are identical either way; this is a debug/reference mode
+	// whose wall clock is proportional to elapsed rounds instead of events.
+	Stepwise bool
 	// Eps is the accuracy parameter for weighted approximations (default
 	// 0.25). Ignored for unweighted classes.
 	Eps float64
@@ -158,6 +163,7 @@ func (o Options) netOptions() congest.Options {
 		Bandwidth: o.Bandwidth,
 		Seed:      o.Seed,
 		Parallel:  o.Parallel,
+		Stepwise:  o.Stepwise,
 	}
 }
 

@@ -1,0 +1,149 @@
+package conformance
+
+// Scheduler equivalence across the full algorithm matrix: every algorithm
+// in the registry, on every family of its graph class, must produce
+// identical outputs, Stats and round counts with event-driven round
+// skipping (the default) and with congest.Options.Stepwise iteration,
+// under both the sequential and the parallel engine. This is the
+// acceptance gate for the layered engine core: skipping empty rounds must
+// be unobservable except in wall clock.
+//
+// This registry lives in a test file on purpose: the algorithm packages'
+// own conformance tests import this package, so importing them from
+// non-test conformance code would be an import cycle. Test binaries only
+// link the algorithm libraries, which do not import conformance.
+
+import (
+	"testing"
+
+	"congestmwc/internal/congest"
+	"congestmwc/internal/dirmwc"
+	"congestmwc/internal/exact"
+	"congestmwc/internal/girth"
+	"congestmwc/internal/obs"
+	"congestmwc/internal/wmwc"
+)
+
+// registered is one algorithm entry of the equivalence matrix: a named
+// Algo plus the graph class it runs on.
+type registered struct {
+	name     string
+	directed bool
+	weighted bool
+	algo     Algo
+}
+
+// registry returns every algorithm/class combination exercised by the
+// conformance suite.
+func registry() []registered {
+	exactAlgo := func(net *congest.Network) (int64, bool, error) {
+		res, err := exact.MWC(net)
+		if err != nil {
+			return 0, false, err
+		}
+		return res.Weight, res.Found, nil
+	}
+	girthAlgo := func(net *congest.Network) (int64, bool, error) {
+		res, err := girth.Run(net, girth.Spec{SampleFactor: 4})
+		if err != nil {
+			return 0, false, err
+		}
+		return res.Weight, res.Found, nil
+	}
+	girthPRT := func(net *congest.Network) (int64, bool, error) {
+		res, err := girth.RunPRT(net, girth.Spec{SampleFactor: 4})
+		if err != nil {
+			return 0, false, err
+		}
+		return res.Weight, res.Found, nil
+	}
+	wmwcAlgo := func(net *congest.Network) (int64, bool, error) {
+		res, err := wmwc.Run(net, wmwc.Spec{Eps: 0.5, SampleFactor: 4})
+		if err != nil {
+			return 0, false, err
+		}
+		return res.Weight, res.Found, nil
+	}
+	dirAlgo := func(net *congest.Network) (int64, bool, error) {
+		res, err := dirmwc.Run(net, dirmwc.Spec{SampleFactor: 4})
+		if err != nil {
+			return 0, false, err
+		}
+		return res.Weight, res.Found, nil
+	}
+	var regs []registered
+	for _, d := range []bool{false, true} {
+		for _, w := range []bool{false, true} {
+			regs = append(regs, registered{"exact/" + Describe(d, w), d, w, exactAlgo})
+		}
+	}
+	return append(regs,
+		registered{"girth", false, false, girthAlgo},
+		registered{"girth-prt", false, false, girthPRT},
+		registered{"wmwc/undirected", false, true, wmwcAlgo},
+		registered{"wmwc/directed", true, true, wmwcAlgo},
+		registered{"dirmwc", true, false, dirAlgo},
+	)
+}
+
+// outcome is everything observable about one algorithm run.
+type outcome struct {
+	weight    int64
+	found     bool
+	errString string
+	stats     congest.Stats
+	colRounds int
+}
+
+func runOnce(t *testing.T, fam Family, seed int64, algo Algo, parallel, stepwise bool) outcome {
+	t.Helper()
+	g, err := fam.Build(seed)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	net, err := congest.NewNetwork(g, congest.Options{
+		Seed: seed + 13, Parallel: parallel, Stepwise: stepwise,
+	})
+	if err != nil {
+		t.Fatalf("network: %v", err)
+	}
+	col := &obs.Collector{NoSeries: true, NoPerTag: true, NoPerLink: true}
+	net.SetObserver(col)
+	w, found, err := algo(net)
+	out := outcome{weight: w, found: found, stats: net.Stats(), colRounds: col.Rounds}
+	if err != nil {
+		out.errString = err.Error()
+	}
+	if col.Rounds != out.stats.Rounds {
+		t.Errorf("parallel=%v stepwise=%v: collector rounds %d != stats rounds %d (gap accounting)",
+			parallel, stepwise, col.Rounds, out.stats.Rounds)
+	}
+	return out
+}
+
+func TestStepwiseEquivalence(t *testing.T) {
+	const seed = 1
+	for _, reg := range registry() {
+		reg := reg
+		t.Run(reg.name, func(t *testing.T) {
+			for _, fam := range Families(reg.directed, reg.weighted) {
+				fam := fam
+				t.Run(fam.Name, func(t *testing.T) {
+					base := runOnce(t, fam, seed, reg.algo, false, true)
+					for _, parallel := range []bool{false, true} {
+						for _, stepwise := range []bool{false, true} {
+							if stepwise && !parallel {
+								continue // the baseline itself
+							}
+							got := runOnce(t, fam, seed, reg.algo, parallel, stepwise)
+							if got != base {
+								t.Errorf("parallel=%v stepwise=%v: %+v, want %+v",
+									parallel, stepwise, got, base)
+							}
+						}
+					}
+				})
+			}
+		})
+	}
+}

@@ -29,24 +29,48 @@
 // active in a round when it received at least one message or had scheduled a
 // wake-up via WakeAt.
 //
-// # Engines
+// # Layering
 //
-// The same programs run on two engines selected by Options.Parallel: a
-// deterministic sequential round loop, and a concurrent engine that executes
-// node handlers on worker goroutines with a barrier per round. Handlers
-// mutate only node-local state (their own program state, PRNG and outgoing
-// link queues), so both engines deliver messages in the same canonical order
-// (ascending sender ID, FIFO within a link) and produce identical results
-// and round counts.
+// The simulator core is split into three layers behind the one Network
+// facade:
+//
+//   - the transport (transport.go): per-link FIFO queues, fragmentation
+//     credit, cut metering, and the sorted set of links with pending
+//     traffic;
+//   - the scheduler (sched.go): a round calendar over pending wake-up
+//     rounds plus the transport's next-delivery round, which lets the run
+//     loop jump directly to the next round in which anything can happen,
+//     charging the skipped gap to Stats.Rounds in one step (see "Round
+//     skipping" below);
+//   - the execution engines (engine.go, engine_seq.go, engine_par.go): an
+//     engine interface with a deterministic sequential implementation and a
+//     concurrent one that executes node handlers on worker goroutines with
+//     a barrier per round, selected by Options.Parallel. Handlers mutate
+//     only node-local state (their own program state, PRNG and outgoing
+//     link queues), so both engines deliver messages in the same canonical
+//     order (ascending sender ID, FIFO within a link) and produce identical
+//     results and round counts.
+//
+// # Round skipping
+//
+// Rounds in which no link can complete a delivery and no wake-up fires are
+// empty: no handler runs and no statistic other than Stats.Rounds changes.
+// Such rounds are common under the paper's scaling and stretching
+// reductions (Section 5), where simulated traversal times are proportional
+// to stretched distances. The scheduler advances the clock over an empty
+// gap in one step: round counts, delivery rounds, message order, Stats and
+// algorithm outputs are bit-identical to iterating every round (asserted by
+// the equivalence tests against Options.Stepwise), but wall clock is
+// proportional to events rather than elapsed rounds. Observers see executed
+// rounds only; the length of the preceding skipped gap is reported in
+// RoundStats.Gap.
 package congest
 
 import (
 	"errors"
-	"fmt"
 	"math/rand"
 	"runtime"
 	"sort"
-	"sync"
 
 	"congestmwc/internal/graph"
 )
@@ -106,48 +130,41 @@ type Options struct {
 	// Workers bounds the concurrent engine's worker count; defaults to
 	// GOMAXPROCS.
 	Workers int
+	// Stepwise disables event-driven round skipping: the run loop iterates
+	// every synchronous round one by one, including empty ones. This is a
+	// debug/reference mode — results, Stats and round counts are identical
+	// either way (asserted by the scheduler equivalence tests) — but wall
+	// clock becomes proportional to elapsed rounds instead of events.
+	Stepwise bool
 }
 
 // Stats accumulates cost measures across all Run calls on a Network.
 type Stats struct {
-	Rounds      int // synchronous rounds elapsed
+	Rounds      int // synchronous rounds elapsed (including skipped gaps)
 	Messages    int // messages delivered
 	Words       int // words delivered
 	CutWords    int // words that crossed the metered cut (0 if no cut set)
 	Activations int // node activations (instrumentation)
 }
 
-type link struct {
-	owner, to int
-	queue     []Msg
-	credit    int
-	enqueued  bool // tracked in Network.queued or a node's touched list
-	cut       bool // crosses the metered cut
-}
-
-type nodeState struct {
-	neighbors []int       // deduplicated, sorted communication neighbours
-	linkIdx   map[int]int // neighbour ID -> index into links
-	links     []*link
-	inbox     []Delivery
-	rng       *rand.Rand
-	wakes     []int   // wake-up rounds requested during handlers (merged post-round)
-	touched   []*link // links first written to during this round's handlers
-	program   Program
-}
-
 // Network is a CONGEST network over the communication graph of g. It can
 // run several Programs in sequence (the phases of a composite algorithm),
-// accumulating Stats across runs.
+// accumulating Stats across runs. It is a facade over the three layers of
+// the simulator core: the transport, the round calendar and the execution
+// engine.
 type Network struct {
-	g       *graph.Graph
-	opts    Options
-	nodes   []*nodeState
-	stats   Stats
-	now     int
-	wakeups map[int][]int // future round -> nodes to wake
-	queued  []*link       // links with pending traffic, kept sorted
-	workers int
+	g     *graph.Graph
+	opts  Options
+	nodes []*nodeState
+	stats Stats
+	now   int
+
+	tr  transport // links with pending traffic + delivery schedule
+	cal calendar  // pending wake-up rounds
+	eng engine    // handler execution strategy (sequential / worker pool)
+
+	all       []int // the identity permutation [0..n), for Init phases
+	activeBuf []int // scratch: the round's receivers and woken nodes
 
 	obs      Observer
 	msgObs   Observer      // obs, or nil when its MessageFilter declines messages
@@ -155,11 +172,6 @@ type Network struct {
 	phaseObs PhaseObserver
 	runObs   RunObserver
 	phases   []string // stack of open phase names (BeginPhase/EndPhase)
-
-	// Per-round congestion figures, reset at the start of every round and
-	// reported through RoundObserver.
-	roundMaxLink  int // most words delivered over one link this round
-	roundMaxQueue int // longest link backlog left after transmit
 }
 
 // NewNetwork validates connectivity and builds the network.
@@ -175,13 +187,20 @@ func NewNetwork(g *graph.Graph, opts Options) (*Network, error) {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	net := &Network{
-		g:       g,
-		opts:    opts,
-		nodes:   make([]*nodeState, g.N()),
-		wakeups: make(map[int][]int),
-		workers: workers,
+		g:     g,
+		opts:  opts,
+		nodes: make([]*nodeState, g.N()),
+		tr:    newTransport(opts.Bandwidth),
+		cal:   newCalendar(),
+		all:   make([]int, g.N()),
+	}
+	if opts.Parallel {
+		net.eng = &parEngine{workers: workers}
+	} else {
+		net.eng = seqEngine{}
 	}
 	for v := 0; v < g.N(); v++ {
+		net.all[v] = v
 		seen := make(map[int]bool)
 		var nbrs []int
 		for _, a := range g.Comm(v) {
@@ -238,199 +257,6 @@ func (net *Network) MeterCut(side []bool) {
 	}
 }
 
-// Run executes one Program per node until quiescence: no queued link
-// traffic and no pending wake-ups. budget caps the number of additional
-// rounds; budget <= 0 selects a generous default. Returns the number of
-// rounds this run consumed.
-func (net *Network) Run(progs []Program, budget int) (int, error) {
-	n := net.g.N()
-	if len(progs) != n {
-		return 0, fmt.Errorf("congest: %d programs for %d nodes", len(progs), n)
-	}
-	if budget <= 0 {
-		budget = 1000*n + 1_000_000
-	}
-	start := net.now
-	if net.runObs != nil {
-		net.runObs.OnRunStart(net.now)
-	}
-	for v, st := range net.nodes {
-		st.program = progs[v]
-		st.inbox = st.inbox[:0]
-	}
-	all := make([]int, n)
-	for i := range all {
-		all[i] = i
-	}
-	// Init phase: local computation before round 1 of this run; sends made
-	// here enter the link queues and are delivered from the next round on.
-	net.runHandlers(all, true)
-	net.afterHandlers(all)
-
-	for len(net.queued) > 0 || len(net.wakeups) > 0 {
-		if net.now-start >= budget {
-			if net.runObs != nil {
-				net.runObs.OnRunEnd(net.now)
-			}
-			return net.now - start, fmt.Errorf("%w (%d rounds)", ErrBudget, budget)
-		}
-		net.now++
-		net.stats.Rounds++
-		if net.obs != nil {
-			net.obs.OnRound(net.now)
-		}
-		before := net.stats
-		net.roundMaxLink, net.roundMaxQueue = 0, 0
-		active := net.transmit()
-		if wk, ok := net.wakeups[net.now]; ok {
-			delete(net.wakeups, net.now)
-			active = append(active, wk...)
-		}
-		active = sortedUnique(active)
-		net.runHandlers(active, false)
-		net.afterHandlers(active)
-		net.stats.Activations += len(active)
-		if net.roundObs != nil {
-			net.roundObs.OnRoundEnd(net.now, RoundStats{
-				Messages:     net.stats.Messages - before.Messages,
-				Words:        net.stats.Words - before.Words,
-				CutWords:     net.stats.CutWords - before.CutWords,
-				Active:       len(active),
-				MaxLinkWords: net.roundMaxLink,
-				MaxQueueLen:  net.roundMaxQueue,
-			})
-		}
-	}
-	for _, st := range net.nodes {
-		st.program = nil
-	}
-	if net.runObs != nil {
-		net.runObs.OnRunEnd(net.now)
-	}
-	return net.now - start, nil
-}
-
-// runHandlers invokes Deliver/Tick (or Init) for each node in ids, either
-// sequentially or on worker goroutines. Handlers only mutate node-local
-// state, so parallel execution is safe and deterministic.
-func (net *Network) runHandlers(ids []int, init bool) {
-	handle := func(v int) {
-		st := net.nodes[v]
-		nd := &Node{net: net, id: v, st: st}
-		if init {
-			st.program.Init(nd)
-			return
-		}
-		for _, d := range st.inbox {
-			st.program.Deliver(nd, d)
-		}
-		st.program.Tick(nd)
-		st.inbox = st.inbox[:0]
-	}
-	if !net.opts.Parallel || len(ids) < 2 {
-		for _, v := range ids {
-			handle(v)
-		}
-		return
-	}
-	workers := net.workers
-	if workers > len(ids) {
-		workers = len(ids)
-	}
-	var wg sync.WaitGroup
-	chunk := (len(ids) + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > len(ids) {
-			hi = len(ids)
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(part []int) {
-			defer wg.Done()
-			for _, v := range part {
-				handle(v)
-			}
-		}(ids[lo:hi])
-	}
-	wg.Wait()
-}
-
-// afterHandlers merges per-node wake-up requests and newly-touched links
-// into the network-global structures (single-threaded).
-func (net *Network) afterHandlers(ids []int) {
-	for _, v := range ids {
-		st := net.nodes[v]
-		for _, r := range st.wakes {
-			net.wakeups[r] = append(net.wakeups[r], v)
-		}
-		st.wakes = st.wakes[:0]
-		net.queued = append(net.queued, st.touched...)
-		st.touched = st.touched[:0]
-	}
-	sort.Slice(net.queued, func(i, j int) bool {
-		if net.queued[i].owner != net.queued[j].owner {
-			return net.queued[i].owner < net.queued[j].owner
-		}
-		return net.queued[i].to < net.queued[j].to
-	})
-}
-
-// transmit advances every queued link by one round of bandwidth and places
-// completed messages in destination inboxes. Returns the destinations that
-// received at least one message (with duplicates).
-func (net *Network) transmit() []int {
-	if len(net.queued) == 0 {
-		return nil
-	}
-	b := net.opts.Bandwidth
-	var receivers []int
-	remaining := net.queued[:0]
-	for _, l := range net.queued {
-		l.credit += b
-		delivered := false
-		linkWords := 0
-		for len(l.queue) > 0 && l.queue[0].Size() <= l.credit {
-			m := l.queue[0]
-			l.queue = l.queue[1:]
-			l.credit -= m.Size()
-			dst := net.nodes[l.to]
-			dst.inbox = append(dst.inbox, Delivery{From: l.owner, Msg: m})
-			if net.msgObs != nil {
-				net.msgObs.OnMessage(net.now, l.owner, l.to, m)
-			}
-			net.stats.Messages++
-			net.stats.Words += m.Size()
-			linkWords += m.Size()
-			if l.cut {
-				net.stats.CutWords += m.Size()
-			}
-			delivered = true
-		}
-		if linkWords > net.roundMaxLink {
-			net.roundMaxLink = linkWords
-		}
-		if delivered {
-			receivers = append(receivers, l.to)
-		}
-		if len(l.queue) == 0 {
-			l.credit = 0
-			l.enqueued = false
-			l.queue = nil
-		} else {
-			if len(l.queue) > net.roundMaxQueue {
-				net.roundMaxQueue = len(l.queue)
-			}
-			remaining = append(remaining, l)
-		}
-	}
-	net.queued = remaining
-	return receivers
-}
-
 func sortedUnique(s []int) []int {
 	if len(s) == 0 {
 		return s
@@ -444,91 +270,3 @@ func sortedUnique(s []int) []int {
 	}
 	return out
 }
-
-// Node is the node-local view handed to Program handlers. It is only valid
-// for the duration of the handler invocation.
-type Node struct {
-	net *Network
-	id  int
-	st  *nodeState
-}
-
-// ID returns this node's identifier in [0, N).
-func (nd *Node) ID() int { return nd.id }
-
-// N returns the number of nodes in the network (global knowledge in
-// CONGEST).
-func (nd *Node) N() int { return nd.net.g.N() }
-
-// Directed reports whether the input graph is directed (global knowledge).
-func (nd *Node) Directed() bool { return nd.net.g.Directed() }
-
-// Round returns the current global round number.
-func (nd *Node) Round() int { return nd.net.now }
-
-// Bandwidth returns the per-link word bandwidth (global knowledge).
-func (nd *Node) Bandwidth() int { return nd.net.opts.Bandwidth }
-
-// SharedSeed returns the network seed, modelling the shared randomness that
-// the paper's randomized constructions assume.
-func (nd *Node) SharedSeed() int64 { return nd.net.opts.Seed }
-
-// Out returns the arcs of the input graph leaving this node. The slice must
-// not be modified.
-func (nd *Node) Out() []graph.Arc { return nd.net.g.Out(nd.id) }
-
-// In returns the arcs of the input graph entering this node. The slice must
-// not be modified.
-func (nd *Node) In() []graph.Arc { return nd.net.g.In(nd.id) }
-
-// Neighbors returns the deduplicated, sorted communication neighbours. The
-// slice must not be modified.
-func (nd *Node) Neighbors() []int { return nd.st.neighbors }
-
-// Rand returns the node's PRNG.
-func (nd *Node) Rand() *rand.Rand { return nd.st.rng }
-
-// Send enqueues a message on the link to a communication neighbour.
-// Transmission begins next round; a message of size s occupies the link for
-// ceil(s/B) rounds. Send panics if `to` is not a neighbour — that is a
-// programming error in an algorithm, not a runtime condition.
-func (nd *Node) Send(to int, m Msg) {
-	i, ok := nd.st.linkIdx[to]
-	if !ok {
-		panic(fmt.Sprintf("congest: node %d sending to non-neighbor %d", nd.id, to))
-	}
-	l := nd.st.links[i]
-	l.queue = append(l.queue, m)
-	if !l.enqueued {
-		l.enqueued = true
-		nd.st.touched = append(nd.st.touched, l)
-	}
-}
-
-// SendTag is Send with an inline message construction.
-func (nd *Node) SendTag(to int, tag int64, words ...int64) {
-	nd.Send(to, Msg{Tag: tag, Words: words})
-}
-
-// QueueLen returns the number of messages currently queued on the link to
-// the given neighbour (node-local knowledge: a sender knows what it has
-// handed to its own network interface).
-func (nd *Node) QueueLen(to int) int {
-	i, ok := nd.st.linkIdx[to]
-	if !ok {
-		return 0
-	}
-	return len(nd.st.links[i].queue)
-}
-
-// WakeAt schedules a Tick for this node at the given (strictly future)
-// round even if no message arrives.
-func (nd *Node) WakeAt(round int) {
-	if round <= nd.net.now {
-		round = nd.net.now + 1
-	}
-	nd.st.wakes = append(nd.st.wakes, round)
-}
-
-// WakeNext schedules a Tick for the next round.
-func (nd *Node) WakeNext() { nd.WakeAt(nd.net.now + 1) }

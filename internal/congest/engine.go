@@ -1,0 +1,175 @@
+package congest
+
+import "fmt"
+
+// engine is the handler-execution strategy: how one round's Deliver/Tick
+// (or Init) handlers are invoked across the active nodes. Implementations
+// must preserve the invariant that handlers mutate only node-local state;
+// everything else about a round — transmission, wake-up merging, observer
+// callbacks — is engine-independent and lives in the run loop below, which
+// is why both engines produce bit-identical event streams.
+type engine interface {
+	runHandlers(net *Network, ids []int, init bool)
+}
+
+// handleNode invokes one node's handler(s) for the current round. Called
+// from both engines; touches only the node's own state.
+func (net *Network) handleNode(v int, init bool) {
+	st := net.nodes[v]
+	nd := &Node{net: net, id: v, st: st}
+	if init {
+		st.program.Init(nd)
+		return
+	}
+	for _, d := range st.inbox {
+		st.program.Deliver(nd, d)
+	}
+	st.program.Tick(nd)
+	st.inbox = st.inbox[:0]
+}
+
+// Run executes one Program per node until quiescence: no queued link
+// traffic and no pending wake-ups. budget caps the number of additional
+// rounds; budget <= 0 selects a generous default. Returns the number of
+// rounds this run consumed.
+//
+// The loop is event-driven: each iteration asks the scheduler for the next
+// round in which anything can happen — the minimum of the transport's
+// next-delivery round and the calendar's next wake-up — and jumps the clock
+// straight there, charging the skipped gap to Stats.Rounds in one step.
+// Options.Stepwise pins the next round to now+1, iterating every round
+// one by one; both modes are bit-identical in results, Stats and round
+// counts (see sched_test.go).
+func (net *Network) Run(progs []Program, budget int) (int, error) {
+	n := net.g.N()
+	if len(progs) != n {
+		return 0, fmt.Errorf("congest: %d programs for %d nodes", len(progs), n)
+	}
+	if budget <= 0 {
+		budget = 1000*n + 1_000_000
+	}
+	start := net.now
+	if net.runObs != nil {
+		net.runObs.OnRunStart(net.now)
+	}
+	for v, st := range net.nodes {
+		st.program = progs[v]
+		st.inbox = st.inbox[:0]
+	}
+	// Init phase: local computation before round 1 of this run; sends made
+	// here enter the link queues and are delivered from the next round on.
+	net.eng.runHandlers(net, net.all, true)
+	net.afterHandlers(net.all)
+
+	for net.tr.pending() || !net.cal.empty() {
+		next := net.cal.next()
+		if net.tr.pending() && net.tr.nextDelivery < next {
+			next = net.tr.nextDelivery
+		}
+		if net.opts.Stepwise || next <= net.now {
+			// Stepwise debug mode; or a stale past wake-up left behind by a
+			// budget-exhausted run — degrade to one-round steps as the
+			// stepwise loop would.
+			next = net.now + 1
+		}
+		if next-start > budget {
+			if net.now-start < budget {
+				// Consume the remaining budget as one empty round so the
+				// rounds charged equal the budget exactly, as stepwise
+				// iteration would have.
+				net.runRound(start + budget)
+			}
+			if net.runObs != nil {
+				net.runObs.OnRunEnd(net.now)
+			}
+			return net.now - start, fmt.Errorf("%w (%d rounds)", ErrBudget, budget)
+		}
+		net.runRound(next)
+	}
+	for _, st := range net.nodes {
+		st.program = nil
+	}
+	if net.runObs != nil {
+		net.runObs.OnRunEnd(net.now)
+	}
+	return net.now - start, nil
+}
+
+// runRound executes the single round `round`, first settling the gap of
+// skipped empty rounds since the previous executed one: the gap is charged
+// to Stats.Rounds, queued links accrue its bandwidth, and observers see it
+// as RoundStats.Gap.
+func (net *Network) runRound(round int) {
+	gap := round - net.now - 1
+	net.now = round
+	net.stats.Rounds += gap + 1
+	if net.obs != nil {
+		net.obs.OnRound(round)
+	}
+	before := net.stats
+	buf := net.tr.transmit(net, gap+1, net.activeBuf[:0])
+	if wk := net.cal.take(round); wk != nil {
+		buf = append(buf, wk...)
+		net.cal.recycle(wk)
+	}
+	active := sortedUnique(buf)
+	net.activeBuf = buf
+	net.eng.runHandlers(net, active, false)
+	net.afterHandlers(active)
+	net.stats.Activations += len(active)
+	if net.roundObs != nil {
+		net.roundObs.OnRoundEnd(round, RoundStats{
+			Messages:     net.stats.Messages - before.Messages,
+			Words:        net.stats.Words - before.Words,
+			CutWords:     net.stats.CutWords - before.CutWords,
+			Active:       len(active),
+			MaxLinkWords: net.tr.maxLink,
+			MaxQueueLen:  net.tr.maxQueue,
+			Gap:          gap,
+		})
+	}
+}
+
+// afterHandlers merges per-node wake-up requests into the calendar and
+// newly-touched links into the transport's sorted queued set
+// (single-threaded). ids is sorted ascending and each node's touched list
+// is insertion-sorted by destination, so the concatenation is already in
+// canonical (owner, to) order and merges in O(new + queued).
+func (net *Network) afterHandlers(ids []int) {
+	fresh := net.tr.fresh[:0]
+	for _, v := range ids {
+		st := net.nodes[v]
+		for _, r := range st.wakes {
+			net.cal.schedule(r, v)
+		}
+		st.wakes = st.wakes[:0]
+		if len(st.touched) > 0 {
+			insertionSortByTo(st.touched)
+			fresh = append(fresh, st.touched...)
+			for i := range st.touched {
+				st.touched[i] = nil
+			}
+			st.touched = st.touched[:0]
+		}
+	}
+	net.tr.enqueue(net.now, fresh)
+	for i := range fresh {
+		fresh[i] = nil
+	}
+	net.tr.fresh = fresh[:0]
+}
+
+// insertionSortByTo sorts a node's touched links by destination. The lists
+// are tiny (bounded by the node's degree, typically a handful), where
+// insertion sort beats sort.Slice without allocating.
+func insertionSortByTo(ls []*link) {
+	for i := 1; i < len(ls); i++ {
+		l := ls[i]
+		j := i - 1
+		for j >= 0 && ls[j].to > l.to {
+			ls[j+1] = ls[j]
+			j--
+		}
+		ls[j+1] = l
+	}
+}

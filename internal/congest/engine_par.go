@@ -1,0 +1,45 @@
+package congest
+
+import "sync"
+
+// parEngine executes node handlers on worker goroutines with a barrier per
+// round. Handlers mutate only node-local state (their own program state,
+// PRNG and outgoing link queues), so chunking the active set across workers
+// is safe and the observable behaviour — delivery order, Stats, round
+// counts — is identical to the sequential engine.
+type parEngine struct {
+	workers int
+}
+
+func (e *parEngine) runHandlers(net *Network, ids []int, init bool) {
+	if len(ids) < 2 {
+		for _, v := range ids {
+			net.handleNode(v, init)
+		}
+		return
+	}
+	workers := e.workers
+	if workers > len(ids) {
+		workers = len(ids)
+	}
+	var wg sync.WaitGroup
+	chunk := (len(ids) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(ids) {
+			hi = len(ids)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(part []int) {
+			defer wg.Done()
+			for _, v := range part {
+				net.handleNode(v, init)
+			}
+		}(ids[lo:hi])
+	}
+	wg.Wait()
+}

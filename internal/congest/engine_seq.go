@@ -1,0 +1,11 @@
+package congest
+
+// seqEngine runs every handler inline on the calling goroutine — the
+// deterministic reference engine.
+type seqEngine struct{}
+
+func (seqEngine) runHandlers(net *Network, ids []int, init bool) {
+	for _, v := range ids {
+		net.handleNode(v, init)
+	}
+}

@@ -1,0 +1,113 @@
+package congest
+
+import (
+	"fmt"
+	"math/rand"
+
+	"congestmwc/internal/graph"
+)
+
+// nodeState is the engine-side state of one node: its communication
+// neighbourhood, outgoing links, inbox, PRNG and the per-round scratch the
+// handlers fill in (wake-up requests, links first written to this round).
+// Handlers mutate only their own nodeState, which is what makes the
+// parallel engine safe without locks.
+type nodeState struct {
+	neighbors []int       // deduplicated, sorted communication neighbours
+	linkIdx   map[int]int // neighbour ID -> index into links
+	links     []*link
+	inbox     []Delivery
+	rng       *rand.Rand
+	wakes     []int   // wake-up rounds requested during handlers (merged post-round)
+	touched   []*link // links first written to during this round's handlers
+	program   Program
+}
+
+// Node is the node-local view handed to Program handlers. It is only valid
+// for the duration of the handler invocation.
+type Node struct {
+	net *Network
+	id  int
+	st  *nodeState
+}
+
+// ID returns this node's identifier in [0, N).
+func (nd *Node) ID() int { return nd.id }
+
+// N returns the number of nodes in the network (global knowledge in
+// CONGEST).
+func (nd *Node) N() int { return nd.net.g.N() }
+
+// Directed reports whether the input graph is directed (global knowledge).
+func (nd *Node) Directed() bool { return nd.net.g.Directed() }
+
+// Round returns the current global round number.
+func (nd *Node) Round() int { return nd.net.now }
+
+// Bandwidth returns the per-link word bandwidth (global knowledge).
+func (nd *Node) Bandwidth() int { return nd.net.opts.Bandwidth }
+
+// SharedSeed returns the network seed, modelling the shared randomness that
+// the paper's randomized constructions assume.
+func (nd *Node) SharedSeed() int64 { return nd.net.opts.Seed }
+
+// Out returns the arcs of the input graph leaving this node. The slice must
+// not be modified.
+func (nd *Node) Out() []graph.Arc { return nd.net.g.Out(nd.id) }
+
+// In returns the arcs of the input graph entering this node. The slice must
+// not be modified.
+func (nd *Node) In() []graph.Arc { return nd.net.g.In(nd.id) }
+
+// Neighbors returns the deduplicated, sorted communication neighbours. The
+// slice must not be modified.
+func (nd *Node) Neighbors() []int { return nd.st.neighbors }
+
+// Rand returns the node's PRNG.
+func (nd *Node) Rand() *rand.Rand { return nd.st.rng }
+
+// Send enqueues a message on the link to a communication neighbour.
+// Transmission begins next round; a message of size s occupies the link for
+// ceil(s/B) rounds. Send panics if `to` is not a neighbour — that is a
+// programming error in an algorithm, not a runtime condition.
+func (nd *Node) Send(to int, m Msg) {
+	i, ok := nd.st.linkIdx[to]
+	if !ok {
+		panic(fmt.Sprintf("congest: node %d sending to non-neighbor %d", nd.id, to))
+	}
+	l := nd.st.links[i]
+	l.queue = append(l.queue, m)
+	if !l.enqueued {
+		l.enqueued = true
+		nd.st.touched = append(nd.st.touched, l)
+	}
+}
+
+// SendTag is Send with an inline message construction.
+func (nd *Node) SendTag(to int, tag int64, words ...int64) {
+	nd.Send(to, Msg{Tag: tag, Words: words})
+}
+
+// QueueLen returns the number of messages currently queued on the link to
+// the given neighbour (node-local knowledge: a sender knows what it has
+// handed to its own network interface).
+func (nd *Node) QueueLen(to int) int {
+	i, ok := nd.st.linkIdx[to]
+	if !ok {
+		return 0
+	}
+	l := nd.st.links[i]
+	return len(l.queue) - l.head
+}
+
+// WakeAt schedules a Tick for this node at the given (strictly future)
+// round even if no message arrives.
+func (nd *Node) WakeAt(round int) {
+	if round <= nd.net.now {
+		round = nd.net.now + 1
+	}
+	nd.st.wakes = append(nd.st.wakes, round)
+}
+
+// WakeNext schedules a Tick for the next round.
+func (nd *Node) WakeNext() { nd.WakeAt(nd.net.now + 1) }

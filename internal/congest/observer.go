@@ -13,7 +13,9 @@ import "strings"
 // detects them once in SetObserver and invokes them with no per-event
 // type assertions.
 type Observer interface {
-	// OnRound fires at the start of every round, before deliveries.
+	// OnRound fires at the start of every executed round, before
+	// deliveries. Empty rounds skipped by the event-driven scheduler fire
+	// no callback; their count reaches RoundObservers as RoundStats.Gap.
 	OnRound(round int)
 	// OnMessage fires for every delivered message.
 	OnMessage(round, from, to int, m Msg)
@@ -36,6 +38,12 @@ type RoundStats struct {
 	// MaxQueueLen is the longest link queue left after the round's
 	// transmissions — the backlog pipelined protocols are working through.
 	MaxQueueLen int
+	// Gap is the number of empty rounds the event-driven scheduler skipped
+	// immediately before this round — rounds in which no link could
+	// complete a delivery and no wake-up fired, so no handler ran and no
+	// statistic other than Stats.Rounds changed. This round therefore
+	// accounts for Gap+1 of Stats.Rounds. Always 0 under Options.Stepwise.
+	Gap int
 }
 
 // RoundObserver is an optional Observer extension: OnRoundEnd fires once

@@ -1,0 +1,94 @@
+package congest
+
+// calendar is the round scheduler's wake-up side: a bucket queue mapping
+// future rounds to the nodes that asked to be woken then (Node.WakeAt),
+// with a hand-rolled min-heap over the distinct pending rounds. Together
+// with transport.nextDelivery it tells the run loop the next round in which
+// anything can happen, so empty rounds are skipped instead of iterated.
+type calendar struct {
+	rounds []int         // min-heap of distinct pending wake-up rounds
+	nodes  map[int][]int // round -> nodes to wake (may contain duplicates)
+	free   [][]int       // recycled buckets, to avoid per-round allocation
+}
+
+func newCalendar() calendar {
+	return calendar{nodes: make(map[int][]int)}
+}
+
+// empty reports whether no wake-ups are pending.
+func (c *calendar) empty() bool { return len(c.rounds) == 0 }
+
+// next returns the earliest pending wake-up round, or never when empty.
+func (c *calendar) next() int {
+	if len(c.rounds) == 0 {
+		return never
+	}
+	return c.rounds[0]
+}
+
+// schedule records that node v wants a wake-up at the given round.
+func (c *calendar) schedule(round, v int) {
+	b, ok := c.nodes[round]
+	if !ok {
+		if n := len(c.free); n > 0 {
+			b = c.free[n-1]
+			c.free = c.free[:n-1]
+		}
+		c.push(round)
+	}
+	c.nodes[round] = append(b, v)
+}
+
+// take removes and returns the bucket for the given round, or nil if no
+// wake-up is pending for exactly that round. The caller hands the bucket
+// back via recycle once consumed.
+func (c *calendar) take(round int) []int {
+	if len(c.rounds) == 0 || c.rounds[0] != round {
+		return nil
+	}
+	c.popMin()
+	b := c.nodes[round]
+	delete(c.nodes, round)
+	return b
+}
+
+// recycle returns a consumed bucket to the freelist.
+func (c *calendar) recycle(b []int) {
+	if cap(b) > 0 && len(c.free) < 64 {
+		c.free = append(c.free, b[:0])
+	}
+}
+
+func (c *calendar) push(r int) {
+	c.rounds = append(c.rounds, r)
+	i := len(c.rounds) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if c.rounds[p] <= c.rounds[i] {
+			break
+		}
+		c.rounds[p], c.rounds[i] = c.rounds[i], c.rounds[p]
+		i = p
+	}
+}
+
+func (c *calendar) popMin() {
+	n := len(c.rounds) - 1
+	c.rounds[0] = c.rounds[n]
+	c.rounds = c.rounds[:n]
+	i := 0
+	for {
+		l, r, s := 2*i+1, 2*i+2, i
+		if l < n && c.rounds[l] < c.rounds[s] {
+			s = l
+		}
+		if r < n && c.rounds[r] < c.rounds[s] {
+			s = r
+		}
+		if s == i {
+			return
+		}
+		c.rounds[i], c.rounds[s] = c.rounds[s], c.rounds[i]
+		i = s
+	}
+}

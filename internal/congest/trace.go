@@ -69,7 +69,10 @@ func (t *TraceWriter) Flush() {
 func (t *TraceWriter) Suppressed() int { return t.suppressed }
 
 // CountingObserver tallies events without recording them; useful in tests
-// and for cheap instrumentation.
+// and for cheap instrumentation. Rounds counts *executed* rounds (OnRound
+// callbacks) — under the event-driven scheduler this excludes skipped empty
+// rounds, so it can be less than Stats.Rounds; use obs.Collector for
+// gap-aware round totals.
 type CountingObserver struct {
 	Rounds   int
 	Messages int

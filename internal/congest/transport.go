@@ -1,0 +1,178 @@
+package congest
+
+import "math"
+
+// never is the round number reported by schedule queries when nothing is
+// pending — later than any reachable round.
+const never = math.MaxInt
+
+// link is one directed FIFO channel of the communication graph. queue[head:]
+// holds the undelivered messages; credit is the bandwidth accumulated toward
+// the head message's size (fragmentation: a size-s message completes once
+// credit reaches s, i.e. after ceil(s/B) rounds on an otherwise idle link).
+type link struct {
+	owner, to int
+	queue     []Msg
+	head      int  // index of the first undelivered message in queue
+	credit    int  // words of bandwidth accrued toward queue[head]
+	enqueued  bool // tracked in transport.queued or a node's touched list
+	cut       bool // crosses the metered cut
+}
+
+// reset returns a fully-drained link to its idle state, keeping the queue's
+// backing array for reuse but dropping message payload references.
+func (l *link) reset() {
+	for i := range l.queue {
+		l.queue[i] = Msg{}
+	}
+	l.queue = l.queue[:0]
+	l.head = 0
+	l.credit = 0
+	l.enqueued = false
+}
+
+// maybeCompact shifts queue[head:] to the front once the delivered prefix
+// dominates the slice, so a long-lived queue doesn't pin delivered messages
+// or grow its backing array without bound.
+func (l *link) maybeCompact() {
+	if l.head > 32 && 2*l.head >= len(l.queue) {
+		n := copy(l.queue, l.queue[l.head:])
+		for i := n; i < len(l.queue); i++ {
+			l.queue[i] = Msg{}
+		}
+		l.queue = l.queue[:n]
+		l.head = 0
+	}
+}
+
+// transport owns the set of links with pending traffic, kept sorted by
+// (owner, to) so deliveries happen in canonical order, and maintains
+// nextDelivery — the earliest round at which any queued link can complete a
+// message, computed from per-link credit and head-of-queue size. The
+// scheduler uses nextDelivery (together with the wake-up calendar) to jump
+// over empty rounds.
+type transport struct {
+	bandwidth    int
+	queued       []*link // links with pending traffic, sorted by (owner, to)
+	nextDelivery int     // earliest completable delivery round; never if idle
+	fresh        []*link // scratch: this round's newly-touched links
+
+	// Per-round congestion figures, reset by transmit and reported through
+	// RoundObserver.
+	maxLink  int // most words delivered over one link this round
+	maxQueue int // longest link backlog left after transmit
+}
+
+func newTransport(bandwidth int) transport {
+	return transport{bandwidth: bandwidth, nextDelivery: never}
+}
+
+// pending reports whether any link has undelivered traffic.
+func (tr *transport) pending() bool { return len(tr.queued) > 0 }
+
+// transmit advances every queued link by elapsed rounds of bandwidth and
+// places completed messages in destination inboxes, appending each receiving
+// node to buf (with duplicates). elapsed > 1 settles a skipped gap: because
+// nextDelivery is a min over the queued links, no link could have completed
+// a message during the gap, so crediting B*elapsed in one step is identical
+// to per-round accrual. Recomputes nextDelivery for the links that remain.
+func (tr *transport) transmit(net *Network, elapsed int, buf []int) []int {
+	tr.maxLink, tr.maxQueue = 0, 0
+	if len(tr.queued) == 0 {
+		tr.nextDelivery = never
+		return buf
+	}
+	b := tr.bandwidth
+	next := never
+	remaining := tr.queued[:0]
+	for _, l := range tr.queued {
+		l.credit += b * elapsed
+		delivered := false
+		linkWords := 0
+		for l.head < len(l.queue) && l.queue[l.head].Size() <= l.credit {
+			m := l.queue[l.head]
+			l.queue[l.head] = Msg{}
+			l.head++
+			l.credit -= m.Size()
+			dst := net.nodes[l.to]
+			dst.inbox = append(dst.inbox, Delivery{From: l.owner, Msg: m})
+			if net.msgObs != nil {
+				net.msgObs.OnMessage(net.now, l.owner, l.to, m)
+			}
+			net.stats.Messages++
+			net.stats.Words += m.Size()
+			linkWords += m.Size()
+			if l.cut {
+				net.stats.CutWords += m.Size()
+			}
+			delivered = true
+		}
+		if linkWords > tr.maxLink {
+			tr.maxLink = linkWords
+		}
+		if delivered {
+			buf = append(buf, l.to)
+		}
+		if l.head == len(l.queue) {
+			l.reset()
+			continue
+		}
+		if qlen := len(l.queue) - l.head; qlen > tr.maxQueue {
+			tr.maxQueue = qlen
+		}
+		l.maybeCompact()
+		need := l.queue[l.head].Size() - l.credit
+		if r := net.now + (need+b-1)/b; r < next {
+			next = r
+		}
+		remaining = append(remaining, l)
+	}
+	// Clear the dropped tail so drained links aren't pinned by the
+	// reused backing array.
+	for i := len(remaining); i < len(tr.queued); i++ {
+		tr.queued[i] = nil
+	}
+	tr.queued = remaining
+	tr.nextDelivery = next
+	return buf
+}
+
+// enqueue merges this round's newly-touched links (sorted by (owner, to),
+// disjoint from queued since their enqueued flag was just set) into the
+// sorted queued set — a backward in-place merge, O(new + queued) instead of
+// re-sorting — and pulls nextDelivery forward for each new head-of-queue.
+func (tr *transport) enqueue(now int, fresh []*link) {
+	if len(fresh) == 0 {
+		return
+	}
+	b := tr.bandwidth
+	for _, l := range fresh {
+		need := l.queue[l.head].Size() - l.credit
+		if r := now + (need+b-1)/b; r < tr.nextDelivery {
+			tr.nextDelivery = r
+		}
+	}
+	q := append(tr.queued, fresh...)
+	// Backward merge, reading the new elements from fresh (a separate
+	// backing array) so overwriting q's tail is safe.
+	i, j := len(tr.queued)-1, len(fresh)-1
+	for k := len(q) - 1; j >= 0; k-- {
+		if i >= 0 && linkAfter(tr.queued[i], fresh[j]) {
+			q[k] = tr.queued[i]
+			i--
+		} else {
+			q[k] = fresh[j]
+			j--
+		}
+	}
+	tr.queued = q
+}
+
+// linkAfter reports whether a orders after b in the canonical (owner, to)
+// delivery order.
+func linkAfter(a, b *link) bool {
+	if a.owner != b.owner {
+		return a.owner > b.owner
+	}
+	return a.to > b.to
+}

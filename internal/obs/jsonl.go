@@ -67,6 +67,9 @@ type jsonlRound struct {
 	Active       int    `json:"active"`
 	MaxLinkWords int    `json:"maxLinkWords"`
 	MaxQueueLen  int    `json:"maxQueueLen"`
+	// Gap counts the empty rounds the scheduler skipped immediately before
+	// this one; round events are emitted for executed rounds only.
+	Gap int `json:"gap,omitempty"`
 }
 
 type jsonlPhase struct {
@@ -101,6 +104,7 @@ func (j *JSONL) OnRoundEnd(round int, rs congest.RoundStats) {
 		Ev: "round", Round: round,
 		Messages: rs.Messages, Words: rs.Words, CutWords: rs.CutWords,
 		Active: rs.Active, MaxLinkWords: rs.MaxLinkWords, MaxQueueLen: rs.MaxQueueLen,
+		Gap: rs.Gap,
 	})
 }
 

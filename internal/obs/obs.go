@@ -19,11 +19,14 @@ import (
 	"congestmwc/internal/congest"
 )
 
-// RoundSample is one bucket of the per-round time series. With decimation
-// off (Collector.MaxSeries == 0) every bucket covers exactly one round
-// (Span == 1); under decimation adjacent buckets are merged pairwise, so
-// a bucket covers Span consecutive rounds starting at Round, with counts
-// summed and congestion figures maxed.
+// RoundSample is one bucket of the per-round time series: it covers Span
+// consecutive rounds starting at Round. With decimation off
+// (Collector.MaxSeries == 0) every executed round gets its own bucket
+// (Span == 1), and each run of empty rounds skipped by the event-driven
+// scheduler appears as one all-zero bucket spanning the gap — bucket spans
+// always tile the simulated rounds exactly once. Under decimation adjacent
+// buckets are merged pairwise, with counts summed and congestion figures
+// maxed.
 type RoundSample struct {
 	Round        int   `json:"round"`
 	Span         int   `json:"span"`
@@ -216,13 +219,17 @@ func (c *Collector) reservoir(ev MsgEvent) {
 
 // OnRoundEnd implements congest.RoundObserver: totals, phase attribution
 // and the time series all key off the engine-computed per-round deltas.
+// The round accounts for rs.Gap+1 rounds of the run — itself plus the
+// empty rounds the event-driven scheduler skipped immediately before it —
+// which keeps Rounds equal to the engine's Stats.Rounds (the conformance
+// cross-check) and phase round totals exact.
 func (c *Collector) OnRoundEnd(round int, rs congest.RoundStats) {
 	var wall int64
 	if c.Wall {
 		wall = time.Since(c.roundStart).Nanoseconds()
 		c.WallNs += wall
 	}
-	c.Rounds++
+	c.Rounds += 1 + rs.Gap
 	c.Messages += rs.Messages
 	c.Words += rs.Words
 	c.CutWords += rs.CutWords
@@ -235,7 +242,7 @@ func (c *Collector) OnRoundEnd(round int, rs congest.RoundStats) {
 	}
 	if len(c.open) > 0 {
 		sp := c.Phases[c.open[len(c.open)-1]]
-		sp.Rounds++
+		sp.Rounds += 1 + rs.Gap
 		sp.Messages += rs.Messages
 		sp.Words += rs.Words
 		sp.CutWords += rs.CutWords
@@ -243,6 +250,11 @@ func (c *Collector) OnRoundEnd(round int, rs congest.RoundStats) {
 	}
 	if c.NoSeries {
 		return
+	}
+	if rs.Gap > 0 {
+		// Represent the skipped gap as one all-zero bucket spanning it, so
+		// bucket spans still tile the run's rounds exactly once.
+		c.push(RoundSample{Round: round - rs.Gap, Span: rs.Gap})
 	}
 	c.push(RoundSample{
 		Round: round, Span: 1,

@@ -93,6 +93,7 @@ func New(g *congestmwc.Graph, opts congestmwc.Options) (*Network, error) {
 		Bandwidth: opts.Bandwidth,
 		Seed:      opts.Seed,
 		Parallel:  opts.Parallel,
+		Stepwise:  opts.Stepwise,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("sim: %w", err)
