@@ -1,0 +1,107 @@
+// Command mwcd serves MWC queries over HTTP: submissions enter a bounded
+// queue, a worker pool runs them through the congestmwc facade, and
+// identical jobs are answered from an LRU result cache. See docs/SERVER.md
+// for the API.
+//
+// Examples:
+//
+//	mwcd -addr :8356
+//	mwcd -addr 127.0.0.1:9000 -workers 8 -queue 128 -cache 512 -timeout 2m
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM: admission stops,
+// running jobs get -drain to finish, and only then does the process exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"congestmwc/internal/jobs"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mwcd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("mwcd", flag.ContinueOnError)
+	var (
+		addr    = fs.String("addr", ":8356", "listen address")
+		workers = fs.Int("workers", 4, "worker-pool size")
+		queue   = fs.Int("queue", 64, "admission queue capacity (backpressure beyond it)")
+		cache   = fs.Int("cache", 256, "result-cache entries (negative disables caching)")
+		timeout = fs.Duration("timeout", 5*time.Minute, "default per-job deadline (0 = unbounded)")
+		maxBody = fs.Int64("maxbody", 1<<20, "request body size limit in bytes")
+		records = fs.Int("maxrecords", 4096, "retained job records before the oldest terminal ones are pruned")
+		drain   = fs.Duration("drain", 30*time.Second, "graceful-shutdown budget for running jobs")
+		observe = fs.Bool("observe", false, "attach per-job observability summaries (phase table, peak congestion)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	svc := jobs.New(jobs.Config{
+		Workers:        *workers,
+		QueueCap:       *queue,
+		CacheEntries:   *cache,
+		DefaultTimeout: *timeout,
+		MaxRecords:     *records,
+		Observe:        *observe,
+	})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           jobs.NewHandler(svc, jobs.HandlerConfig{MaxBodyBytes: *maxBody}),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("mwcd: listening on %s (%d workers, queue %d, cache %d)", *addr, *workers, *queue, *cache)
+		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+			return
+		}
+		errc <- nil
+	}()
+
+	select {
+	case err := <-errc:
+		_ = svc.Close(context.Background())
+		return err
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills the process the default way
+	log.Printf("mwcd: shutting down, draining running jobs (budget %v)", *drain)
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	// Stop accepting HTTP first, then drain the job service; in-flight
+	// status polls finish before the listener closes.
+	serr := srv.Shutdown(drainCtx)
+	jerr := svc.Close(drainCtx)
+	if werr := <-errc; werr != nil {
+		return werr
+	}
+	if serr != nil {
+		return fmt.Errorf("http shutdown: %w", serr)
+	}
+	if jerr != nil {
+		return fmt.Errorf("job drain: %w", jerr)
+	}
+	log.Printf("mwcd: drained cleanly")
+	return nil
+}

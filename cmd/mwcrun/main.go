@@ -17,12 +17,17 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"math"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"congestmwc/internal/congest"
 	"congestmwc/internal/dirmwc"
@@ -38,9 +43,15 @@ import (
 	"congestmwc/internal/wmwc"
 )
 
+// Exit codes: 0 success, 1 error, 2 run aborted by -deadline or a signal.
+const exitAborted = 2
+
 func main() {
 	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "mwcrun:", err)
+		if errors.Is(err, congest.ErrCanceled) {
+			os.Exit(exitAborted)
+		}
 		os.Exit(1)
 	}
 }
@@ -70,6 +81,8 @@ type config struct {
 	phases      bool
 	sampleMsgs  int
 	cpuProfile  string
+
+	deadline time.Duration
 }
 
 func run(args []string) error {
@@ -98,6 +111,7 @@ func run(args []string) error {
 	fs.BoolVar(&cfg.phases, "phases", false, "print the phase-span table after the run")
 	fs.IntVar(&cfg.sampleMsgs, "samplemsgs", 0, "keep a uniform reservoir sample of N message events in the metrics summary")
 	fs.StringVar(&cfg.cpuProfile, "cpuprofile", "", "write a CPU profile of the run to this file")
+	fs.DurationVar(&cfg.deadline, "deadline", 0, "abort the run after this wall-clock budget (0 = none); exit code 2 on timeout or interrupt")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -115,6 +129,17 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	// Run under a context so SIGINT/SIGTERM (and -deadline, when set) abort
+	// the simulation within one executed round instead of killing the
+	// process mid-run; main maps the abort to exit code 2.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if cfg.deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.deadline)
+		defer cancel()
+	}
+	net.SetContext(ctx)
 	// Assemble the observer stack the flags ask for.
 	var observers congest.Multi
 	if cfg.traceMsgs > 0 {

@@ -32,8 +32,10 @@
 package congestmwc
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"math"
 
 	"congestmwc/internal/congest"
 	"congestmwc/internal/dirmwc"
@@ -145,6 +147,9 @@ type Options struct {
 	// Parallel runs node handlers on worker goroutines (identical results,
 	// uses multiple cores).
 	Parallel bool
+	// Workers bounds the parallel engine's worker count (default: GOMAXPROCS).
+	// Setting it without Parallel is a validation error.
+	Workers int
 	// Stepwise disables event-driven round skipping and iterates every
 	// synchronous round one by one, including empty ones. Results, Rounds
 	// and Stats are identical either way; this is a debug/reference mode
@@ -156,6 +161,44 @@ type Options struct {
 	// SampleFactor tunes the Theta(log n) sampling constants (default 3);
 	// raise it to push failure probabilities down on small graphs.
 	SampleFactor float64
+
+	// observer, when set via WithObserver, is installed on the network of
+	// the run. Module-internal: its type lives in internal/congest.
+	observer congest.Observer
+}
+
+// Validate checks the options and returns a descriptive error for values
+// that would otherwise be silently clamped or produce a nonsensical run.
+// The zero value of every field selects its documented default and is
+// always valid. ApproxMWC and ExactMWC (and their Ctx variants) validate
+// before running; call Validate directly to fail fast at admission time.
+func (o Options) Validate() error {
+	if o.Bandwidth < 0 {
+		return fmt.Errorf("congestmwc: negative bandwidth %d (use 0 for the default of 4 words/round)", o.Bandwidth)
+	}
+	if math.IsNaN(o.Eps) || math.IsInf(o.Eps, 0) || o.Eps < 0 || o.Eps > 4 {
+		return fmt.Errorf("congestmwc: eps %v outside [0, 4] (0 selects the default 0.25; the (2+eps) guarantee is vacuous beyond 4)", o.Eps)
+	}
+	if math.IsNaN(o.SampleFactor) || math.IsInf(o.SampleFactor, 0) || o.SampleFactor < 0 {
+		return fmt.Errorf("congestmwc: sample factor %v must be >= 0 (0 selects the default 3)", o.SampleFactor)
+	}
+	if o.Workers < 0 {
+		return fmt.Errorf("congestmwc: negative worker count %d (use 0 for GOMAXPROCS)", o.Workers)
+	}
+	if o.Workers > 0 && !o.Parallel {
+		return fmt.Errorf("congestmwc: Workers=%d conflicts with Parallel=false (worker goroutines exist only in the parallel engine; set Parallel too, or drop Workers)", o.Workers)
+	}
+	return nil
+}
+
+// WithObserver returns a copy of o that installs obs as the simulation
+// observer of the run. The observer interfaces live in internal/congest, so
+// this extension point is usable only from inside the module (the jobs
+// service and the CLIs attach internal/obs collectors through it); the
+// public surface of Options is unchanged.
+func (o Options) WithObserver(obs congest.Observer) Options {
+	o.observer = obs
+	return o
 }
 
 func (o Options) netOptions() congest.Options {
@@ -163,6 +206,7 @@ func (o Options) netOptions() congest.Options {
 		Bandwidth: o.Bandwidth,
 		Seed:      o.Seed,
 		Parallel:  o.Parallel,
+		Workers:   o.Workers,
 		Stepwise:  o.Stepwise,
 	}
 }
@@ -207,17 +251,35 @@ func newResult(weight int64, found bool, stats congest.Stats) *Result {
 // sublinear-round algorithm for the graph's class (see the package
 // documentation for the factor and round complexity per class). The
 // reported weight is always the weight of a real cycle of the graph (never
-// an underestimate); Found is false on acyclic graphs.
+// an underestimate); Found is false on acyclic graphs. It is
+// ApproxMWCCtx with a background context.
 func ApproxMWC(g *Graph, opts Options) (*Result, error) {
+	return ApproxMWCCtx(context.Background(), g, opts)
+}
+
+// ApproxMWCCtx is ApproxMWC under a context: when ctx is canceled or its
+// deadline passes, the in-flight simulation stops within one executed round
+// and the call returns an error satisfying errors.Is against ctx.Err(). On
+// cancellation the returned Result is non-nil with Found == false and
+// carries the partial Rounds/Messages/Words of the aborted run, so callers
+// can report how much work was executed.
+func ApproxMWCCtx(ctx context.Context, g *Graph, opts Options) (*Result, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	net, err := congest.NewNetwork(g.g, opts.netOptions())
 	if err != nil {
 		return nil, fmt.Errorf("congestmwc: %w", err)
+	}
+	net.SetContext(ctx)
+	if opts.observer != nil {
+		net.SetObserver(opts.observer)
 	}
 	switch g.class {
 	case Undirected:
 		res, err := girth.Run(net, girth.Spec{SampleFactor: opts.SampleFactor})
 		if err != nil {
-			return nil, fmt.Errorf("congestmwc: %w", err)
+			return partialOnCancel(net, err)
 		}
 		out := newResult(res.Weight, res.Found, net.Stats())
 		out.Cycle = res.Cycle
@@ -225,7 +287,7 @@ func ApproxMWC(g *Graph, opts Options) (*Result, error) {
 	case Directed:
 		res, err := dirmwc.Run(net, dirmwc.Spec{SampleFactor: opts.SampleFactor})
 		if err != nil {
-			return nil, fmt.Errorf("congestmwc: %w", err)
+			return partialOnCancel(net, err)
 		}
 		out := newResult(res.Weight, res.Found, net.Stats())
 		out.Cycle = res.Cycle
@@ -233,7 +295,7 @@ func ApproxMWC(g *Graph, opts Options) (*Result, error) {
 	case UndirectedWeighted, DirectedWeighted:
 		res, err := wmwc.Run(net, wmwc.Spec{Eps: opts.eps(), SampleFactor: opts.SampleFactor})
 		if err != nil {
-			return nil, fmt.Errorf("congestmwc: %w", err)
+			return partialOnCancel(net, err)
 		}
 		out := newResult(res.Weight, res.Found, net.Stats())
 		out.Cycle = res.Cycle
@@ -244,19 +306,44 @@ func ApproxMWC(g *Graph, opts Options) (*Result, error) {
 }
 
 // ExactMWC computes the exact minimum weight cycle with the O~(n)-round
-// APSP-based baseline.
+// APSP-based baseline. It is ExactMWCCtx with a background context.
 func ExactMWC(g *Graph, opts Options) (*Result, error) {
+	return ExactMWCCtx(context.Background(), g, opts)
+}
+
+// ExactMWCCtx is ExactMWC under a context, with the same cancellation and
+// partial-progress semantics as ApproxMWCCtx.
+func ExactMWCCtx(ctx context.Context, g *Graph, opts Options) (*Result, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	net, err := congest.NewNetwork(g.g, opts.netOptions())
 	if err != nil {
 		return nil, fmt.Errorf("congestmwc: %w", err)
 	}
+	net.SetContext(ctx)
+	if opts.observer != nil {
+		net.SetObserver(opts.observer)
+	}
 	res, err := exact.MWC(net)
 	if err != nil {
-		return nil, fmt.Errorf("congestmwc: %w", err)
+		return partialOnCancel(net, err)
 	}
 	out := newResult(res.Weight, res.Found, net.Stats())
 	out.Cycle = res.Cycle
 	return out, nil
+}
+
+// partialOnCancel shapes an algorithm error for the facade: cancellation
+// errors come back with a partial Result carrying the stats of the aborted
+// run (so callers can report executed progress); every other error passes
+// through with a nil result.
+func partialOnCancel(net *congest.Network, err error) (*Result, error) {
+	wrapped := fmt.Errorf("congestmwc: %w", err)
+	if errors.Is(err, congest.ErrCanceled) {
+		return newResult(0, false, net.Stats()), wrapped
+	}
+	return nil, wrapped
 }
 
 // VerifyCycle checks that the vertex sequence (closing edge implicit) is a

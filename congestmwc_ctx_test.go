@@ -1,0 +1,154 @@
+package congestmwc
+
+import (
+	"context"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"congestmwc/internal/obs"
+)
+
+func TestOptionsValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		opts Options
+		want string // substring of the error, "" = valid
+	}{
+		{"zero value", Options{}, ""},
+		{"typical", Options{Seed: 7, Bandwidth: 8, Eps: 0.5, SampleFactor: 2, Parallel: true, Workers: 4}, ""},
+		{"negative bandwidth", Options{Bandwidth: -1}, "negative bandwidth"},
+		{"negative eps", Options{Eps: -0.1}, "eps"},
+		{"huge eps", Options{Eps: 5}, "eps"},
+		{"NaN eps", Options{Eps: math.NaN()}, "eps"},
+		{"negative sample factor", Options{SampleFactor: -2}, "sample factor"},
+		{"inf sample factor", Options{SampleFactor: math.Inf(1)}, "sample factor"},
+		{"negative workers", Options{Workers: -3, Parallel: true}, "negative worker count"},
+		{"workers without parallel", Options{Workers: 4}, "conflicts with Parallel=false"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.opts.Validate()
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Validate() = %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestRunRejectsInvalidOptions(t *testing.T) {
+	g, err := NewGraph(4, ringEdges(4, 1), Directed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ApproxMWC(g, Options{Bandwidth: -4}); err == nil {
+		t.Error("ApproxMWC accepted a negative bandwidth")
+	}
+	if _, err := ExactMWC(g, Options{Eps: math.Inf(1)}); err == nil {
+		t.Error("ExactMWC accepted an infinite eps")
+	}
+	if _, err := ApproxMWCCtx(context.Background(), g, Options{Workers: 2}); err == nil {
+		t.Error("ApproxMWCCtx accepted Workers without Parallel")
+	}
+}
+
+// cancelCase runs one facade entry point with a pre-canceled context and
+// checks the cancellation contract: a wrapped ctx error plus a partial
+// result with Found == false.
+func TestCtxVariantsHonorCancellation(t *testing.T) {
+	g, err := NewGraph(16, ringEdges(16, 3), UndirectedWeighted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := map[string]func(context.Context, *Graph, Options) (*Result, error){
+		"approx": ApproxMWCCtx,
+		"exact":  ExactMWCCtx,
+	}
+	for _, parallel := range []bool{false, true} {
+		for name, fn := range run {
+			t.Run(name, func(t *testing.T) {
+				ctx, cancel := context.WithCancel(context.Background())
+				cancel()
+				res, err := fn(ctx, g, Options{Seed: 1, Parallel: parallel})
+				if !errors.Is(err, context.Canceled) {
+					t.Fatalf("error = %v, want to wrap context.Canceled", err)
+				}
+				if res == nil {
+					t.Fatal("result = nil, want partial result with stats")
+				}
+				if res.Found {
+					t.Error("partial result claims Found")
+				}
+			})
+		}
+	}
+}
+
+func TestCtxVariantsHonorDeadline(t *testing.T) {
+	g, err := NewGraph(16, ringEdges(16, 1), Directed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	res, err := ApproxMWCCtx(ctx, g, Options{Seed: 1})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error = %v, want to wrap context.DeadlineExceeded", err)
+	}
+	if res == nil || res.Found {
+		t.Fatalf("partial result = %+v, want non-nil with Found=false", res)
+	}
+	// A full run on the same graph consumes rounds; the expired one must
+	// report strictly less work than completion.
+	full, err := ApproxMWC(g, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds >= full.Rounds && full.Rounds > 0 {
+		t.Errorf("partial Rounds = %d, want < full run's %d", res.Rounds, full.Rounds)
+	}
+}
+
+func TestCtxVariantMatchesPlainCall(t *testing.T) {
+	g, err := NewGraph(12, ringEdges(12, 2), DirectedWeighted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := ApproxMWC(g, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctxed, err := ApproxMWCCtx(context.Background(), g, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Weight != ctxed.Weight || plain.Rounds != ctxed.Rounds || plain.Found != ctxed.Found {
+		t.Errorf("Ctx variant diverged: plain=%+v ctx=%+v", plain, ctxed)
+	}
+}
+
+func TestWithObserverSeesRun(t *testing.T) {
+	g, err := NewGraph(10, ringEdges(10, 1), Undirected)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := &obs.Collector{}
+	res, err := ApproxMWC(g, Options{Seed: 1}.WithObserver(col))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col.Rounds != res.Rounds {
+		t.Errorf("collector rounds = %d, want %d", col.Rounds, res.Rounds)
+	}
+	if col.Messages == 0 {
+		t.Error("collector saw no messages")
+	}
+}

@@ -67,6 +67,7 @@
 package congest
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"runtime"
@@ -77,10 +78,14 @@ import (
 
 // Errors returned by the network. ErrBudget signals that an algorithm did
 // not reach quiescence within its round budget (an algorithm bug or an
-// undersized budget, never normal operation).
+// undersized budget, never normal operation). ErrCanceled signals that the
+// context installed via SetContext was done; the returned error also wraps
+// the context's own error, so errors.Is(err, context.Canceled) and
+// errors.Is(err, context.DeadlineExceeded) distinguish the two causes.
 var (
 	ErrDisconnected = errors.New("congest: communication graph is not connected")
 	ErrBudget       = errors.New("congest: round budget exhausted before quiescence")
+	ErrCanceled     = errors.New("congest: run canceled")
 )
 
 // Msg is one CONGEST message: an algorithm-defined tag plus payload words.
@@ -166,6 +171,9 @@ type Network struct {
 	all       []int // the identity permutation [0..n), for Init phases
 	activeBuf []int // scratch: the round's receivers and woken nodes
 
+	ctx  context.Context // abort signal installed via SetContext (may be nil)
+	done <-chan struct{} // ctx.Done(), cached; nil when no context is set
+
 	obs      Observer
 	msgObs   Observer      // obs, or nil when its MessageFilter declines messages
 	roundObs RoundObserver // obs's optional extensions, resolved in SetObserver
@@ -223,6 +231,35 @@ func NewNetwork(g *graph.Graph, opts Options) (*Network, error) {
 		net.nodes[v] = st
 	}
 	return net, nil
+}
+
+// SetContext installs ctx as the abort signal for subsequent Run calls
+// (nil removes it). Once ctx is done, an in-flight Run stops within one
+// executed round and returns an error wrapping both ErrCanceled and
+// ctx.Err(); Stats then reflect only the work actually executed. A canceled
+// network may hold undelivered link traffic and pending wake-ups, so it
+// must not be reused for further runs.
+func (net *Network) SetContext(ctx context.Context) {
+	if ctx == nil {
+		net.ctx, net.done = nil, nil
+		return
+	}
+	net.ctx, net.done = ctx, ctx.Done()
+}
+
+// canceled reports whether the installed abort context is done. It is
+// called at round boundaries by the run loop and between handler batches by
+// both engines; the channel select is safe from worker goroutines.
+func (net *Network) canceled() bool {
+	if net.done == nil {
+		return false
+	}
+	select {
+	case <-net.done:
+		return true
+	default:
+		return false
+	}
 }
 
 // Graph returns the input graph the network was built from.

@@ -56,12 +56,29 @@ func (net *Network) Run(progs []Program, budget int) (int, error) {
 		st.program = progs[v]
 		st.inbox = st.inbox[:0]
 	}
+	if net.canceled() {
+		if net.runObs != nil {
+			net.runObs.OnRunEnd(net.now)
+		}
+		return 0, net.cancelErr(start)
+	}
 	// Init phase: local computation before round 1 of this run; sends made
 	// here enter the link queues and are delivered from the next round on.
 	net.eng.runHandlers(net, net.all, true)
 	net.afterHandlers(net.all)
 
 	for net.tr.pending() || !net.cal.empty() {
+		// Abort check at the round boundary: a cancellation that lands while
+		// a round executes is observed here before the next round starts, so
+		// a run stops within one executed round of its context being done.
+		// Stats charge only executed rounds — the gap the scheduler would
+		// have skipped to reach the next event is never added.
+		if net.canceled() {
+			if net.runObs != nil {
+				net.runObs.OnRunEnd(net.now)
+			}
+			return net.now - start, net.cancelErr(start)
+		}
 		next := net.cal.next()
 		if net.tr.pending() && net.tr.nextDelivery < next {
 			next = net.tr.nextDelivery
@@ -93,6 +110,13 @@ func (net *Network) Run(progs []Program, budget int) (int, error) {
 		net.runObs.OnRunEnd(net.now)
 	}
 	return net.now - start, nil
+}
+
+// cancelErr builds the error for a canceled run, wrapping both ErrCanceled
+// and the context's own cause so callers can distinguish explicit
+// cancellation from a deadline.
+func (net *Network) cancelErr(start int) error {
+	return fmt.Errorf("%w after %d rounds: %w", ErrCanceled, net.now-start, net.ctx.Err())
 }
 
 // runRound executes the single round `round`, first settling the gap of

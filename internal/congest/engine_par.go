@@ -36,7 +36,13 @@ func (e *parEngine) runHandlers(net *Network, ids []int, init bool) {
 		wg.Add(1)
 		go func(part []int) {
 			defer wg.Done()
-			for _, v := range part {
+			for i, v := range part {
+				if i%abortStride == 0 && net.canceled() {
+					// Bail mid-round on cancellation; the run loop returns
+					// ErrCanceled at the round boundary. The barrier below
+					// still waits for every worker, so no goroutine leaks.
+					return
+				}
 				net.handleNode(v, init)
 			}
 		}(ids[lo:hi])

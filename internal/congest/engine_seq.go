@@ -1,11 +1,23 @@
 package congest
 
+// abortStride is how many node handlers an engine executes between abort
+// checks. Handlers are typically microseconds, so a stride of 64 keeps the
+// check off the hot path while still stopping a very wide round promptly
+// once the network's context is canceled.
+const abortStride = 64
+
 // seqEngine runs every handler inline on the calling goroutine — the
 // deterministic reference engine.
 type seqEngine struct{}
 
 func (seqEngine) runHandlers(net *Network, ids []int, init bool) {
-	for _, v := range ids {
+	for i, v := range ids {
+		if i%abortStride == 0 && net.canceled() {
+			// Bail mid-round: the run loop observes the same signal at the
+			// round boundary and returns ErrCanceled, so the half-executed
+			// round is never resumed.
+			return
+		}
 		net.handleNode(v, init)
 	}
 }

@@ -1,0 +1,145 @@
+package jobs
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+)
+
+// HandlerConfig configures the HTTP surface of a Service.
+type HandlerConfig struct {
+	// MaxBodyBytes bounds request bodies (default 1 MiB). Oversized
+	// submissions fail with 413.
+	MaxBodyBytes int64
+}
+
+// NewHandler exposes the service over HTTP (the mwcd API, see
+// docs/SERVER.md):
+//
+//	POST   /v1/jobs      submit a job (202; 200 on a cache hit; 429 on backpressure)
+//	GET    /v1/jobs      list recent jobs (?limit=N)
+//	GET    /v1/jobs/{id} job status
+//	DELETE /v1/jobs/{id} cancel the job
+//	GET    /healthz      liveness
+//	GET    /metrics      Prometheus-style text metrics
+func NewHandler(s *Service, cfg HandlerConfig) http.Handler {
+	maxBody := cfg.MaxBodyBytes
+	if maxBody <= 0 {
+		maxBody = 1 << 20
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		r.Body = http.MaxBytesReader(w, r.Body, maxBody)
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		var spec Spec
+		if err := dec.Decode(&spec); err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				httpError(w, http.StatusRequestEntityTooLarge,
+					fmt.Sprintf("request body exceeds the %d-byte limit", tooBig.Limit))
+				return
+			}
+			httpError(w, http.StatusBadRequest, "invalid job spec: "+err.Error())
+			return
+		}
+		if dec.More() {
+			httpError(w, http.StatusBadRequest, "invalid job spec: trailing data after the JSON object")
+			return
+		}
+		j, err := s.Submit(spec)
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusTooManyRequests, err.Error())
+			return
+		case errors.Is(err, ErrClosed):
+			httpError(w, http.StatusServiceUnavailable, err.Error())
+			return
+		case err != nil:
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		st := j.Status()
+		code := http.StatusAccepted
+		if st.State.Terminal() {
+			code = http.StatusOK // answered from the result cache
+		}
+		writeJSON(w, code, st)
+	})
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		limit, _ := strconv.Atoi(r.URL.Query().Get("limit"))
+		writeJSON(w, http.StatusOK, map[string]any{"jobs": s.List(limit)})
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		j, err := s.Get(r.PathValue("id"))
+		if err != nil {
+			httpError(w, http.StatusNotFound, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, j.Status())
+	})
+	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, err := s.Cancel(r.PathValue("id"))
+		if err != nil {
+			httpError(w, http.StatusNotFound, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WriteMetrics(w, s.Metrics())
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // the status line is already out; nothing to recover
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]any{"error": msg})
+}
+
+// WriteMetrics renders the metrics snapshot in the Prometheus text
+// exposition format.
+func WriteMetrics(w io.Writer, m Metrics) {
+	g := func(name, help string, value any) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %v\n", name, help, name, name, value)
+	}
+	c := func(name, help string, value any) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %v\n", name, help, name, name, value)
+	}
+	g("mwcd_queue_depth", "Jobs waiting in the admission queue.", m.QueueDepth)
+	g("mwcd_queue_capacity", "Admission queue capacity.", m.QueueCap)
+	g("mwcd_workers", "Worker pool size.", m.Workers)
+	g("mwcd_workers_busy", "Workers currently executing a job.", m.BusyWorkers)
+	g("mwcd_worker_utilization", "Busy workers / pool size.", strconv.FormatFloat(m.Utilization, 'f', -1, 64))
+	c("mwcd_jobs_submitted_total", "Jobs admitted (including cache hits).", m.Submitted)
+	c("mwcd_jobs_rejected_total", "Submissions rejected by queue backpressure.", m.Rejected)
+	c("mwcd_jobs_done_total", "Jobs completed successfully.", m.Done)
+	c("mwcd_jobs_failed_total", "Jobs that ended in an error.", m.Failed)
+	c("mwcd_jobs_cancelled_total", "Jobs cancelled before completion.", m.Cancelled)
+	c("mwcd_jobs_expired_total", "Jobs stopped by their deadline.", m.Expired)
+	g("mwcd_cache_entries", "Result-cache entries resident.", m.CacheEntries)
+	c("mwcd_cache_hits_total", "Result-cache hits.", m.CacheHits)
+	c("mwcd_cache_misses_total", "Result-cache misses.", m.CacheMisses)
+	c("mwcd_cache_evictions_total", "Result-cache LRU evictions.", m.CacheEvictions)
+	g("mwcd_cache_hit_ratio", "Hits / (hits + misses).", strconv.FormatFloat(m.CacheHitRatio, 'f', -1, 64))
+	c("mwcd_rounds_simulated_total", "CONGEST rounds executed across all jobs.", m.RoundsSimulated)
+	c("mwcd_messages_simulated_total", "Messages delivered across all jobs.", m.MessagesSimulated)
+	c("mwcd_words_simulated_total", "Words delivered across all jobs.", m.WordsSimulated)
+	g("mwcd_peak_link_words", "Worst single-round per-link congestion observed.", m.PeakLinkWords)
+	g("mwcd_peak_queue_len", "Worst link-queue backlog observed.", m.PeakQueueLen)
+}

@@ -1,0 +1,295 @@
+package jobs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*Service, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(NewHandler(s, HandlerConfig{}))
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		_ = s.Close(ctx)
+	})
+	return s, ts
+}
+
+func postJob(t *testing.T, ts *httptest.Server, spec Spec) (*http.Response, Status) {
+	t.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatalf("marshal spec: %v", err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/jobs: %v", err)
+	}
+	defer resp.Body.Close()
+	var st Status
+	if resp.StatusCode < 300 {
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatalf("decode job status: %v", err)
+		}
+	}
+	return resp, st
+}
+
+func getStatus(t *testing.T, ts *httptest.Server, id string) (int, Status) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatalf("GET /v1/jobs/%s: %v", id, err)
+	}
+	defer resp.Body.Close()
+	var st Status
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatalf("decode job status: %v", err)
+		}
+	}
+	return resp.StatusCode, st
+}
+
+func pollTerminal(t *testing.T, ts *httptest.Server, id string, timeout time.Duration) Status {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		code, st := getStatus(t, ts, id)
+		if code != http.StatusOK {
+			t.Fatalf("GET /v1/jobs/%s: HTTP %d", id, code)
+		}
+		if st.State.Terminal() {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s still %s after %v", id, st.State, timeout)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestHTTPSubmitPollAndCacheHit(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+
+	spec := exactRingSpec(64, 1)
+	resp, st := postJob(t, ts, spec)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first POST: HTTP %d, want 202", resp.StatusCode)
+	}
+	if st.ID == "" || st.State == "" {
+		t.Fatalf("submission response missing id/state: %+v", st)
+	}
+
+	final := pollTerminal(t, ts, st.ID, time.Minute)
+	if final.State != StateDone {
+		t.Fatalf("job ended in %s (%s)", final.State, final.Error)
+	}
+	if final.Result == nil || !final.Result.Found {
+		t.Fatalf("done job has no result: %+v", final.Result)
+	}
+
+	// Identical resubmission is answered from the cache: 200, terminal
+	// immediately, cacheHit flagged.
+	resp2, st2 := postJob(t, ts, spec)
+	if resp2.StatusCode != http.StatusOK {
+		t.Errorf("cached POST: HTTP %d, want 200", resp2.StatusCode)
+	}
+	if !st2.CacheHit || st2.State != StateDone {
+		t.Errorf("cached POST state=%s cacheHit=%v, want done/true", st2.State, st2.CacheHit)
+	}
+	if st2.Result == nil || st2.Result.Weight != final.Result.Weight {
+		t.Errorf("cached result differs: %+v vs %+v", st2.Result, final.Result)
+	}
+}
+
+func TestHTTPBackpressure429(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueCap: 1, CacheEntries: -1})
+
+	// One long job occupies the worker, one fills the queue; the third must
+	// bounce with 429 and a Retry-After hint.
+	var ids []string
+	for i := 0; i < 2; i++ {
+		resp, st := postJob(t, ts, exactRingSpec(2048, int64(i)))
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("POST %d: HTTP %d, want 202", i, resp.StatusCode)
+		}
+		ids = append(ids, st.ID)
+	}
+	resp, _ := postJob(t, ts, exactRingSpec(2048, 99))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow POST: HTTP %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 response has no Retry-After header")
+	}
+
+	// Cancel the backlog so Cleanup's drain is quick.
+	for _, id := range ids {
+		req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+id, nil)
+		if _, err := http.DefaultClient.Do(req); err != nil {
+			t.Fatalf("DELETE %s: %v", id, err)
+		}
+	}
+}
+
+func TestHTTPCancel(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+
+	_, st := postJob(t, ts, exactRingSpec(2048, 1))
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+st.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("DELETE: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE: HTTP %d, want 200", resp.StatusCode)
+	}
+	final := pollTerminal(t, ts, st.ID, 30*time.Second)
+	if final.State != StateCancelled {
+		t.Errorf("job ended in %s, want cancelled", final.State)
+	}
+}
+
+func TestHTTPErrorStatuses(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+
+	// Malformed JSON → 400.
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed JSON: HTTP %d, want 400", resp.StatusCode)
+	}
+
+	// Valid JSON, invalid spec → 400 with a descriptive error.
+	resp, err = http.Post(ts.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"graph":{"class":"uw","gen":{"kind":"ring","n":16}},"algo":"nope"}`))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	var errBody struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&errBody); err != nil {
+		t.Fatalf("decode error body: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("invalid algo: HTTP %d, want 400", resp.StatusCode)
+	}
+	if !strings.Contains(errBody.Error, "unknown algo") {
+		t.Errorf("invalid algo error %q lacks a descriptive message", errBody.Error)
+	}
+
+	// Unknown field → 400 (DisallowUnknownFields guards against typos).
+	resp, err = http.Post(ts.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"grpah":{"class":"uw"},"algo":"exact"}`))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown field: HTTP %d, want 400", resp.StatusCode)
+	}
+
+	// Unknown job → 404.
+	if code, _ := getStatus(t, ts, "j-missing"); code != http.StatusNotFound {
+		t.Errorf("GET unknown job: HTTP %d, want 404", code)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/j-missing", nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("DELETE: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("DELETE unknown job: HTTP %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestHTTPBodyLimit413(t *testing.T) {
+	s := New(Config{Workers: 1})
+	ts := httptest.NewServer(NewHandler(s, HandlerConfig{MaxBodyBytes: 256}))
+	t.Cleanup(func() {
+		ts.Close()
+		_ = s.Close(context.Background())
+	})
+
+	big := Spec{Algo: AlgoExact, Graph: GraphSpec{Class: "uw", N: 100}}
+	for i := 0; i < 100; i++ {
+		big.Graph.Edges = append(big.Graph.Edges, Edge{From: i, To: (i + 1) % 100, Weight: 3})
+	}
+	resp, _ := postJob(t, ts, big)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized body: HTTP %d, want 413", resp.StatusCode)
+	}
+}
+
+func TestHTTPListHealthzMetrics(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+
+	spec := exactRingSpec(64, 1)
+	_, st := postJob(t, ts, spec)
+	pollTerminal(t, ts, st.ID, time.Minute)
+	postJob(t, ts, spec) // cache hit, bumps the hit counter
+
+	resp, err := http.Get(ts.URL + "/v1/jobs?limit=10")
+	if err != nil {
+		t.Fatalf("GET /v1/jobs: %v", err)
+	}
+	var listing struct {
+		Jobs []Status `json:"jobs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&listing); err != nil {
+		t.Fatalf("decode listing: %v", err)
+	}
+	resp.Body.Close()
+	if len(listing.Jobs) != 2 {
+		t.Errorf("listing has %d jobs, want 2", len(listing.Jobs))
+	}
+
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("GET /healthz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz: HTTP %d", resp.StatusCode)
+	}
+
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatalf("read metrics: %v", err)
+	}
+	resp.Body.Close()
+	text := buf.String()
+	for _, want := range []string{
+		"mwcd_queue_depth 0",
+		"mwcd_workers 2",
+		"mwcd_jobs_submitted_total 2",
+		"mwcd_jobs_done_total 2",
+		"mwcd_cache_hits_total 1",
+		"mwcd_cache_misses_total 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics output lacks %q:\n%s", want, text)
+		}
+	}
+}

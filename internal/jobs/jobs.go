@@ -1,0 +1,614 @@
+// Package jobs is the job-execution service over the congestmwc facade: a
+// bounded FIFO admission queue with backpressure, a configurable worker
+// pool, an LRU result cache keyed by a canonical graph hash + options
+// fingerprint, per-job status tracking and context-based cancellation that
+// stops an in-flight simulation within one executed round.
+//
+// It is the serving substrate for batch MWC workloads (parameter sweeps
+// over graph families, approximation-setting matrices) and for the mwcd
+// HTTP daemon (cmd/mwcd, docs/SERVER.md): submissions are validated and
+// hashed at admission, identical work is answered from the cache, excess
+// load is rejected with ErrQueueFull rather than queued unboundedly, and
+// shutdown drains running jobs gracefully.
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"congestmwc"
+	"congestmwc/internal/obs"
+)
+
+// Service errors. ErrQueueFull is the distinct backpressure signal: the
+// submission was valid but the admission queue is at capacity, so the
+// caller should retry later (the daemon maps it to HTTP 429).
+var (
+	ErrQueueFull = errors.New("jobs: queue full")
+	ErrClosed    = errors.New("jobs: service closed")
+	ErrNotFound  = errors.New("jobs: no such job")
+)
+
+// State is a job's lifecycle state: queued → running → one of the four
+// terminal states.
+type State string
+
+// Job lifecycle states.
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"      // completed, result available
+	StateFailed    State = "failed"    // algorithm or validation error
+	StateCancelled State = "cancelled" // explicit Cancel or service drain
+	StateExpired   State = "expired"   // per-job deadline exceeded
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	switch s {
+	case StateDone, StateFailed, StateCancelled, StateExpired:
+		return true
+	}
+	return false
+}
+
+// Config configures a Service. Zero values select the documented defaults.
+type Config struct {
+	// Workers is the worker-pool size (default 4).
+	Workers int
+	// QueueCap bounds the admission queue (default 64). Submissions beyond
+	// it fail with ErrQueueFull.
+	QueueCap int
+	// CacheEntries bounds the LRU result cache (default 256; negative
+	// disables caching).
+	CacheEntries int
+	// DefaultTimeout bounds each job's run unless the job spec sets its
+	// own (0 = unbounded).
+	DefaultTimeout time.Duration
+	// MaxRecords bounds retained job records; the oldest terminal records
+	// are pruned beyond it (default 4096).
+	MaxRecords int
+	// Observe attaches an internal/obs collector to every run: job
+	// statuses carry the per-run summary (phase table, peak congestion,
+	// wall clock) and service metrics aggregate the peaks.
+	Observe bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 64
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 256
+	}
+	if c.MaxRecords <= 0 {
+		c.MaxRecords = 4096
+	}
+	return c
+}
+
+// Job is one tracked submission. All state transitions happen under mu;
+// done closes exactly once, on entering a terminal state.
+type Job struct {
+	id    string
+	key   string
+	spec  Spec
+	graph *congestmwc.Graph
+	opts  congestmwc.Options
+
+	mu       sync.Mutex
+	state    State
+	result   *congestmwc.Result
+	summary  *obs.Summary
+	errMsg   string
+	cacheHit bool
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	cancel   context.CancelFunc
+	done     chan struct{}
+}
+
+// ID returns the job's identifier.
+func (j *Job) ID() string { return j.id }
+
+// Key returns the job's canonical cache key.
+func (j *Job) Key() string { return j.key }
+
+// Wait blocks until the job reaches a terminal state or ctx is done, and
+// returns the job's status either way (with ctx.Err() when the wait was cut
+// short).
+func (j *Job) Wait(ctx context.Context) (Status, error) {
+	select {
+	case <-j.done:
+		return j.Status(), nil
+	case <-ctx.Done():
+		return j.Status(), ctx.Err()
+	}
+}
+
+// ResultStatus is the JSON shape of a job's (possibly partial) result.
+type ResultStatus struct {
+	Weight   int64 `json:"weight"`
+	Found    bool  `json:"found"`
+	Rounds   int   `json:"rounds"`
+	Messages int   `json:"messages"`
+	Words    int   `json:"words"`
+	Cycle    []int `json:"cycle,omitempty"`
+}
+
+// Status is a point-in-time snapshot of a job, serialisable as JSON.
+type Status struct {
+	ID       string     `json:"id"`
+	State    State      `json:"state"`
+	Key      string     `json:"key"`
+	Algo     Algo       `json:"algo"`
+	N        int        `json:"n"`
+	M        int        `json:"m"`
+	CacheHit bool       `json:"cacheHit,omitempty"`
+	Created  time.Time  `json:"created"`
+	Started  *time.Time `json:"started,omitempty"`
+	Finished *time.Time `json:"finished,omitempty"`
+	Error    string     `json:"error,omitempty"`
+	// Result carries the answer for done jobs, and the partial progress
+	// (rounds/messages/words executed before the stop; Found == false) for
+	// cancelled and expired ones.
+	Result *ResultStatus `json:"result,omitempty"`
+	// Obs is the per-run observability summary (Config.Observe only).
+	Obs *obs.Summary `json:"obs,omitempty"`
+}
+
+// Status snapshots the job.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := Status{
+		ID:       j.id,
+		State:    j.state,
+		Key:      j.key,
+		Algo:     j.spec.Algo,
+		N:        j.graph.N(),
+		M:        j.graph.M(),
+		CacheHit: j.cacheHit,
+		Created:  j.created,
+		Error:    j.errMsg,
+		Obs:      j.summary,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.Finished = &t
+	}
+	if j.result != nil {
+		st.Result = &ResultStatus{
+			Weight:   j.result.Weight,
+			Found:    j.result.Found,
+			Rounds:   j.result.Rounds,
+			Messages: j.result.Messages,
+			Words:    j.result.Words,
+			Cycle:    j.result.Cycle,
+		}
+	}
+	return st
+}
+
+// Service is the job-execution service: admission, queueing, the worker
+// pool, the result cache and job records.
+type Service struct {
+	cfg   Config
+	queue chan *Job
+	cache *resultCache
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	order  []string // job IDs in creation order, for pruning
+	nextID int64
+	closed bool
+
+	wg       sync.WaitGroup
+	draining atomic.Bool
+	busy     atomic.Int64
+
+	submitted  atomic.Uint64
+	rejected   atomic.Uint64
+	doneN      atomic.Uint64
+	failedN    atomic.Uint64
+	cancelledN atomic.Uint64
+	expiredN   atomic.Uint64
+
+	roundsTotal   atomic.Uint64
+	messagesTotal atomic.Uint64
+	wordsTotal    atomic.Uint64
+
+	peakMu        sync.Mutex
+	peakLinkWords int
+	peakQueueLen  int
+}
+
+// New builds the service and starts its worker pool.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	s := &Service{
+		cfg:   cfg,
+		queue: make(chan *Job, cfg.QueueCap),
+		cache: newResultCache(cfg.CacheEntries),
+		jobs:  make(map[string]*Job),
+	}
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Submit validates and admits one job. Invalid specs fail immediately with
+// a descriptive error; a full queue fails with ErrQueueFull (backpressure);
+// a cache hit returns a job already in StateDone carrying the cached
+// result. The returned Job is safe for concurrent use.
+func (s *Service) Submit(spec Spec) (*Job, error) {
+	g, opts, err := spec.resolve()
+	if err != nil {
+		return nil, err
+	}
+	key := cacheKey(g, spec.Algo, opts)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	s.nextID++
+	j := &Job{
+		id:      fmt.Sprintf("j-%08d", s.nextID),
+		key:     key,
+		spec:    spec,
+		graph:   g,
+		opts:    opts,
+		state:   StateQueued,
+		created: time.Now(),
+		done:    make(chan struct{}),
+	}
+	if res, ok := s.cache.get(key); ok {
+		now := time.Now()
+		j.state = StateDone
+		j.result = res
+		j.cacheHit = true
+		j.started, j.finished = now, now
+		close(j.done)
+		s.doneN.Add(1)
+		s.submitted.Add(1)
+		s.record(j)
+		return j, nil
+	}
+	select {
+	case s.queue <- j:
+	default:
+		s.rejected.Add(1)
+		return nil, fmt.Errorf("%w (capacity %d)", ErrQueueFull, s.cfg.QueueCap)
+	}
+	s.submitted.Add(1)
+	s.record(j)
+	return j, nil
+}
+
+// record registers the job and prunes the oldest terminal records beyond
+// MaxRecords. Caller holds s.mu.
+func (s *Service) record(j *Job) {
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	if len(s.jobs) <= s.cfg.MaxRecords {
+		return
+	}
+	kept := s.order[:0]
+	for i, id := range s.order {
+		if len(s.jobs) <= s.cfg.MaxRecords {
+			kept = append(kept, s.order[i:]...)
+			break
+		}
+		if jb, ok := s.jobs[id]; ok && jb.terminal() {
+			delete(s.jobs, id)
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+func (j *Job) terminal() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state.Terminal()
+}
+
+// Get returns the job with the given ID.
+func (s *Service) Get(id string) (*Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return j, nil
+}
+
+// List returns the most recent jobs, newest first, up to limit (0 = 50).
+func (s *Service) List(limit int) []Status {
+	if limit <= 0 {
+		limit = 50
+	}
+	s.mu.Lock()
+	ids := make([]string, 0, limit)
+	for i := len(s.order) - 1; i >= 0 && len(ids) < limit; i-- {
+		ids = append(ids, s.order[i])
+	}
+	jobs := make([]*Job, 0, len(ids))
+	for _, id := range ids {
+		if j, ok := s.jobs[id]; ok {
+			jobs = append(jobs, j)
+		}
+	}
+	s.mu.Unlock()
+	out := make([]Status, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.Status()
+	}
+	return out
+}
+
+// Cancel cancels the job: a queued job goes terminal immediately, a running
+// job's simulation is aborted within one executed round. Cancelling a job
+// already in a terminal state is a no-op. The returned status reflects the
+// job after the cancellation request (a just-cancelled running job may
+// still report StateRunning until its engine observes the abort; Wait for
+// the terminal state).
+func (s *Service) Cancel(id string) (Status, error) {
+	j, err := s.Get(id)
+	if err != nil {
+		return Status{}, err
+	}
+	j.mu.Lock()
+	switch j.state {
+	case StateQueued:
+		j.state = StateCancelled
+		j.errMsg = "cancelled while queued"
+		j.finished = time.Now()
+		close(j.done)
+		s.cancelledN.Add(1)
+	case StateRunning:
+		if j.cancel != nil {
+			j.cancel()
+		}
+	}
+	j.mu.Unlock()
+	return j.Status(), nil
+}
+
+// worker executes queued jobs until the queue is closed by Close.
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+func (s *Service) runJob(j *Job) {
+	j.mu.Lock()
+	if j.state != StateQueued {
+		// Cancelled while queued; nothing to run.
+		j.mu.Unlock()
+		return
+	}
+	if s.draining.Load() {
+		// Service shutting down: queued jobs are not started, only
+		// already-running ones drain.
+		j.state = StateCancelled
+		j.errMsg = "cancelled by service shutdown"
+		j.finished = time.Now()
+		close(j.done)
+		s.cancelledN.Add(1)
+		j.mu.Unlock()
+		return
+	}
+	timeout := j.spec.timeout()
+	if timeout <= 0 {
+		timeout = s.cfg.DefaultTimeout
+	}
+	ctx := context.Background()
+	var cancel context.CancelFunc
+	if timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	j.cancel = cancel
+	opts := j.opts
+	var col *obs.Collector
+	if s.cfg.Observe {
+		// Light collector: totals, phase table and peak congestion without
+		// the per-round series or per-link maps, so long runs stay O(1) in
+		// memory per job.
+		col = &obs.Collector{NoSeries: true, NoPerTag: true, NoPerLink: true, Wall: true}
+		opts = opts.WithObserver(col)
+	}
+	j.mu.Unlock()
+
+	s.busy.Add(1)
+	var res *congestmwc.Result
+	var err error
+	if j.spec.Algo == AlgoExact {
+		res, err = congestmwc.ExactMWCCtx(ctx, j.graph, opts)
+	} else {
+		res, err = congestmwc.ApproxMWCCtx(ctx, j.graph, opts)
+	}
+	cancel()
+	s.busy.Add(-1)
+
+	j.mu.Lock()
+	j.finished = time.Now()
+	j.result = res // partial (Found == false) on cancellation/expiry
+	if col != nil {
+		j.summary = col.Summary()
+	}
+	switch {
+	case err == nil:
+		j.state = StateDone
+		s.cache.put(j.key, res)
+		s.doneN.Add(1)
+	case errors.Is(err, context.DeadlineExceeded):
+		j.state = StateExpired
+		j.errMsg = err.Error()
+		s.expiredN.Add(1)
+	case errors.Is(err, context.Canceled):
+		j.state = StateCancelled
+		j.errMsg = err.Error()
+		s.cancelledN.Add(1)
+	default:
+		j.state = StateFailed
+		j.errMsg = err.Error()
+		s.failedN.Add(1)
+	}
+	close(j.done)
+	j.mu.Unlock()
+
+	if res != nil {
+		s.roundsTotal.Add(uint64(res.Rounds))
+		s.messagesTotal.Add(uint64(res.Messages))
+		s.wordsTotal.Add(uint64(res.Words))
+	}
+	if col != nil {
+		s.peakMu.Lock()
+		if col.PeakLinkWords > s.peakLinkWords {
+			s.peakLinkWords = col.PeakLinkWords
+		}
+		if col.PeakQueueLen > s.peakQueueLen {
+			s.peakQueueLen = col.PeakQueueLen
+		}
+		s.peakMu.Unlock()
+	}
+}
+
+// Close drains the service: admission stops (Submit returns ErrClosed),
+// queued jobs that have not started are cancelled, and running jobs are
+// given until ctx is done to finish. If ctx expires first, the running
+// simulations are aborted (they stop within one executed round) and Close
+// returns ctx.Err() after the workers exit. Close is idempotent.
+func (s *Service) Close(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.draining.Store(true)
+	close(s.queue)
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.abortRunning()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// abortRunning cancels every currently-running job.
+func (s *Service) abortRunning() {
+	s.mu.Lock()
+	jobs := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	for _, j := range jobs {
+		j.mu.Lock()
+		if j.state == StateRunning && j.cancel != nil {
+			j.cancel()
+		}
+		j.mu.Unlock()
+	}
+}
+
+// Metrics is a point-in-time snapshot of the service's operational gauges
+// and counters (the daemon's /metrics endpoint renders it).
+type Metrics struct {
+	QueueDepth  int     `json:"queueDepth"`
+	QueueCap    int     `json:"queueCap"`
+	Workers     int     `json:"workers"`
+	BusyWorkers int     `json:"busyWorkers"`
+	Utilization float64 `json:"utilization"`
+
+	Submitted uint64 `json:"submitted"`
+	Rejected  uint64 `json:"rejected"`
+	Done      uint64 `json:"done"`
+	Failed    uint64 `json:"failed"`
+	Cancelled uint64 `json:"cancelled"`
+	Expired   uint64 `json:"expired"`
+
+	CacheEntries   int     `json:"cacheEntries"`
+	CacheHits      uint64  `json:"cacheHits"`
+	CacheMisses    uint64  `json:"cacheMisses"`
+	CacheEvictions uint64  `json:"cacheEvictions"`
+	CacheHitRatio  float64 `json:"cacheHitRatio"`
+
+	RoundsSimulated   uint64 `json:"roundsSimulated"`
+	MessagesSimulated uint64 `json:"messagesSimulated"`
+	WordsSimulated    uint64 `json:"wordsSimulated"`
+	PeakLinkWords     int    `json:"peakLinkWords"`
+	PeakQueueLen      int    `json:"peakQueueLen"`
+}
+
+// Metrics snapshots the service.
+func (s *Service) Metrics() Metrics {
+	hits, misses, evictions := s.cache.counters()
+	busy := int(s.busy.Load())
+	m := Metrics{
+		QueueDepth:  len(s.queue),
+		QueueCap:    s.cfg.QueueCap,
+		Workers:     s.cfg.Workers,
+		BusyWorkers: busy,
+		Utilization: float64(busy) / float64(s.cfg.Workers),
+
+		Submitted: s.submitted.Load(),
+		Rejected:  s.rejected.Load(),
+		Done:      s.doneN.Load(),
+		Failed:    s.failedN.Load(),
+		Cancelled: s.cancelledN.Load(),
+		Expired:   s.expiredN.Load(),
+
+		CacheEntries:   s.cache.len(),
+		CacheHits:      hits,
+		CacheMisses:    misses,
+		CacheEvictions: evictions,
+
+		RoundsSimulated:   s.roundsTotal.Load(),
+		MessagesSimulated: s.messagesTotal.Load(),
+		WordsSimulated:    s.wordsTotal.Load(),
+	}
+	if total := hits + misses; total > 0 {
+		m.CacheHitRatio = float64(hits) / float64(total)
+	}
+	s.peakMu.Lock()
+	m.PeakLinkWords = s.peakLinkWords
+	m.PeakQueueLen = s.peakQueueLen
+	s.peakMu.Unlock()
+	return m
+}

@@ -1,0 +1,96 @@
+package jobs
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"congestmwc"
+)
+
+// cacheKey returns the canonical result-cache key of a job: a SHA-256 over
+// the resolved graph in canonical form plus the fingerprint of every input
+// that can change the result.
+//
+// Graph canonicalisation: undirected edges are normalised to (min, max) and
+// the edge list is sorted by (from, to, weight), so the key is invariant
+// under edge reordering (and, for undirected classes, endpoint order) while
+// still distinguishing weights, direction and the graph class.
+//
+// Options fingerprint: Seed, Bandwidth, Eps and SampleFactor participate
+// after default normalisation (0 hashes as the documented default), so an
+// explicit default and an omitted field share a key. Eps is ignored by the
+// unweighted classes and is fingerprinted as 0 there. Parallel, Workers and
+// Stepwise are excluded deliberately: they select the execution strategy,
+// which is bit-identical in results and round counts (asserted by the
+// engine-equivalence tests), so a sequential and a parallel run of the same
+// job share one cache entry.
+func cacheKey(g *congestmwc.Graph, algo Algo, opts congestmwc.Options) string {
+	h := sha256.New()
+	buf := make([]byte, 8)
+	put := func(v int64) {
+		binary.LittleEndian.PutUint64(buf, uint64(v))
+		h.Write(buf)
+	}
+	putF := func(v float64) {
+		binary.LittleEndian.PutUint64(buf, math.Float64bits(v))
+		h.Write(buf)
+	}
+
+	h.Write([]byte("congestmwc-job-v1|"))
+	h.Write([]byte(algo))
+	h.Write([]byte{'|'})
+	class := g.Class()
+	put(int64(class))
+	put(int64(g.N()))
+
+	directed := class == congestmwc.Directed || class == congestmwc.DirectedWeighted
+	weighted := class == congestmwc.UndirectedWeighted || class == congestmwc.DirectedWeighted
+	edges := g.Edges()
+	for i := range edges {
+		if !directed && edges[i].From > edges[i].To {
+			edges[i].From, edges[i].To = edges[i].To, edges[i].From
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		a, b := edges[i], edges[j]
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		if a.To != b.To {
+			return a.To < b.To
+		}
+		return a.Weight < b.Weight
+	})
+	put(int64(len(edges)))
+	for _, e := range edges {
+		put(int64(e.From))
+		put(int64(e.To))
+		put(e.Weight)
+	}
+
+	// Options fingerprint, default-normalised.
+	put(opts.Seed)
+	bw := opts.Bandwidth
+	if bw == 0 {
+		bw = 4
+	}
+	put(int64(bw))
+	eps := 0.0
+	if weighted {
+		eps = opts.Eps
+		if eps == 0 {
+			eps = 0.25
+		}
+	}
+	putF(eps)
+	sf := opts.SampleFactor
+	if sf == 0 {
+		sf = 3
+	}
+	putF(sf)
+
+	return fmt.Sprintf("sha256:%x", h.Sum(nil))
+}

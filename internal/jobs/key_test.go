@@ -1,0 +1,158 @@
+package jobs
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// keyOf resolves the spec and returns its canonical cache key.
+func keyOf(t *testing.T, spec Spec) string {
+	t.Helper()
+	g, opts, err := spec.resolve()
+	if err != nil {
+		t.Fatalf("resolve(%+v): %v", spec, err)
+	}
+	return cacheKey(g, spec.Algo, opts)
+}
+
+func ringSpec(class string, n int, w int64) Spec {
+	edges := make([]Edge, n)
+	for i := range edges {
+		edges[i] = Edge{From: i, To: (i + 1) % n, Weight: w}
+	}
+	return Spec{
+		Graph: GraphSpec{Class: class, N: n, Edges: edges},
+		Algo:  AlgoApprox,
+	}
+}
+
+func TestKeyInvariantUnderEdgeReorder(t *testing.T) {
+	base := ringSpec("uw", 12, 3)
+	want := keyOf(t, base)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 5; trial++ {
+		shuffled := ringSpec("uw", 12, 3)
+		rng.Shuffle(len(shuffled.Graph.Edges), func(i, j int) {
+			e := shuffled.Graph.Edges
+			e[i], e[j] = e[j], e[i]
+		})
+		// Undirected classes must also be invariant under endpoint order.
+		for i := range shuffled.Graph.Edges {
+			if rng.Intn(2) == 0 {
+				e := &shuffled.Graph.Edges[i]
+				e.From, e.To = e.To, e.From
+			}
+		}
+		if got := keyOf(t, shuffled); got != want {
+			t.Fatalf("trial %d: key changed under edge reordering:\n got %s\nwant %s", trial, got, want)
+		}
+	}
+}
+
+func TestKeyDistinguishesInputs(t *testing.T) {
+	base := ringSpec("uw", 12, 3)
+	baseKey := keyOf(t, base)
+
+	weights := ringSpec("uw", 12, 4)
+	if keyOf(t, weights) == baseKey {
+		t.Error("key does not distinguish edge weights")
+	}
+
+	directed := ringSpec("dw", 12, 3)
+	if keyOf(t, directed) == baseKey {
+		t.Error("key does not distinguish direction/class")
+	}
+
+	exact := ringSpec("uw", 12, 3)
+	exact.Algo = AlgoExact
+	if keyOf(t, exact) == baseKey {
+		t.Error("key does not distinguish the algorithm")
+	}
+
+	seeded := ringSpec("uw", 12, 3)
+	seeded.Opts.Seed = 99
+	if keyOf(t, seeded) == baseKey {
+		t.Error("key does not distinguish the seed")
+	}
+
+	eps := ringSpec("uw", 12, 3)
+	eps.Opts.Eps = 0.5
+	if keyOf(t, eps) == baseKey {
+		t.Error("key does not distinguish eps on a weighted class")
+	}
+
+	bw := ringSpec("uw", 12, 3)
+	bw.Opts.Bandwidth = 8
+	if keyOf(t, bw) == baseKey {
+		t.Error("key does not distinguish bandwidth")
+	}
+}
+
+func TestKeyNormalisesDefaults(t *testing.T) {
+	implicit := ringSpec("uw", 12, 3)
+	explicit := ringSpec("uw", 12, 3)
+	explicit.Opts.Bandwidth = 4
+	explicit.Opts.Eps = 0.25
+	explicit.Opts.SampleFactor = 3
+	if keyOf(t, implicit) != keyOf(t, explicit) {
+		t.Error("explicit defaults hash differently from omitted fields")
+	}
+
+	// Eps is documented as ignored on unweighted classes, so it must not
+	// split the cache there.
+	plain := ringSpec("ud", 12, 1)
+	withEps := ringSpec("ud", 12, 1)
+	withEps.Opts.Eps = 0.5
+	if keyOf(t, plain) != keyOf(t, withEps) {
+		t.Error("eps splits the cache key on an unweighted class")
+	}
+}
+
+func TestKeyIgnoresEngineFlags(t *testing.T) {
+	base := ringSpec("uw", 12, 3)
+	want := keyOf(t, base)
+
+	par := ringSpec("uw", 12, 3)
+	par.Opts.Parallel = true
+	par.Opts.Workers = 2
+	if keyOf(t, par) != want {
+		t.Error("parallel engine selection splits the cache key (results are bit-identical)")
+	}
+
+	step := ringSpec("uw", 12, 3)
+	step.Opts.Stepwise = true
+	if keyOf(t, step) != want {
+		t.Error("stepwise mode splits the cache key (results are bit-identical)")
+	}
+}
+
+func TestKeyGenDeterminism(t *testing.T) {
+	spec := Spec{
+		Graph: GraphSpec{Class: "uw", Gen: &GenSpec{Kind: "random", N: 40, P: 0.1, MaxW: 9, Seed: 42}},
+		Algo:  AlgoApprox,
+	}
+	first := keyOf(t, spec)
+	for i := 0; i < 3; i++ {
+		if got := keyOf(t, spec); got != first {
+			t.Fatalf("generator spec resolved to a different hash on re-resolution: %s vs %s", got, first)
+		}
+	}
+	other := spec
+	other.Graph = GraphSpec{Class: "uw", Gen: &GenSpec{Kind: "random", N: 40, P: 0.1, MaxW: 9, Seed: 43}}
+	if keyOf(t, other) == first {
+		t.Error("different generator seeds share a key")
+	}
+}
+
+func TestKeyGenMatchesInlineSubmission(t *testing.T) {
+	// A generated instance and the same instance submitted inline must
+	// share a key: the cache is keyed by the resolved graph, not the spec.
+	genSpec := Spec{
+		Graph: GraphSpec{Class: "dw", Gen: &GenSpec{Kind: "ring", N: 10, MaxW: 5}},
+		Algo:  AlgoApprox,
+	}
+	inline := ringSpec("dw", 10, 5)
+	if keyOf(t, genSpec) != keyOf(t, inline) {
+		t.Error("generated and inline submissions of the same graph have different keys")
+	}
+}

@@ -1,0 +1,243 @@
+package jobs
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"congestmwc"
+	"congestmwc/internal/gen"
+	"congestmwc/internal/graph"
+)
+
+// Algo selects which facade entry point a job runs.
+type Algo string
+
+// Supported algorithms.
+const (
+	// AlgoApprox runs the paper's sublinear-round approximation for the
+	// graph's class (congestmwc.ApproxMWCCtx).
+	AlgoApprox Algo = "approx"
+	// AlgoExact runs the O~(n)-round exact APSP baseline
+	// (congestmwc.ExactMWCCtx).
+	AlgoExact Algo = "exact"
+)
+
+// Edge is one input edge of an inline graph spec.
+type Edge struct {
+	From   int   `json:"from"`
+	To     int   `json:"to"`
+	Weight int64 `json:"weight,omitempty"`
+}
+
+// GenSpec describes a generated instance (internal/gen families). All
+// generators are deterministic given Seed, so a GenSpec resolves to the
+// same graph — and therefore the same cache key — on every submission.
+type GenSpec struct {
+	// Kind is the generator family: random | ring | grid | planted.
+	Kind string `json:"kind"`
+	// N is the number of vertices (grid rounds it up to a square).
+	N int `json:"n"`
+	// P is the random-graph edge probability (0 selects 4/n).
+	P float64 `json:"p,omitempty"`
+	// MaxW is the maximum edge weight for weighted classes (0 selects 16).
+	MaxW int64 `json:"maxW,omitempty"`
+	// CycleLen is the planted cycle length (0 selects 5).
+	CycleLen int `json:"cycleLen,omitempty"`
+	// CycleW is the planted cycle weight (0 selects CycleLen*MaxW/2).
+	CycleW int64 `json:"cycleW,omitempty"`
+	// Seed drives the generator.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// GraphSpec names the input graph of a job: either an inline edge list
+// (N + Edges) or generator parameters (Gen). Class uses the CLI notation:
+// ud | d | uw | dw.
+type GraphSpec struct {
+	Class string   `json:"class"`
+	N     int      `json:"n,omitempty"`
+	Edges []Edge   `json:"edges,omitempty"`
+	Gen   *GenSpec `json:"gen,omitempty"`
+}
+
+// OptionsSpec mirrors the result-relevant public fields of
+// congestmwc.Options with JSON tags.
+type OptionsSpec struct {
+	Seed         int64   `json:"seed,omitempty"`
+	Bandwidth    int     `json:"bandwidth,omitempty"`
+	Parallel     bool    `json:"parallel,omitempty"`
+	Workers      int     `json:"workers,omitempty"`
+	Stepwise     bool    `json:"stepwise,omitempty"`
+	Eps          float64 `json:"eps,omitempty"`
+	SampleFactor float64 `json:"sampleFactor,omitempty"`
+}
+
+func (o OptionsSpec) options() congestmwc.Options {
+	return congestmwc.Options{
+		Seed:         o.Seed,
+		Bandwidth:    o.Bandwidth,
+		Parallel:     o.Parallel,
+		Workers:      o.Workers,
+		Stepwise:     o.Stepwise,
+		Eps:          o.Eps,
+		SampleFactor: o.SampleFactor,
+	}
+}
+
+// Spec is one job: an input graph, an algorithm, simulation options and an
+// optional per-job deadline.
+type Spec struct {
+	Graph GraphSpec   `json:"graph"`
+	Algo  Algo        `json:"algo"`
+	Opts  OptionsSpec `json:"options,omitzero"`
+	// TimeoutMS bounds the job's wall-clock run time in milliseconds
+	// (0 = the service default). An exceeded deadline parks the job in
+	// StateExpired with its partial progress recorded.
+	TimeoutMS int64 `json:"timeoutMs,omitempty"`
+}
+
+func (s Spec) timeout() time.Duration { return time.Duration(s.TimeoutMS) * time.Millisecond }
+
+func parseClass(s string) (congestmwc.Class, error) {
+	switch s {
+	case "ud":
+		return congestmwc.Undirected, nil
+	case "d":
+		return congestmwc.Directed, nil
+	case "uw":
+		return congestmwc.UndirectedWeighted, nil
+	case "dw":
+		return congestmwc.DirectedWeighted, nil
+	default:
+		return 0, fmt.Errorf("jobs: unknown graph class %q (want ud | d | uw | dw)", s)
+	}
+}
+
+// resolve validates the spec and materialises its graph and options. It is
+// called once at admission: validation failures surface to the submitter
+// immediately, and the resolved graph is what both the cache key and the
+// run use, so generated and inline submissions of the same instance share a
+// key.
+func (s Spec) resolve() (*congestmwc.Graph, congestmwc.Options, error) {
+	var zero congestmwc.Options
+	switch s.Algo {
+	case AlgoApprox, AlgoExact:
+	case "":
+		return nil, zero, fmt.Errorf("jobs: missing algo (want %q or %q)", AlgoApprox, AlgoExact)
+	default:
+		return nil, zero, fmt.Errorf("jobs: unknown algo %q (want %q or %q)", s.Algo, AlgoApprox, AlgoExact)
+	}
+	if s.TimeoutMS < 0 {
+		return nil, zero, fmt.Errorf("jobs: negative timeoutMs %d", s.TimeoutMS)
+	}
+	opts := s.Opts.options()
+	if err := opts.Validate(); err != nil {
+		return nil, zero, err
+	}
+	class, err := parseClass(s.Graph.Class)
+	if err != nil {
+		return nil, zero, err
+	}
+	g, err := s.Graph.build(class)
+	if err != nil {
+		return nil, zero, err
+	}
+	return g, opts, nil
+}
+
+func (gs GraphSpec) build(class congestmwc.Class) (*congestmwc.Graph, error) {
+	if gs.Gen != nil {
+		if len(gs.Edges) > 0 {
+			return nil, fmt.Errorf("jobs: graph spec has both inline edges and a generator")
+		}
+		return gs.Gen.build(class)
+	}
+	if len(gs.Edges) == 0 {
+		return nil, fmt.Errorf("jobs: graph spec has neither inline edges nor a generator")
+	}
+	edges := make([]congestmwc.Edge, len(gs.Edges))
+	for i, e := range gs.Edges {
+		edges[i] = congestmwc.Edge{From: e.From, To: e.To, Weight: e.Weight}
+	}
+	return congestmwc.NewGraph(gs.N, edges, class)
+}
+
+func (g GenSpec) build(class congestmwc.Class) (*congestmwc.Graph, error) {
+	directed := class == congestmwc.Directed || class == congestmwc.DirectedWeighted
+	weighted := class == congestmwc.UndirectedWeighted || class == congestmwc.DirectedWeighted
+	maxW := g.MaxW
+	if maxW <= 0 {
+		maxW = 16
+	}
+	switch g.Kind {
+	case "random":
+		p := g.P
+		if p <= 0 {
+			p = 4 / float64(g.N)
+		}
+		gr, err := gen.Random{N: g.N, P: p, Directed: directed, Weighted: weighted, MaxW: maxW, Seed: g.Seed}.Graph()
+		if err != nil {
+			return nil, fmt.Errorf("jobs: %w", err)
+		}
+		return fromInternal(gr.N(), edgesOf(gr), class)
+	case "ring":
+		if g.N < 3 {
+			return nil, fmt.Errorf("jobs: ring needs n >= 3, got %d", g.N)
+		}
+		w := int64(1)
+		if weighted {
+			w = maxW
+		}
+		gr := gen.Ring(g.N, directed, weighted, w)
+		return fromInternal(gr.N(), edgesOf(gr), class)
+	case "grid":
+		if directed {
+			return nil, fmt.Errorf("jobs: grid generator is undirected")
+		}
+		if g.N < 4 {
+			return nil, fmt.Errorf("jobs: grid needs n >= 4, got %d", g.N)
+		}
+		side := int(math.Ceil(math.Sqrt(float64(g.N))))
+		gr := gen.Grid(side, side, weighted, maxW, g.Seed)
+		return fromInternal(gr.N(), edgesOf(gr), class)
+	case "planted":
+		cl := g.CycleLen
+		if cl == 0 {
+			cl = 5
+		}
+		cw := g.CycleW
+		if cw == 0 {
+			cw = int64(cl) * maxW / 2
+		}
+		gr, _, err := gen.PlantedCycle{
+			N: g.N, CycleLen: cl, CycleW: cw,
+			Directed: directed, Weighted: weighted, BackgroundDeg: 2, Seed: g.Seed,
+		}.Graph()
+		if err != nil {
+			return nil, fmt.Errorf("jobs: %w", err)
+		}
+		return fromInternal(gr.N(), edgesOf(gr), class)
+	default:
+		return nil, fmt.Errorf("jobs: unknown generator %q (want random | ring | grid | planted)", g.Kind)
+	}
+}
+
+// edgesOf converts an internal/gen graph's edge list to facade edges.
+func edgesOf(g *graph.Graph) []congestmwc.Edge {
+	inner := g.Edges()
+	out := make([]congestmwc.Edge, len(inner))
+	for i, e := range inner {
+		out[i] = congestmwc.Edge{From: e.From, To: e.To, Weight: e.Weight}
+	}
+	return out
+}
+
+// fromInternal rebuilds a generated graph through the facade constructor,
+// so generated and inline submissions share validation and representation.
+func fromInternal(n int, edges []congestmwc.Edge, class congestmwc.Class) (*congestmwc.Graph, error) {
+	g, err := congestmwc.NewGraph(n, edges, class)
+	if err != nil {
+		return nil, fmt.Errorf("jobs: %w", err)
+	}
+	return g, nil
+}

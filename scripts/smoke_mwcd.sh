@@ -1,0 +1,64 @@
+#!/bin/bash
+# End-to-end smoke test for the mwcd daemon: build, start, submit a small
+# weighted-MWC job over HTTP, poll it to completion, verify the answer,
+# check that an identical resubmission is served from the result cache, and
+# shut the daemon down gracefully.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ADDR="127.0.0.1:${MWCD_PORT:-8356}"
+BASE="http://$ADDR"
+
+go build -o /tmp/mwcd ./cmd/mwcd
+/tmp/mwcd -addr "$ADDR" -workers 2 -queue 16 &
+MWCD_PID=$!
+cleanup() {
+  if kill -0 "$MWCD_PID" 2>/dev/null; then
+    kill "$MWCD_PID" 2>/dev/null || true
+    wait "$MWCD_PID" 2>/dev/null || true
+  fi
+}
+trap cleanup EXIT
+
+# Wait for the daemon to come up.
+for _ in $(seq 1 50); do
+  if curl -fsS "$BASE/healthz" >/dev/null 2>&1; then break; fi
+  sleep 0.1
+done
+curl -fsS "$BASE/healthz" >/dev/null
+
+SPEC='{"graph":{"class":"uw","gen":{"kind":"planted","n":80,"cycleLen":5,"cycleW":20,"seed":7}},"algo":"approx"}'
+
+echo "== submit"
+RESP=$(curl -fsS -X POST "$BASE/v1/jobs" -d "$SPEC")
+echo "$RESP"
+JOB_ID=$(echo "$RESP" | sed -n 's/.*"id": *"\([^"]*\)".*/\1/p' | head -1)
+test -n "$JOB_ID"
+
+echo "== poll $JOB_ID"
+STATE=""
+for _ in $(seq 1 100); do
+  STATUS=$(curl -fsS "$BASE/v1/jobs/$JOB_ID")
+  STATE=$(echo "$STATUS" | sed -n 's/.*"state": *"\([^"]*\)".*/\1/p' | head -1)
+  case "$STATE" in
+    done) break ;;
+    failed|cancelled|expired) echo "job ended in $STATE:"; echo "$STATUS"; exit 1 ;;
+  esac
+  sleep 0.1
+done
+test "$STATE" = done
+echo "$STATUS" | grep -q '"found": *true'
+
+echo "== resubmit (expect cache hit)"
+RESP2=$(curl -fsS -X POST "$BASE/v1/jobs" -d "$SPEC")
+echo "$RESP2" | grep -q '"cacheHit": *true'
+echo "$RESP2" | grep -q '"state": *"done"'
+
+echo "== metrics"
+curl -fsS "$BASE/metrics" | grep -E '^mwcd_cache_hits_total [1-9]'
+curl -fsS "$BASE/metrics" | grep -E '^mwcd_jobs_done_total [1-9]'
+
+echo "== graceful shutdown"
+kill -TERM "$MWCD_PID"
+wait "$MWCD_PID"
+echo SMOKE-OK
