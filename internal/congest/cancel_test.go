@@ -98,6 +98,37 @@ func TestDeadlineExceededIsDistinguishable(t *testing.T) {
 	}
 }
 
+// cancelInInitProgram cancels the network's context from the Init phase
+// and sends nothing, so the run loop's pending-work condition is false as
+// soon as the Init batch ends.
+type cancelInInitProgram struct {
+	Base
+	cancel context.CancelFunc
+}
+
+func (p cancelInInitProgram) Init(*Node) { p.cancel() }
+
+func TestCancelDuringInitPhase(t *testing.T) {
+	for _, parallel := range []bool{false, true} {
+		t.Run(fmt.Sprintf("parallel=%v", parallel), func(t *testing.T) {
+			const n = 8
+			net, err := NewNetwork(gen.Ring(n, false, false, 1), Options{Seed: 1, Parallel: parallel})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			net.SetContext(ctx)
+			// With nothing queued and nothing scheduled after Init, a run that
+			// missed the post-Init abort check would return nil over a
+			// partially initialized network.
+			if _, err := net.Run(progsFor(n, cancelInInitProgram{cancel: cancel}), 0); !errors.Is(err, ErrCanceled) {
+				t.Fatalf("Run error = %v, want ErrCanceled for a cancellation during Init", err)
+			}
+		})
+	}
+}
+
 func TestSetContextNilRemovesAbortSignal(t *testing.T) {
 	g := gen.Path(4)
 	net, err := NewNetwork(g, Options{})

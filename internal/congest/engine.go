@@ -66,6 +66,16 @@ func (net *Network) Run(progs []Program, budget int) (int, error) {
 	// here enter the link queues and are delivered from the next round on.
 	net.eng.runHandlers(net, net.all, true)
 	net.afterHandlers(net.all)
+	// A cancellation landing during the Init phase makes the engine bail
+	// mid-batch; if the partially executed init left no pending traffic or
+	// wake-ups, the loop below never runs, so report the cancellation here
+	// rather than returning nil over a partially initialized network.
+	if net.canceled() {
+		if net.runObs != nil {
+			net.runObs.OnRunEnd(net.now)
+		}
+		return net.now - start, net.cancelErr(start)
+	}
 
 	for net.tr.pending() || !net.cal.empty() {
 		// Abort check at the round boundary: a cancellation that lands while

@@ -341,28 +341,44 @@ func (s *Service) Get(id string) (*Job, error) {
 	return j, nil
 }
 
-// List returns the most recent jobs, newest first, up to limit (0 = 50).
+// maxListLimit caps List's limit parameter: it reaches the service
+// unauthenticated via GET /v1/jobs?limit=N, so it must not size any
+// allocation directly.
+const maxListLimit = 1000
+
+// List returns the most recent jobs, newest first, up to limit (0 = 50,
+// clamped to maxListLimit and to the number of retained records).
 func (s *Service) List(limit int) []Status {
 	if limit <= 0 {
 		limit = 50
 	}
-	s.mu.Lock()
-	ids := make([]string, 0, limit)
-	for i := len(s.order) - 1; i >= 0 && len(ids) < limit; i-- {
-		ids = append(ids, s.order[i])
+	if limit > maxListLimit {
+		limit = maxListLimit
 	}
-	jobs := make([]*Job, 0, len(ids))
-	for _, id := range ids {
-		if j, ok := s.jobs[id]; ok {
-			jobs = append(jobs, j)
-		}
-	}
-	s.mu.Unlock()
+	jobs := s.recent(limit)
 	out := make([]Status, len(jobs))
 	for i, j := range jobs {
 		out[i] = j.Status()
 	}
 	return out
+}
+
+// recent returns up to limit of the most recently created jobs, newest
+// first. limit must already be clamped to maxListLimit; it is further
+// clamped to the number of retained records before sizing the slice.
+func (s *Service) recent(limit int) []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if limit > len(s.order) {
+		limit = len(s.order)
+	}
+	jobs := make([]*Job, 0, limit)
+	for i := len(s.order) - 1; i >= 0 && len(jobs) < limit; i-- {
+		if j, ok := s.jobs[s.order[i]]; ok {
+			jobs = append(jobs, j)
+		}
+	}
+	return jobs
 }
 
 // Cancel cancels the job: a queued job goes terminal immediately, a running

@@ -426,4 +426,15 @@ func TestListReturnsNewestFirst(t *testing.T) {
 	if _, err := s.Get("nope"); !errors.Is(err, ErrNotFound) {
 		t.Errorf("Get(unknown) = %v, want ErrNotFound", err)
 	}
+
+	// The limit reaches List unauthenticated via GET /v1/jobs?limit=N and
+	// must never size an allocation directly: a huge value used to panic in
+	// makeslice with the service mutex held, wedging the whole daemon. It is
+	// clamped instead and returns every retained record.
+	if got := s.List(1 << 62); len(got) != 3 {
+		t.Errorf("List(huge) returned %d entries, want 3", len(got))
+	}
+	if got := s.List(maxListLimit + 1); len(got) != 3 {
+		t.Errorf("List(maxListLimit+1) returned %d entries, want 3", len(got))
+	}
 }
