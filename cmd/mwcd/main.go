@@ -7,6 +7,13 @@
 //
 //	mwcd -addr :8356
 //	mwcd -addr 127.0.0.1:9000 -workers 8 -queue 128 -cache 512 -timeout 2m
+//	mwcd -data-dir /var/lib/mwcd -fsync always
+//
+// With -data-dir the daemon journals every job lifecycle event and
+// terminal result to disk (internal/store): on restart it re-enqueues the
+// jobs that were queued or running, under their original IDs, and serves
+// previously-computed results from the durable cache without
+// re-simulation. Without it the daemon is purely in-memory, as before.
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: admission stops,
 // running jobs get -drain to finish, and only then does the process exit.
@@ -25,6 +32,7 @@ import (
 	"time"
 
 	"congestmwc/internal/jobs"
+	"congestmwc/internal/store"
 )
 
 func main() {
@@ -46,19 +54,49 @@ func run(args []string) error {
 		records = fs.Int("maxrecords", 4096, "retained job records before the oldest terminal ones are pruned")
 		drain   = fs.Duration("drain", 30*time.Second, "graceful-shutdown budget for running jobs")
 		observe = fs.Bool("observe", false, "attach per-job observability summaries (phase table, peak congestion)")
+		dataDir = fs.String("data-dir", "", "durable data directory (WAL + result store); empty = in-memory only")
+		fsync   = fs.String("fsync", "interval", "WAL fsync policy: always | interval | none (-data-dir only)")
+		walMax  = fs.Int64("walmax", 4<<20, "WAL bytes before snapshot + compaction (-data-dir only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	svc := jobs.New(jobs.Config{
+	var st *store.Store
+	var recovered jobs.RecoveredState
+	if *dataDir != "" {
+		var err error
+		st, err = store.Open(store.Options{
+			Dir:          *dataDir,
+			Fsync:        store.FsyncPolicy(*fsync),
+			CompactBytes: *walMax,
+		})
+		if err != nil {
+			return err
+		}
+		recovered = st.Recovered()
+	}
+
+	cfg := jobs.Config{
 		Workers:        *workers,
 		QueueCap:       *queue,
 		CacheEntries:   *cache,
 		DefaultTimeout: *timeout,
 		MaxRecords:     *records,
 		Observe:        *observe,
-	})
+	}
+	if st != nil {
+		cfg.Journal = st
+	}
+	svc := jobs.New(cfg)
+	if st != nil {
+		warmed, requeued, err := svc.Restore(recovered)
+		if err != nil {
+			return fmt.Errorf("restore from %s: %w", *dataDir, err)
+		}
+		log.Printf("mwcd: recovered from %s: %d cached results warmed, %d interrupted jobs re-enqueued",
+			*dataDir, warmed, requeued)
+	}
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           jobs.NewHandler(svc, jobs.HandlerConfig{MaxBodyBytes: *maxBody}),
@@ -78,9 +116,17 @@ func run(args []string) error {
 		errc <- nil
 	}()
 
+	closeStore := func() error {
+		if st == nil {
+			return nil
+		}
+		return st.Close()
+	}
+
 	select {
 	case err := <-errc:
 		_ = svc.Close(context.Background())
+		_ = closeStore()
 		return err
 	case <-ctx.Done():
 	}
@@ -93,6 +139,9 @@ func run(args []string) error {
 	// status polls finish before the listener closes.
 	serr := srv.Shutdown(drainCtx)
 	jerr := svc.Close(drainCtx)
+	// The service is drained (its Close fsynced the journal after the last
+	// transitions); now the store itself can close.
+	sterr := closeStore()
 	if werr := <-errc; werr != nil {
 		return werr
 	}
@@ -101,6 +150,9 @@ func run(args []string) error {
 	}
 	if jerr != nil {
 		return fmt.Errorf("job drain: %w", jerr)
+	}
+	if sterr != nil {
+		return fmt.Errorf("store close: %w", sterr)
 	}
 	log.Printf("mwcd: drained cleanly")
 	return nil

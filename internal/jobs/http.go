@@ -1,12 +1,14 @@
 package jobs
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strconv"
+	"time"
 )
 
 // HandlerConfig configures the HTTP surface of a Service.
@@ -14,6 +16,9 @@ type HandlerConfig struct {
 	// MaxBodyBytes bounds request bodies (default 1 MiB). Oversized
 	// submissions fail with 413.
 	MaxBodyBytes int64
+	// MaxWait caps the ?wait= long-poll duration on GET /v1/jobs/{id}
+	// (default 30s). Longer client requests are clamped, not rejected.
+	MaxWait time.Duration
 }
 
 // NewHandler exposes the service over HTTP (the mwcd API, see
@@ -21,7 +26,7 @@ type HandlerConfig struct {
 //
 //	POST   /v1/jobs      submit a job (202; 200 on a cache hit; 429 on backpressure)
 //	GET    /v1/jobs      list recent jobs (?limit=N)
-//	GET    /v1/jobs/{id} job status
+//	GET    /v1/jobs/{id} job status (?wait=5s long-polls until terminal)
 //	DELETE /v1/jobs/{id} cancel the job
 //	GET    /healthz      liveness
 //	GET    /metrics      Prometheus-style text metrics
@@ -29,6 +34,10 @@ func NewHandler(s *Service, cfg HandlerConfig) http.Handler {
 	maxBody := cfg.MaxBodyBytes
 	if maxBody <= 0 {
 		maxBody = 1 << 20
+	}
+	maxWait := cfg.MaxWait
+	if maxWait <= 0 {
+		maxWait = 30 * time.Second
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
@@ -71,13 +80,39 @@ func NewHandler(s *Service, cfg HandlerConfig) http.Handler {
 		writeJSON(w, code, st)
 	})
 	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
-		limit, _ := strconv.Atoi(r.URL.Query().Get("limit"))
+		var limit int
+		if raw := r.URL.Query().Get("limit"); raw != "" {
+			v, err := strconv.Atoi(raw)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, fmt.Sprintf("invalid limit %q: not an integer", raw))
+				return
+			}
+			limit = v
+		}
 		writeJSON(w, http.StatusOK, map[string]any{"jobs": s.List(limit)})
 	})
 	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		j, err := s.Get(r.PathValue("id"))
 		if err != nil {
 			httpError(w, http.StatusNotFound, err.Error())
+			return
+		}
+		if raw := r.URL.Query().Get("wait"); raw != "" {
+			d, err := time.ParseDuration(raw)
+			if err != nil || d < 0 {
+				httpError(w, http.StatusBadRequest,
+					fmt.Sprintf("invalid wait %q: want a non-negative Go duration like 5s", raw))
+				return
+			}
+			if d > maxWait {
+				d = maxWait
+			}
+			ctx, cancel := context.WithTimeout(r.Context(), d)
+			defer cancel()
+			// Long-poll: block until the job is terminal or the (clamped)
+			// wait elapses; either way the response is the current status.
+			st, _ := j.Wait(ctx)
+			writeJSON(w, http.StatusOK, st)
 			return
 		}
 		writeJSON(w, http.StatusOK, j.Status())
@@ -127,6 +162,7 @@ func WriteMetrics(w io.Writer, m Metrics) {
 	g("mwcd_workers_busy", "Workers currently executing a job.", m.BusyWorkers)
 	g("mwcd_worker_utilization", "Busy workers / pool size.", strconv.FormatFloat(m.Utilization, 'f', -1, 64))
 	c("mwcd_jobs_submitted_total", "Jobs admitted (including cache hits).", m.Submitted)
+	c("mwcd_jobs_deduped_total", "Submissions answered by an identical in-flight job.", m.Deduped)
 	c("mwcd_jobs_rejected_total", "Submissions rejected by queue backpressure.", m.Rejected)
 	c("mwcd_jobs_done_total", "Jobs completed successfully.", m.Done)
 	c("mwcd_jobs_failed_total", "Jobs that ended in an error.", m.Failed)
@@ -142,4 +178,14 @@ func WriteMetrics(w io.Writer, m Metrics) {
 	c("mwcd_words_simulated_total", "Words delivered across all jobs.", m.WordsSimulated)
 	g("mwcd_peak_link_words", "Worst single-round per-link congestion observed.", m.PeakLinkWords)
 	g("mwcd_peak_queue_len", "Worst link-queue backlog observed.", m.PeakQueueLen)
+	if m.Store != nil {
+		g("mwcd_store_wal_bytes", "Write-ahead-journal size on disk.", m.Store.WALBytes)
+		c("mwcd_store_wal_records_total", "Lifecycle events appended to the journal.", m.Store.WALRecords)
+		c("mwcd_store_fsyncs_total", "fsync calls issued by the store.", m.Store.Fsyncs)
+		c("mwcd_store_snapshots_total", "Snapshot + WAL compaction cycles.", m.Store.Snapshots)
+		g("mwcd_store_recovered_jobs", "Interrupted jobs re-enqueued by the last recovery.", m.Store.RecoveredJobs)
+		g("mwcd_store_durable_results", "Terminal results resident in the durable store.", m.Store.DurableResults)
+		c("mwcd_store_durable_hits_total", "Cache misses answered from the durable result store.", m.Store.DurableHits)
+		c("mwcd_store_dropped_records_total", "Events dropped because they arrived after the store closed.", m.Store.DroppedRecords)
+	}
 }

@@ -220,6 +220,136 @@ func TestHTTPErrorStatuses(t *testing.T) {
 	}
 }
 
+func TestHTTPListLimitValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+
+	// A non-integer limit used to be swallowed by a discarded Atoi error
+	// and treated as 0; it must be a 400 instead.
+	resp, err := http.Get(ts.URL + "/v1/jobs?limit=abc")
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("limit=abc: HTTP %d, want 400", resp.StatusCode)
+	}
+
+	for _, q := range []string{"", "?limit=5", "?limit=-1"} {
+		resp, err := http.Get(ts.URL + "/v1/jobs" + q)
+		if err != nil {
+			t.Fatalf("GET %q: %v", q, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET /v1/jobs%s: HTTP %d, want 200", q, resp.StatusCode)
+		}
+	}
+}
+
+func TestHTTPWaitLongPoll(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2})
+
+	// A terminal job returns immediately regardless of the wait.
+	_, st := postJob(t, ts, exactRingSpec(48, 1))
+	pollTerminal(t, ts, st.ID, time.Minute)
+	start := time.Now()
+	code, got := getWait(t, ts, st.ID, "10s")
+	if code != http.StatusOK || got.State != StateDone {
+		t.Fatalf("wait on terminal job: HTTP %d state %s", code, got.State)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("wait on a terminal job blocked %v", elapsed)
+	}
+
+	// A short wait on a long job returns the live status at the deadline
+	// instead of blocking until terminal.
+	_, slow := postJob(t, ts, exactRingSpec(2048, 2))
+	start = time.Now()
+	code, got = getWait(t, ts, slow.ID, "50ms")
+	if code != http.StatusOK {
+		t.Fatalf("short wait: HTTP %d", code)
+	}
+	if got.State.Terminal() {
+		t.Errorf("50ms wait on a multi-second job returned terminal state %s", got.State)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("50ms wait blocked %v", elapsed)
+	}
+
+	// A wait longer than the job returns the terminal state as soon as the
+	// job finishes — this is the long-poll replacing busy-polling.
+	fast, err := s.Submit(exactRingSpec(96, 3))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	code, got = getWait(t, ts, fast.ID(), "25s")
+	if code != http.StatusOK || !got.State.Terminal() {
+		t.Fatalf("long wait: HTTP %d state %s, want a terminal state", code, got.State)
+	}
+
+	// Malformed wait → 400.
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + slow.ID + "?wait=soon")
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("wait=soon: HTTP %d, want 400", resp.StatusCode)
+	}
+
+	// Drain quickly.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+slow.ID, nil)
+	if _, err := http.DefaultClient.Do(req); err != nil {
+		t.Fatalf("DELETE: %v", err)
+	}
+}
+
+// TestHTTPWaitClampedByServerMax ensures a client cannot pin a handler
+// past the server-side cap.
+func TestHTTPWaitClampedByServerMax(t *testing.T) {
+	s := New(Config{Workers: 1})
+	ts := httptest.NewServer(NewHandler(s, HandlerConfig{MaxWait: 100 * time.Millisecond}))
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		_ = s.Close(ctx)
+	})
+
+	_, st := postJob(t, ts, exactRingSpec(2048, 1))
+	start := time.Now()
+	code, got := getWait(t, ts, st.ID, "1h")
+	if code != http.StatusOK {
+		t.Fatalf("clamped wait: HTTP %d", code)
+	}
+	if got.State.Terminal() {
+		t.Errorf("clamped wait returned terminal state %s for a multi-second job", got.State)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Errorf("wait=1h with a 100ms server cap blocked %v", elapsed)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+st.ID, nil)
+	if _, err := http.DefaultClient.Do(req); err != nil {
+		t.Fatalf("DELETE: %v", err)
+	}
+}
+
+func getWait(t *testing.T, ts *httptest.Server, id, wait string) (int, Status) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id + "?wait=" + wait)
+	if err != nil {
+		t.Fatalf("GET /v1/jobs/%s?wait=%s: %v", id, wait, err)
+	}
+	defer resp.Body.Close()
+	var st Status
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatalf("decode job status: %v", err)
+		}
+	}
+	return resp.StatusCode, st
+}
+
 func TestHTTPBodyLimit413(t *testing.T) {
 	s := New(Config{Workers: 1})
 	ts := httptest.NewServer(NewHandler(s, HandlerConfig{MaxBodyBytes: 256}))

@@ -16,6 +16,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -76,6 +77,10 @@ type Config struct {
 	// statuses carry the per-run summary (phase table, peak congestion,
 	// wall clock) and service metrics aggregate the peaks.
 	Observe bool
+	// Journal persists job lifecycle events and terminal results
+	// (internal/store is the durable implementation). Nil keeps the
+	// service purely in-memory.
+	Journal Journal
 }
 
 func (c Config) withDefaults() Config {
@@ -103,17 +108,18 @@ type Job struct {
 	graph *congestmwc.Graph
 	opts  congestmwc.Options
 
-	mu       sync.Mutex
-	state    State
-	result   *congestmwc.Result
-	summary  *obs.Summary
-	errMsg   string
-	cacheHit bool
-	created  time.Time
-	started  time.Time
-	finished time.Time
-	cancel   context.CancelFunc
-	done     chan struct{}
+	mu          sync.Mutex
+	state       State
+	result      *congestmwc.Result
+	summary     *obs.Summary
+	errMsg      string
+	cacheHit    bool
+	interrupted int
+	created     time.Time
+	started     time.Time
+	finished    time.Time
+	cancel      context.CancelFunc
+	done        chan struct{}
 }
 
 // ID returns the job's identifier.
@@ -146,17 +152,20 @@ type ResultStatus struct {
 
 // Status is a point-in-time snapshot of a job, serialisable as JSON.
 type Status struct {
-	ID       string     `json:"id"`
-	State    State      `json:"state"`
-	Key      string     `json:"key"`
-	Algo     Algo       `json:"algo"`
-	N        int        `json:"n"`
-	M        int        `json:"m"`
-	CacheHit bool       `json:"cacheHit,omitempty"`
-	Created  time.Time  `json:"created"`
-	Started  *time.Time `json:"started,omitempty"`
-	Finished *time.Time `json:"finished,omitempty"`
-	Error    string     `json:"error,omitempty"`
+	ID       string `json:"id"`
+	State    State  `json:"state"`
+	Key      string `json:"key"`
+	Algo     Algo   `json:"algo"`
+	N        int    `json:"n"`
+	M        int    `json:"m"`
+	CacheHit bool   `json:"cacheHit,omitempty"`
+	// InterruptedAttempts counts prior runs of this job cut short by a
+	// crash (nonzero only on jobs re-enqueued by Restore).
+	InterruptedAttempts int        `json:"interruptedAttempts,omitempty"`
+	Created             time.Time  `json:"created"`
+	Started             *time.Time `json:"started,omitempty"`
+	Finished            *time.Time `json:"finished,omitempty"`
+	Error               string     `json:"error,omitempty"`
 	// Result carries the answer for done jobs, and the partial progress
 	// (rounds/messages/words executed before the stop; Found == false) for
 	// cancelled and expired ones.
@@ -170,16 +179,17 @@ func (j *Job) Status() Status {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	st := Status{
-		ID:       j.id,
-		State:    j.state,
-		Key:      j.key,
-		Algo:     j.spec.Algo,
-		N:        j.graph.N(),
-		M:        j.graph.M(),
-		CacheHit: j.cacheHit,
-		Created:  j.created,
-		Error:    j.errMsg,
-		Obs:      j.summary,
+		ID:                  j.id,
+		State:               j.state,
+		Key:                 j.key,
+		Algo:                j.spec.Algo,
+		N:                   j.graph.N(),
+		M:                   j.graph.M(),
+		CacheHit:            j.cacheHit,
+		InterruptedAttempts: j.interrupted,
+		Created:             j.created,
+		Error:               j.errMsg,
+		Obs:                 j.summary,
 	}
 	if !j.started.IsZero() {
 		t := j.started
@@ -205,21 +215,24 @@ func (j *Job) Status() Status {
 // Service is the job-execution service: admission, queueing, the worker
 // pool, the result cache and job records.
 type Service struct {
-	cfg   Config
-	queue chan *Job
-	cache *resultCache
+	cfg     Config
+	queue   chan *Job
+	cache   *resultCache
+	journal Journal // nil = in-memory only
 
-	mu     sync.Mutex
-	jobs   map[string]*Job
-	order  []string // job IDs in creation order, for pruning
-	nextID int64
-	closed bool
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string        // job IDs in creation order, for pruning
+	inflight map[string]*Job // cache key → non-terminal job, for idempotent dedup
+	nextID   int64
+	closed   bool
 
 	wg       sync.WaitGroup
 	draining atomic.Bool
 	busy     atomic.Int64
 
 	submitted  atomic.Uint64
+	deduped    atomic.Uint64
 	rejected   atomic.Uint64
 	doneN      atomic.Uint64
 	failedN    atomic.Uint64
@@ -239,10 +252,12 @@ type Service struct {
 func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
 	s := &Service{
-		cfg:   cfg,
-		queue: make(chan *Job, cfg.QueueCap),
-		cache: newResultCache(cfg.CacheEntries),
-		jobs:  make(map[string]*Job),
+		cfg:      cfg,
+		queue:    make(chan *Job, cfg.QueueCap),
+		cache:    newResultCache(cfg.CacheEntries),
+		journal:  cfg.Journal,
+		jobs:     make(map[string]*Job),
+		inflight: make(map[string]*Job),
 	}
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -253,8 +268,11 @@ func New(cfg Config) *Service {
 
 // Submit validates and admits one job. Invalid specs fail immediately with
 // a descriptive error; a full queue fails with ErrQueueFull (backpressure);
-// a cache hit returns a job already in StateDone carrying the cached
-// result. The returned Job is safe for concurrent use.
+// a cache hit — from the in-memory LRU or, with a journal attached, the
+// durable result store — returns a job already in StateDone carrying the
+// cached result. A submission whose cache key matches a job still queued or
+// running is answered idempotently with that in-flight job instead of
+// enqueueing duplicate work. The returned Job is safe for concurrent use.
 func (s *Service) Submit(spec Spec) (*Job, error) {
 	g, opts, err := spec.resolve()
 	if err != nil {
@@ -267,6 +285,35 @@ func (s *Service) Submit(spec Spec) (*Job, error) {
 	if s.closed {
 		return nil, ErrClosed
 	}
+	if res, ok := s.lookupLocked(key); ok {
+		s.nextID++
+		now := time.Now()
+		j := &Job{
+			id:       fmt.Sprintf("j-%08d", s.nextID),
+			key:      key,
+			spec:     spec,
+			graph:    g,
+			opts:     opts,
+			state:    StateDone,
+			result:   res,
+			cacheHit: true,
+			created:  now,
+			started:  now,
+			finished: now,
+			done:     make(chan struct{}),
+		}
+		close(j.done)
+		s.doneN.Add(1)
+		s.submitted.Add(1)
+		s.record(j)
+		// Cache-hit jobs are not journaled: they are terminal at birth and
+		// their result is already durable (or the service is in-memory).
+		return j, nil
+	}
+	if prior := s.inflight[key]; prior != nil {
+		s.deduped.Add(1)
+		return prior, nil
+	}
 	s.nextID++
 	j := &Job{
 		id:      fmt.Sprintf("j-%08d", s.nextID),
@@ -278,27 +325,53 @@ func (s *Service) Submit(spec Spec) (*Job, error) {
 		created: time.Now(),
 		done:    make(chan struct{}),
 	}
-	if res, ok := s.cache.get(key); ok {
-		now := time.Now()
-		j.state = StateDone
-		j.result = res
-		j.cacheHit = true
-		j.started, j.finished = now, now
-		close(j.done)
-		s.doneN.Add(1)
-		s.submitted.Add(1)
-		s.record(j)
-		return j, nil
-	}
 	select {
 	case s.queue <- j:
 	default:
 		s.rejected.Add(1)
 		return nil, fmt.Errorf("%w (capacity %d)", ErrQueueFull, s.cfg.QueueCap)
 	}
+	s.inflight[key] = j
 	s.submitted.Add(1)
 	s.record(j)
+	s.journalRecord(JournalEvent{
+		Type: EventAdmit, ID: j.id, Key: key, State: StateQueued,
+		Time: j.created, Spec: &spec,
+	})
 	return j, nil
+}
+
+// lookupLocked consults the in-memory result cache and, on a miss, the
+// journal's durable result store (promoting a durable hit into the memory
+// cache). Caller holds s.mu.
+func (s *Service) lookupLocked(key string) (*congestmwc.Result, bool) {
+	if res, ok := s.cache.get(key); ok {
+		return res, true
+	}
+	if s.journal != nil {
+		if res, ok := s.journal.Lookup(key); ok {
+			s.cache.put(key, res)
+			return res, true
+		}
+	}
+	return nil, false
+}
+
+// journalRecord forwards one lifecycle event to the journal, if any.
+func (s *Service) journalRecord(ev JournalEvent) {
+	if s.journal != nil {
+		s.journal.Record(ev)
+	}
+}
+
+// clearInflight drops the job from the in-flight dedup index once it is
+// terminal. The identity check guards against a newer job reusing the key.
+func (s *Service) clearInflight(key string, j *Job) {
+	s.mu.Lock()
+	if s.inflight[key] == j {
+		delete(s.inflight, key)
+	}
+	s.mu.Unlock()
 }
 
 // record registers the job and prunes the oldest terminal records beyond
@@ -393,6 +466,7 @@ func (s *Service) Cancel(id string) (Status, error) {
 		return Status{}, err
 	}
 	j.mu.Lock()
+	var cancelled bool
 	switch j.state {
 	case StateQueued:
 		j.state = StateCancelled
@@ -400,12 +474,20 @@ func (s *Service) Cancel(id string) (Status, error) {
 		j.finished = time.Now()
 		close(j.done)
 		s.cancelledN.Add(1)
+		cancelled = true
 	case StateRunning:
 		if j.cancel != nil {
 			j.cancel()
 		}
 	}
 	j.mu.Unlock()
+	if cancelled {
+		s.journalRecord(JournalEvent{
+			Type: EventState, ID: j.id, Key: j.key,
+			State: StateCancelled, Error: "cancelled while queued", Time: time.Now(),
+		})
+		s.clearInflight(j.key, j)
+	}
 	return j.Status(), nil
 }
 
@@ -433,6 +515,11 @@ func (s *Service) runJob(j *Job) {
 		close(j.done)
 		s.cancelledN.Add(1)
 		j.mu.Unlock()
+		s.journalRecord(JournalEvent{
+			Type: EventState, ID: j.id, Key: j.key,
+			State: StateCancelled, Error: "cancelled by service shutdown", Time: time.Now(),
+		})
+		s.clearInflight(j.key, j)
 		return
 	}
 	timeout := j.spec.timeout()
@@ -459,6 +546,9 @@ func (s *Service) runJob(j *Job) {
 		opts = opts.WithObserver(col)
 	}
 	j.mu.Unlock()
+	s.journalRecord(JournalEvent{
+		Type: EventState, ID: j.id, Key: j.key, State: StateRunning, Time: time.Now(),
+	})
 
 	s.busy.Add(1)
 	var res *congestmwc.Result
@@ -495,8 +585,16 @@ func (s *Service) runJob(j *Job) {
 		j.errMsg = err.Error()
 		s.failedN.Add(1)
 	}
+	final, finalErr := j.state, j.errMsg
 	close(j.done)
 	j.mu.Unlock()
+
+	ev := JournalEvent{Type: EventState, ID: j.id, Key: j.key, State: final, Error: finalErr, Time: time.Now()}
+	if final == StateDone {
+		ev.Result = res
+	}
+	s.journalRecord(ev)
+	s.clearInflight(j.key, j)
 
 	if res != nil {
 		s.roundsTotal.Add(uint64(res.Rounds))
@@ -538,12 +636,143 @@ func (s *Service) Close(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		// Flush and fsync the journal only after every worker has exited —
+		// i.e. after the final state transitions of the last batch were
+		// recorded — so a graceful shutdown never loses terminal results.
+		if s.journal != nil {
+			if err := s.journal.Sync(); err != nil {
+				return fmt.Errorf("jobs: journal sync on close: %w", err)
+			}
+		}
 		return nil
 	case <-ctx.Done():
 		s.abortRunning()
 		<-done
+		if s.journal != nil {
+			_ = s.journal.Sync() // best effort; the drain deadline already expired
+		}
 		return ctx.Err()
 	}
+}
+
+// Restore rebuilds service state from a journal's recovered snapshot:
+// terminal results pre-warm the in-memory cache (so repeats are served from
+// disk with zero re-simulation), and jobs that were queued or running when
+// the previous process stopped are re-enqueued under their original IDs
+// with the interrupted attempt recorded in their status. A pending job
+// whose result turns out to be durable already (the crash landed between
+// the result write and its journal record) is completed from the cache
+// instead of re-running. Call it once, right after New, before serving
+// traffic. It returns how many results warmed the cache and how many jobs
+// were re-enqueued.
+func (s *Service) Restore(rec RecoveredState) (warmed, requeued int, err error) {
+	for key, res := range rec.Results {
+		if res != nil {
+			s.cache.put(key, res)
+			warmed++
+		}
+	}
+	pending := append([]RecoveredJob(nil), rec.Pending...)
+	sort.Slice(pending, func(i, k int) bool { return pending[i].ID < pending[k].ID })
+
+	var enqueue []*Job
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return warmed, 0, ErrClosed
+	}
+	if rec.MaxID > s.nextID {
+		s.nextID = rec.MaxID
+	}
+	for _, rj := range pending {
+		if n := idSuffix(rj.ID); n > s.nextID {
+			s.nextID = n
+		}
+		now := time.Now()
+		j := &Job{
+			id:          rj.ID,
+			spec:        rj.Spec,
+			interrupted: rj.Interrupted,
+			created:     now,
+			done:        make(chan struct{}),
+		}
+		if j.id == "" {
+			s.nextID++
+			j.id = fmt.Sprintf("j-%08d", s.nextID)
+		}
+		g, opts, rerr := rj.Spec.resolve()
+		if rerr != nil {
+			// The spec was valid at its original admission; journal
+			// corruption is the only way here. Park the job as failed
+			// rather than dropping it silently.
+			j.graph, j.opts = emptyGraph(), congestmwc.Options{}
+			j.state = StateFailed
+			j.errMsg = "recovery: " + rerr.Error()
+			j.finished = now
+			close(j.done)
+			s.failedN.Add(1)
+			s.record(j)
+			s.journalRecord(JournalEvent{
+				Type: EventState, ID: j.id, State: StateFailed, Error: j.errMsg, Time: now,
+			})
+			continue
+		}
+		j.graph, j.opts, j.key = g, opts, cacheKey(g, rj.Spec.Algo, opts)
+		if res, ok := s.lookupLocked(j.key); ok {
+			j.state = StateDone
+			j.result = res
+			j.cacheHit = true
+			j.started, j.finished = now, now
+			close(j.done)
+			s.doneN.Add(1)
+			s.record(j)
+			// Mark the job terminal in the journal (the result itself is
+			// already durable) so the next recovery does not re-enqueue it.
+			s.journalRecord(JournalEvent{
+				Type: EventState, ID: j.id, Key: j.key, State: StateDone, Time: now,
+			})
+			continue
+		}
+		j.state = StateQueued
+		s.record(j)
+		if s.inflight[j.key] == nil {
+			s.inflight[j.key] = j
+		}
+		s.journalRecord(JournalEvent{
+			Type: EventAdmit, ID: j.id, Key: j.key, State: StateQueued,
+			Time: now, Interrupted: rj.Interrupted, Spec: &rj.Spec,
+		})
+		enqueue = append(enqueue, j)
+	}
+	s.mu.Unlock()
+
+	// Blocking sends, outside the lock: recovery must not drop work to
+	// queue backpressure, and the already-running workers drain the channel
+	// even when len(enqueue) exceeds its capacity.
+	for _, j := range enqueue {
+		s.queue <- j
+		requeued++
+	}
+	return warmed, requeued, nil
+}
+
+// idSuffix extracts the numeric suffix of a "j-%08d" job ID (0 if the ID
+// has another shape).
+func idSuffix(id string) int64 {
+	var n int64
+	if _, err := fmt.Sscanf(id, "j-%d", &n); err == nil {
+		return n
+	}
+	return 0
+}
+
+// emptyGraph is the placeholder graph of an unrecoverable job record.
+func emptyGraph() *congestmwc.Graph {
+	g, err := congestmwc.NewGraph(1, nil, congestmwc.Undirected)
+	if err != nil {
+		panic(err)
+	}
+	return g
 }
 
 // abortRunning cancels every currently-running job.
@@ -573,6 +802,7 @@ type Metrics struct {
 	Utilization float64 `json:"utilization"`
 
 	Submitted uint64 `json:"submitted"`
+	Deduped   uint64 `json:"deduped"`
 	Rejected  uint64 `json:"rejected"`
 	Done      uint64 `json:"done"`
 	Failed    uint64 `json:"failed"`
@@ -590,6 +820,10 @@ type Metrics struct {
 	WordsSimulated    uint64 `json:"wordsSimulated"`
 	PeakLinkWords     int    `json:"peakLinkWords"`
 	PeakQueueLen      int    `json:"peakQueueLen"`
+
+	// Store is the persistence subsystem's snapshot; nil when the service
+	// runs without a durable journal.
+	Store *StoreMetrics `json:"store,omitempty"`
 }
 
 // Metrics snapshots the service.
@@ -604,6 +838,7 @@ func (s *Service) Metrics() Metrics {
 		Utilization: float64(busy) / float64(s.cfg.Workers),
 
 		Submitted: s.submitted.Load(),
+		Deduped:   s.deduped.Load(),
 		Rejected:  s.rejected.Load(),
 		Done:      s.doneN.Load(),
 		Failed:    s.failedN.Load(),
@@ -626,5 +861,9 @@ func (s *Service) Metrics() Metrics {
 	m.PeakLinkWords = s.peakLinkWords
 	m.PeakQueueLen = s.peakQueueLen
 	s.peakMu.Unlock()
+	if sm, ok := s.journal.(StoreMetricser); ok {
+		st := sm.StoreMetrics()
+		m.Store = &st
+	}
 	return m
 }

@@ -1,0 +1,111 @@
+package jobs
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// metricKinds is the frozen contract of the hand-rolled Prometheus text
+// endpoint: every exported sample and whether it is a counter or a gauge.
+// A name or kind change here is a breaking change for scrapers — update
+// deliberately.
+var metricKinds = map[string]string{
+	"mwcd_queue_depth":                 "gauge",
+	"mwcd_queue_capacity":              "gauge",
+	"mwcd_workers":                     "gauge",
+	"mwcd_workers_busy":                "gauge",
+	"mwcd_worker_utilization":          "gauge",
+	"mwcd_jobs_submitted_total":        "counter",
+	"mwcd_jobs_deduped_total":          "counter",
+	"mwcd_jobs_rejected_total":         "counter",
+	"mwcd_jobs_done_total":             "counter",
+	"mwcd_jobs_failed_total":           "counter",
+	"mwcd_jobs_cancelled_total":        "counter",
+	"mwcd_jobs_expired_total":          "counter",
+	"mwcd_cache_entries":               "gauge",
+	"mwcd_cache_hits_total":            "counter",
+	"mwcd_cache_misses_total":          "counter",
+	"mwcd_cache_evictions_total":       "counter",
+	"mwcd_cache_hit_ratio":             "gauge",
+	"mwcd_rounds_simulated_total":      "counter",
+	"mwcd_messages_simulated_total":    "counter",
+	"mwcd_words_simulated_total":       "counter",
+	"mwcd_peak_link_words":             "gauge",
+	"mwcd_peak_queue_len":              "gauge",
+	"mwcd_store_wal_bytes":             "gauge",
+	"mwcd_store_wal_records_total":     "counter",
+	"mwcd_store_fsyncs_total":          "counter",
+	"mwcd_store_snapshots_total":       "counter",
+	"mwcd_store_recovered_jobs":        "gauge",
+	"mwcd_store_durable_results":       "gauge",
+	"mwcd_store_durable_hits_total":    "counter",
+	"mwcd_store_dropped_records_total": "counter",
+}
+
+// TestWriteMetricsExpositionFormat parses the hand-rolled Prometheus text
+// output line by line: every sample must be introduced by matching # HELP
+// and # TYPE lines, every # TYPE declaration must match the sample name
+// that follows, and the counter/gauge kind of every metric must be stable.
+func TestWriteMetricsExpositionFormat(t *testing.T) {
+	var buf bytes.Buffer
+	WriteMetrics(&buf, Metrics{
+		Workers: 4, QueueCap: 64, Submitted: 10, Done: 9,
+		Store: &StoreMetrics{WALBytes: 123, WALRecords: 30, Fsyncs: 3, Snapshots: 1,
+			RecoveredJobs: 2, DurableResults: 9, DurableHits: 4},
+	})
+
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines)%3 != 0 {
+		t.Fatalf("output is %d lines, want HELP/TYPE/sample triplets:\n%s", len(lines), buf.String())
+	}
+	seen := make(map[string]bool)
+	for i := 0; i < len(lines); i += 3 {
+		help, typ, sample := lines[i], lines[i+1], lines[i+2]
+
+		var helpName string
+		if _, err := fmt.Sscanf(help, "# HELP %s", &helpName); err != nil {
+			t.Fatalf("line %d is not a HELP line: %q", i+1, help)
+		}
+		var typeName, kind string
+		if _, err := fmt.Sscanf(typ, "# TYPE %s %s", &typeName, &kind); err != nil {
+			t.Fatalf("line %d is not a TYPE line: %q", i+2, typ)
+		}
+		sampleName, _, ok := strings.Cut(sample, " ")
+		if !ok {
+			t.Fatalf("line %d is not a sample: %q", i+3, sample)
+		}
+
+		if typeName != sampleName {
+			t.Errorf("# TYPE declares %q but the sample is %q", typeName, sampleName)
+		}
+		if helpName != sampleName {
+			t.Errorf("# HELP declares %q but the sample is %q", helpName, sampleName)
+		}
+		wantKind, known := metricKinds[sampleName]
+		if !known {
+			t.Errorf("unexpected metric %q: add it to metricKinds deliberately", sampleName)
+			continue
+		}
+		if kind != wantKind {
+			t.Errorf("metric %q is a %s, contract says %s", sampleName, kind, wantKind)
+		}
+		if seen[sampleName] {
+			t.Errorf("metric %q exported twice", sampleName)
+		}
+		seen[sampleName] = true
+	}
+	for name := range metricKinds {
+		if !seen[name] {
+			t.Errorf("contract metric %q missing from the output", name)
+		}
+	}
+
+	// Without a store, no mwcd_store_* samples appear at all.
+	buf.Reset()
+	WriteMetrics(&buf, Metrics{Workers: 1})
+	if strings.Contains(buf.String(), "mwcd_store_") {
+		t.Error("store metrics exported without a store attached")
+	}
+}

@@ -1,0 +1,239 @@
+package store
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"congestmwc/internal/jobs"
+)
+
+// TestCrashRecoveryExactlyOnce is the acceptance crash-recovery test:
+// submit a batch, tear the service down without a drain (the store stops
+// recording mid-flight, exactly as a crash would), rebuild from the same
+// directory, and assert that queued work re-runs exactly once while
+// completed results are served from disk with zero re-simulation.
+func TestCrashRecoveryExactlyOnce(t *testing.T) {
+	dir := t.TempDir()
+
+	// ---- life 1: complete a fast batch, leave slow work queued/running.
+	st1 := mustOpen(t, Options{Dir: dir, Fsync: FsyncAlways})
+	svc1 := jobs.New(jobs.Config{Workers: 1, QueueCap: 16, Journal: st1})
+
+	completed := make([]jobs.Spec, 0, 3)
+	completedKeys := make([]string, 0, 3)
+	for i := int64(1); i <= 3; i++ {
+		spec := ringSpec(48, i)
+		j, err := svc1.Submit(spec)
+		if err != nil {
+			t.Fatalf("Submit fast %d: %v", i, err)
+		}
+		st, err := j.Wait(context.Background())
+		if err != nil || st.State != jobs.StateDone {
+			t.Fatalf("fast job %d ended %s (%s, err %v)", i, st.State, st.Error, err)
+		}
+		completed = append(completed, spec)
+		completedKeys = append(completedKeys, j.Key())
+	}
+
+	// The single worker picks up the blocker; two more stay queued.
+	blocker, err := svc1.Submit(ringSpec(2048, 100))
+	if err != nil {
+		t.Fatalf("Submit blocker: %v", err)
+	}
+	queued := make([]*jobs.Job, 0, 2)
+	for i := int64(101); i <= 102; i++ {
+		j, err := svc1.Submit(ringSpec(96, i))
+		if err != nil {
+			t.Fatalf("Submit queued %d: %v", i, err)
+		}
+		queued = append(queued, j)
+	}
+	waitFor(t, func() bool { return blocker.Status().State == jobs.StateRunning }, 30*time.Second,
+		"blocker did not start running")
+
+	// ---- crash: the store stops recording (as if the process died), then
+	// the in-memory service is torn down without a drain.
+	if err := st1.Close(); err != nil {
+		t.Fatalf("store close (crash): %v", err)
+	}
+	aborted, cancel := context.WithCancel(context.Background())
+	cancel()
+	_ = svc1.Close(aborted) // undrained teardown; nothing after the crash persists
+
+	// ---- life 2: recover from the same directory.
+	st2 := mustOpen(t, Options{Dir: dir, Fsync: FsyncAlways})
+	defer st2.Close()
+	rec := st2.Recovered()
+	if len(rec.Pending) != 3 {
+		t.Fatalf("recovered %d pending jobs, want 3 (blocker + 2 queued): %+v", len(rec.Pending), rec.Pending)
+	}
+	if len(rec.Results) != 3 {
+		t.Fatalf("recovered %d durable results, want 3", len(rec.Results))
+	}
+
+	svc2 := jobs.New(jobs.Config{Workers: 2, QueueCap: 16, Journal: st2})
+	warmed, requeued, err := svc2.Restore(rec)
+	if err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if warmed != 3 {
+		t.Errorf("Restore warmed %d results, want 3", warmed)
+	}
+	if requeued != 3 {
+		t.Errorf("Restore re-enqueued %d jobs, want 3", requeued)
+	}
+	if m := st2.StoreMetrics(); m.RecoveredJobs != 3 {
+		t.Errorf("StoreMetrics.RecoveredJobs = %d, want 3", m.RecoveredJobs)
+	}
+
+	// The interrupted jobs keep their original IDs, finish exactly once,
+	// and carry the interrupted attempt in their status.
+	for _, id := range []string{blocker.ID(), queued[0].ID(), queued[1].ID()} {
+		j, err := svc2.Get(id)
+		if err != nil {
+			t.Fatalf("recovered job %s not found in the new service: %v", id, err)
+		}
+		st, err := j.Wait(context.Background())
+		if err != nil || st.State != jobs.StateDone {
+			t.Fatalf("recovered job %s ended %s (%s, err %v)", id, st.State, st.Error, err)
+		}
+		if st.InterruptedAttempts != 1 {
+			t.Errorf("recovered job %s InterruptedAttempts = %d, want 1", id, st.InterruptedAttempts)
+		}
+	}
+	m := svc2.Metrics()
+	if m.Done != 3 {
+		t.Errorf("after recovery, Done = %d, want exactly 3 (each pending job re-ran once)", m.Done)
+	}
+
+	// Completed results are served from the durable warm cache with ZERO
+	// additional simulation: the rounds counter must not move.
+	roundsBefore := svc2.Metrics().RoundsSimulated
+	hitsBefore := svc2.Metrics().CacheHits
+	for i, spec := range completed {
+		j, err := svc2.Submit(spec)
+		if err != nil {
+			t.Fatalf("resubmit completed %d: %v", i, err)
+		}
+		st := j.Status()
+		if st.State != jobs.StateDone || !st.CacheHit {
+			t.Fatalf("resubmitted completed job %d: state %s cacheHit %v, want instant done from cache",
+				i, st.State, st.CacheHit)
+		}
+		if j.Key() != completedKeys[i] {
+			t.Errorf("resubmitted job %d key %s != pre-crash key %s", i, j.Key(), completedKeys[i])
+		}
+	}
+	m = svc2.Metrics()
+	if m.RoundsSimulated != roundsBefore {
+		t.Errorf("resubmitting completed work simulated %d extra rounds, want 0",
+			m.RoundsSimulated-roundsBefore)
+	}
+	if m.CacheHits != hitsBefore+3 {
+		t.Errorf("CacheHits = %d, want %d (every resubmission a hit)", m.CacheHits, hitsBefore+3)
+	}
+
+	// ---- compaction cycle round-trips to an identical recovered state.
+	ctx, cancelDrain := context.WithTimeout(context.Background(), time.Minute)
+	defer cancelDrain()
+	if err := svc2.Close(ctx); err != nil {
+		t.Fatalf("drain svc2: %v", err)
+	}
+	if err := st2.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if err := st2.Close(); err != nil {
+		t.Fatalf("close st2: %v", err)
+	}
+
+	st3 := mustOpen(t, Options{Dir: dir})
+	defer st3.Close()
+	rec3 := st3.Recovered()
+	if len(rec3.Pending) != 0 {
+		t.Errorf("after a full drain + compaction, recovery found %d pending jobs, want 0: %+v",
+			len(rec3.Pending), rec3.Pending)
+	}
+	// All six distinct results (3 fast + blocker + 2 queued) are durable.
+	if len(rec3.Results) != 6 {
+		t.Errorf("recovered %d durable results after compaction, want 6", len(rec3.Results))
+	}
+	for _, key := range completedKeys {
+		if rec3.Results[key] == nil {
+			t.Errorf("pre-crash result %s lost across compaction", key)
+		}
+	}
+}
+
+// TestRecoveryServesDurableResultForPendingJob covers the crash window
+// between the result-file write and its WAL record: the job looks
+// queued/running in the journal, but its result is already durable, so the
+// re-enqueued job must be completed from the durable cache without
+// re-running.
+func TestRecoveryServesDurableResultForPendingJob(t *testing.T) {
+	dir := t.TempDir()
+	st1 := mustOpen(t, Options{Dir: dir, Fsync: FsyncAlways})
+
+	spec := ringSpec(48, 7)
+	svc1 := jobs.New(jobs.Config{Workers: 1, Journal: st1})
+	j1, err := svc1.Submit(spec)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if st, err := j1.Wait(context.Background()); err != nil || st.State != jobs.StateDone {
+		t.Fatalf("job ended %s (err %v)", st.State, err)
+	}
+	if err := svc1.Close(context.Background()); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := st1.Close(); err != nil {
+		t.Fatalf("store close: %v", err)
+	}
+
+	// Forge the crash window: re-admit the job in the WAL with no terminal
+	// record, while its result file stays durable.
+	st2 := mustOpen(t, Options{Dir: dir, Fsync: FsyncAlways})
+	st2.Record(jobs.JournalEvent{Type: jobs.EventAdmit, ID: "j-00000042", Key: j1.Key(),
+		State: jobs.StateQueued, Time: time.Now(), Spec: &spec})
+	if err := st2.Close(); err != nil {
+		t.Fatalf("store close: %v", err)
+	}
+
+	st3 := mustOpen(t, Options{Dir: dir, Fsync: FsyncAlways})
+	defer st3.Close()
+	rec := st3.Recovered()
+	if len(rec.Pending) != 1 {
+		t.Fatalf("recovered %d pending, want the forged job", len(rec.Pending))
+	}
+	svc3 := jobs.New(jobs.Config{Workers: 1, Journal: st3})
+	defer svc3.Close(context.Background())
+	_, requeued, err := svc3.Restore(rec)
+	if err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if requeued != 0 {
+		t.Errorf("Restore re-enqueued %d jobs, want 0 (result already durable)", requeued)
+	}
+	j, err := svc3.Get("j-00000042")
+	if err != nil {
+		t.Fatalf("Get recovered job: %v", err)
+	}
+	st := j.Status()
+	if st.State != jobs.StateDone || !st.CacheHit {
+		t.Errorf("job completed from durable cache: state %s cacheHit %v, want done/true", st.State, st.CacheHit)
+	}
+	if got := svc3.Metrics().RoundsSimulated; got != 0 {
+		t.Errorf("recovery re-simulated %d rounds, want 0", got)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool, timeout time.Duration, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal(msg)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

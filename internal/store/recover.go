@@ -1,0 +1,148 @@
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"congestmwc"
+	"congestmwc/internal/jobs"
+)
+
+// recover rebuilds the recovered state from disk: load the snapshot (if
+// any), replay the WAL over it, and index the durable results directory.
+// Called once, by Open, before the WAL is reopened for appending.
+func (st *Store) recover() error {
+	if err := st.loadSnapshot(); err != nil {
+		return err
+	}
+	if err := st.replayWAL(); err != nil {
+		return err
+	}
+	results, err := st.loadResults()
+	if err != nil {
+		return err
+	}
+
+	pending := make([]jobs.RecoveredJob, 0, len(st.pending))
+	for id, jr := range st.pending {
+		if jr.Spec == nil {
+			// A state record without its admit record (the admit was lost
+			// to a crash before any fsync): the spec is gone, so the job
+			// cannot be re-enqueued. Drop it from the table rather than
+			// carrying an unrunnable record forever.
+			delete(st.pending, id)
+			continue
+		}
+		pending = append(pending, jobs.RecoveredJob{
+			ID:   jr.ID,
+			Spec: *jr.Spec,
+			// The recovered attempt was itself interrupted.
+			Interrupted: jr.Interrupted + 1,
+		})
+	}
+	sort.Slice(pending, func(i, k int) bool { return pending[i].ID < pending[k].ID })
+
+	st.recovered = jobs.RecoveredState{
+		Results: results,
+		Pending: pending,
+		MaxID:   st.maxID,
+	}
+	return nil
+}
+
+// loadSnapshot seeds the job table from the last compaction snapshot.
+func (st *Store) loadSnapshot() error {
+	data, err := os.ReadFile(st.snapshotPath())
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: read snapshot: %w", err)
+	}
+	var snap snapshotFile
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return fmt.Errorf("store: parse snapshot: %w", err)
+	}
+	if snap.Version != 1 {
+		return fmt.Errorf("store: unsupported snapshot version %d", snap.Version)
+	}
+	st.seq = snap.Seq
+	st.maxID = snap.MaxID
+	for _, jr := range snap.Jobs {
+		if jr != nil && jr.ID != "" {
+			st.pending[jr.ID] = jr
+		}
+	}
+	return nil
+}
+
+// replayWAL folds every decodable WAL record into the job table. A
+// truncated or garbled trailing line — a crash mid-append — ends the
+// replay without error; anything already replayed stands.
+func (st *Store) replayWAL() error {
+	f, err := os.Open(st.walPath())
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: open wal for replay: %w", err)
+	}
+	defer f.Close()
+
+	r := bufio.NewReader(f)
+	for {
+		line, err := r.ReadBytes('\n')
+		if len(line) > 0 {
+			var rec walRecord
+			if jerr := json.Unmarshal(line, &rec); jerr != nil {
+				// Partial trailing line from a crash mid-append: stop here.
+				return nil
+			}
+			if rec.Seq > st.seq {
+				st.seq = rec.Seq
+			}
+			st.applyLocked(rec)
+		}
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return fmt.Errorf("store: replay wal: %w", err)
+		}
+	}
+}
+
+// loadResults reads every durable result file into the key → result index
+// that pre-warms the service's cache.
+func (st *Store) loadResults() (map[string]*congestmwc.Result, error) {
+	dir := filepath.Join(st.opts.Dir, "results")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: scan results: %w", err)
+	}
+	results := make(map[string]*congestmwc.Result, len(entries))
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".json" {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, fmt.Errorf("store: read result %s: %w", e.Name(), err)
+		}
+		var rf resultFile
+		if err := json.Unmarshal(data, &rf); err != nil || rf.Key == "" || rf.Result == nil {
+			// An unreadable result file only costs a re-simulation; skip it.
+			continue
+		}
+		results[rf.Key] = rf.Result
+	}
+	st.durableResults.Store(int64(len(results)))
+	return results, nil
+}

@@ -1,0 +1,507 @@
+// Package store is the persistence subsystem of the job service: an
+// append-only JSONL write-ahead journal of job lifecycle events with a
+// configurable fsync policy, periodic snapshot + log compaction once the
+// WAL passes a size threshold, and a durable result store keyed by the
+// canonical graph-hash + options fingerprint from internal/jobs.
+//
+// The Store implements jobs.Journal. Layout under the data directory:
+//
+//	wal.jsonl      append-only journal (one JSON record per line)
+//	snapshot.json  compaction snapshot of the non-terminal job table
+//	results/       one JSON file per durable terminal result, named by a
+//	               SHA-256 of the cache key and carrying the key inline
+//
+// Durability contract: a terminal result is written (atomically, via
+// tmp+rename) to results/ before its journal record is appended, so a
+// crash between the two re-enqueues the job on recovery but the re-run is
+// answered from the durable cache with zero re-simulation. Recovery
+// (Open) replays snapshot + WAL, tolerating a truncated trailing line
+// from a crash mid-append.
+package store
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"congestmwc"
+	"congestmwc/internal/jobs"
+)
+
+// FsyncPolicy selects when the WAL is fsynced.
+type FsyncPolicy string
+
+// Fsync policies.
+const (
+	// FsyncAlways fsyncs after every appended record: no acknowledged
+	// event is ever lost, at a per-record latency cost.
+	FsyncAlways FsyncPolicy = "always"
+	// FsyncInterval flushes and fsyncs on a background timer (Options.
+	// FsyncInterval, default 100ms): at most one interval of events is at
+	// risk on a hard crash. This is the default.
+	FsyncInterval FsyncPolicy = "interval"
+	// FsyncNone leaves fsync to Sync/Close and the OS page cache.
+	FsyncNone FsyncPolicy = "none"
+)
+
+// Options configures a Store. Zero values select the documented defaults.
+type Options struct {
+	// Dir is the data directory (created if absent). Required.
+	Dir string
+	// Fsync selects the WAL fsync policy (default FsyncInterval).
+	Fsync FsyncPolicy
+	// FsyncEvery is the FsyncInterval period (default 100ms).
+	FsyncEvery time.Duration
+	// CompactBytes triggers a snapshot + WAL truncation once the WAL
+	// passes this size (default 4 MiB; negative disables auto-compaction).
+	CompactBytes int64
+}
+
+func (o Options) withDefaults() (Options, error) {
+	if o.Dir == "" {
+		return o, fmt.Errorf("store: Options.Dir is required")
+	}
+	switch o.Fsync {
+	case "":
+		o.Fsync = FsyncInterval
+	case FsyncAlways, FsyncInterval, FsyncNone:
+	default:
+		return o, fmt.Errorf("store: unknown fsync policy %q (want %s | %s | %s)",
+			o.Fsync, FsyncAlways, FsyncInterval, FsyncNone)
+	}
+	if o.FsyncEvery <= 0 {
+		o.FsyncEvery = 100 * time.Millisecond
+	}
+	if o.CompactBytes == 0 {
+		o.CompactBytes = 4 << 20
+	}
+	return o, nil
+}
+
+// walRecord is one JSONL journal line.
+type walRecord struct {
+	Seq         uint64     `json:"seq"`
+	Type        string     `json:"type"` // "admit" | "state"
+	Time        time.Time  `json:"time"`
+	ID          string     `json:"id"`
+	Key         string     `json:"key,omitempty"`
+	State       jobs.State `json:"state,omitempty"`
+	Error       string     `json:"error,omitempty"`
+	Interrupted int        `json:"interrupted,omitempty"`
+	Spec        *jobs.Spec `json:"spec,omitempty"`
+}
+
+// jobRec is the in-memory (and snapshot) record of one non-terminal job.
+// Terminal jobs leave the table: their results live in results/ and their
+// histories need no recovery.
+type jobRec struct {
+	ID          string     `json:"id"`
+	Key         string     `json:"key,omitempty"`
+	State       jobs.State `json:"state"`
+	Interrupted int        `json:"interrupted,omitempty"`
+	Updated     time.Time  `json:"updated"`
+	Spec        *jobs.Spec `json:"spec,omitempty"`
+}
+
+// snapshotFile is the compaction snapshot: the non-terminal job table as
+// of WAL sequence Seq.
+type snapshotFile struct {
+	Version int       `json:"version"`
+	Seq     uint64    `json:"seq"`
+	MaxID   int64     `json:"maxId"`
+	Taken   time.Time `json:"taken"`
+	Jobs    []*jobRec `json:"jobs"`
+}
+
+// resultFile is one durable terminal result, carrying its cache key so
+// recovery can rebuild the key → result index from a directory scan.
+type resultFile struct {
+	Key    string             `json:"key"`
+	Result *congestmwc.Result `json:"result"`
+}
+
+// Store is the durable journal + result store. It is safe for concurrent
+// use and implements jobs.Journal and jobs.StoreMetricser.
+type Store struct {
+	opts Options
+
+	mu       sync.Mutex
+	wal      *os.File
+	bw       *bufio.Writer
+	walBytes int64
+	seq      uint64
+	maxID    int64
+	pending  map[string]*jobRec // non-terminal jobs, by ID
+	dirty    bool               // records appended since the last fsync
+	closed   bool
+	lastErr  error // first write error, surfaced by Sync/Close
+
+	recovered jobs.RecoveredState
+
+	records        atomic.Uint64
+	fsyncs         atomic.Uint64
+	snapshots      atomic.Uint64
+	durableResults atomic.Int64
+	durableHits    atomic.Uint64
+	dropped        atomic.Uint64
+
+	stop   chan struct{}
+	syncWG sync.WaitGroup
+}
+
+// Open creates or reopens the data directory, replays snapshot + WAL into
+// the recovered state (Recovered), loads the durable results index, and
+// starts the interval syncer if the policy asks for one.
+func Open(opts Options) (*Store, error) {
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(filepath.Join(opts.Dir, "results"), 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	st := &Store{
+		opts:    opts,
+		pending: make(map[string]*jobRec),
+		stop:    make(chan struct{}),
+	}
+	if err := st.recover(); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(st.walPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: open wal: %w", err)
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: stat wal: %w", err)
+	}
+	st.wal = f
+	st.bw = bufio.NewWriter(f)
+	st.walBytes = info.Size()
+	if opts.Fsync == FsyncInterval {
+		st.syncWG.Add(1)
+		go st.syncLoop()
+	}
+	return st, nil
+}
+
+func (st *Store) walPath() string      { return filepath.Join(st.opts.Dir, "wal.jsonl") }
+func (st *Store) snapshotPath() string { return filepath.Join(st.opts.Dir, "snapshot.json") }
+
+// resultPath maps a cache key to its durable result file. Keys are hashed
+// into the filename (rather than embedded) so arbitrary key strings can
+// never escape the results directory.
+func (st *Store) resultPath(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(st.opts.Dir, "results", fmt.Sprintf("%x.json", sum))
+}
+
+// Recovered returns the state replayed by Open, for jobs.Service.Restore.
+func (st *Store) Recovered() jobs.RecoveredState { return st.recovered }
+
+// Record appends one lifecycle event to the WAL (and, for done states,
+// writes the terminal result to the durable result store first). Events
+// arriving after Close are dropped and counted — the service must be
+// closed before its store.
+func (st *Store) Record(ev jobs.JournalEvent) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		st.dropped.Add(1)
+		return
+	}
+	if ev.State == jobs.StateDone && ev.Result != nil && ev.Key != "" {
+		st.writeResultLocked(ev.Key, ev.Result)
+	}
+	st.seq++
+	rec := walRecord{
+		Seq:         st.seq,
+		Type:        string(ev.Type),
+		Time:        ev.Time,
+		ID:          ev.ID,
+		Key:         ev.Key,
+		State:       ev.State,
+		Error:       ev.Error,
+		Interrupted: ev.Interrupted,
+		Spec:        ev.Spec,
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		st.fail(fmt.Errorf("store: marshal wal record: %w", err))
+		return
+	}
+	n, err := st.bw.Write(append(line, '\n'))
+	st.walBytes += int64(n)
+	if err != nil {
+		st.fail(fmt.Errorf("store: append wal: %w", err))
+		return
+	}
+	st.records.Add(1)
+	st.dirty = true
+	st.applyLocked(rec)
+	if st.opts.Fsync == FsyncAlways {
+		st.flushSyncLocked()
+	}
+	if st.opts.CompactBytes > 0 && st.walBytes >= st.opts.CompactBytes {
+		st.compactLocked()
+	}
+}
+
+// applyLocked folds one WAL record into the non-terminal job table (the
+// same transition function recovery replays). Caller holds st.mu.
+func (st *Store) applyLocked(rec walRecord) {
+	if n := idSuffix(rec.ID); n > st.maxID {
+		st.maxID = n
+	}
+	switch {
+	case rec.Type == string(jobs.EventAdmit):
+		jr := st.pending[rec.ID]
+		if jr == nil {
+			jr = &jobRec{ID: rec.ID, State: jobs.StateQueued}
+			st.pending[rec.ID] = jr
+		}
+		// An admit never regresses an already-recorded state: a worker may
+		// journal the running transition before the submitter's admit lands.
+		jr.Key, jr.Spec, jr.Interrupted, jr.Updated = rec.Key, rec.Spec, rec.Interrupted, rec.Time
+	case rec.State.Terminal():
+		delete(st.pending, rec.ID)
+	default:
+		jr := st.pending[rec.ID]
+		if jr == nil {
+			jr = &jobRec{ID: rec.ID}
+			st.pending[rec.ID] = jr
+		}
+		jr.State, jr.Updated = rec.State, rec.Time
+		if jr.Key == "" {
+			jr.Key = rec.Key
+		}
+	}
+}
+
+// writeResultLocked persists one terminal result atomically (tmp + fsync +
+// rename). Results are written before their WAL record, so a durable
+// result can exist for a job the journal still sees as running — recovery
+// resolves that by serving the re-enqueued job from the durable cache.
+func (st *Store) writeResultLocked(key string, res *congestmwc.Result) {
+	path := st.resultPath(key)
+	if _, err := os.Stat(path); err == nil {
+		return // already durable (idempotent re-completion)
+	}
+	data, err := json.MarshalIndent(resultFile{Key: key, Result: res}, "", " ")
+	if err != nil {
+		st.fail(fmt.Errorf("store: marshal result: %w", err))
+		return
+	}
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		st.fail(fmt.Errorf("store: write result: %w", err))
+		return
+	}
+	_, werr := f.Write(data)
+	serr := f.Sync()
+	cerr := f.Close()
+	if werr != nil || serr != nil || cerr != nil {
+		os.Remove(tmp)
+		st.fail(fmt.Errorf("store: write result: write=%v sync=%v close=%v", werr, serr, cerr))
+		return
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		st.fail(fmt.Errorf("store: publish result: %w", err))
+		return
+	}
+	st.fsyncs.Add(1)
+	st.durableResults.Add(1)
+}
+
+// Lookup reads one durable result by cache key. Result files are immutable
+// once renamed into place, so no lock is needed.
+func (st *Store) Lookup(key string) (*congestmwc.Result, bool) {
+	data, err := os.ReadFile(st.resultPath(key))
+	if err != nil {
+		return nil, false
+	}
+	var rf resultFile
+	if err := json.Unmarshal(data, &rf); err != nil || rf.Result == nil || rf.Key != key {
+		return nil, false
+	}
+	st.durableHits.Add(1)
+	return rf.Result, true
+}
+
+// Sync flushes buffered WAL records and fsyncs the log. It returns the
+// first write error the store has seen, so callers on the shutdown path
+// learn about silently failed appends.
+func (st *Store) Sync() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return st.lastErr
+	}
+	st.flushSyncLocked()
+	return st.lastErr
+}
+
+func (st *Store) flushSyncLocked() {
+	if err := st.bw.Flush(); err != nil {
+		st.fail(fmt.Errorf("store: flush wal: %w", err))
+		return
+	}
+	if !st.dirty {
+		return
+	}
+	if err := st.wal.Sync(); err != nil {
+		st.fail(fmt.Errorf("store: fsync wal: %w", err))
+		return
+	}
+	st.dirty = false
+	st.fsyncs.Add(1)
+}
+
+// fail records the store's first write error. Caller holds st.mu.
+func (st *Store) fail(err error) {
+	if st.lastErr == nil {
+		st.lastErr = err
+	}
+}
+
+// Compact snapshots the non-terminal job table and truncates the WAL. It
+// runs automatically once the WAL passes Options.CompactBytes; exported
+// for deterministic tests and operational tooling.
+func (st *Store) Compact() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return fmt.Errorf("store: closed")
+	}
+	st.compactLocked()
+	return st.lastErr
+}
+
+func (st *Store) compactLocked() {
+	if err := st.bw.Flush(); err != nil {
+		st.fail(fmt.Errorf("store: flush before compaction: %w", err))
+		return
+	}
+	snap := snapshotFile{
+		Version: 1,
+		Seq:     st.seq,
+		MaxID:   st.maxID,
+		Taken:   time.Now(),
+		Jobs:    make([]*jobRec, 0, len(st.pending)),
+	}
+	for _, jr := range st.pending {
+		snap.Jobs = append(snap.Jobs, jr)
+	}
+	data, err := json.MarshalIndent(snap, "", " ")
+	if err != nil {
+		st.fail(fmt.Errorf("store: marshal snapshot: %w", err))
+		return
+	}
+	tmp := st.snapshotPath() + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		st.fail(fmt.Errorf("store: write snapshot: %w", err))
+		return
+	}
+	_, werr := f.Write(data)
+	serr := f.Sync()
+	cerr := f.Close()
+	if werr != nil || serr != nil || cerr != nil {
+		os.Remove(tmp)
+		st.fail(fmt.Errorf("store: write snapshot: write=%v sync=%v close=%v", werr, serr, cerr))
+		return
+	}
+	if err := os.Rename(tmp, st.snapshotPath()); err != nil {
+		os.Remove(tmp)
+		st.fail(fmt.Errorf("store: publish snapshot: %w", err))
+		return
+	}
+	// The snapshot is durable; the WAL records it covers can go. Truncate
+	// in place: the O_APPEND writer continues from offset 0.
+	if err := st.wal.Truncate(0); err != nil {
+		st.fail(fmt.Errorf("store: truncate wal: %w", err))
+		return
+	}
+	st.walBytes = 0
+	st.dirty = false
+	st.snapshots.Add(1)
+	st.fsyncs.Add(1)
+}
+
+// syncLoop is the FsyncInterval background syncer.
+func (st *Store) syncLoop() {
+	defer st.syncWG.Done()
+	t := time.NewTicker(st.opts.FsyncEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-st.stop:
+			return
+		case <-t.C:
+			st.mu.Lock()
+			if !st.closed {
+				st.flushSyncLocked()
+			}
+			st.mu.Unlock()
+		}
+	}
+}
+
+// Close flushes, fsyncs and closes the WAL. Records arriving after Close
+// are dropped (and counted), so close the job service first. Close is
+// idempotent and returns the store's first write error, if any.
+func (st *Store) Close() error {
+	st.mu.Lock()
+	if st.closed {
+		err := st.lastErr
+		st.mu.Unlock()
+		return err
+	}
+	st.closed = true
+	st.flushSyncLocked()
+	if err := st.wal.Close(); err != nil {
+		st.fail(fmt.Errorf("store: close wal: %w", err))
+	}
+	err := st.lastErr
+	st.mu.Unlock()
+	close(st.stop)
+	st.syncWG.Wait()
+	return err
+}
+
+// StoreMetrics implements jobs.StoreMetricser.
+func (st *Store) StoreMetrics() jobs.StoreMetrics {
+	st.mu.Lock()
+	walBytes := st.walBytes
+	recovered := len(st.recovered.Pending)
+	st.mu.Unlock()
+	return jobs.StoreMetrics{
+		WALBytes:       walBytes,
+		WALRecords:     st.records.Load(),
+		Fsyncs:         st.fsyncs.Load(),
+		Snapshots:      st.snapshots.Load(),
+		RecoveredJobs:  recovered,
+		DurableResults: int(st.durableResults.Load()),
+		DurableHits:    st.durableHits.Load(),
+		DroppedRecords: st.dropped.Load(),
+	}
+}
+
+// idSuffix extracts the numeric suffix of a "j-%08d" job ID.
+func idSuffix(id string) int64 {
+	var n int64
+	if _, err := fmt.Sscanf(id, "j-%d", &n); err == nil {
+		return n
+	}
+	return 0
+}

@@ -1,0 +1,240 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"congestmwc"
+	"congestmwc/internal/jobs"
+)
+
+func ringSpec(n int, seed int64) jobs.Spec {
+	return jobs.Spec{
+		Graph: jobs.GraphSpec{Class: "uw", Gen: &jobs.GenSpec{Kind: "ring", N: n, MaxW: 7}},
+		Algo:  jobs.AlgoExact,
+		Opts:  jobs.OptionsSpec{Seed: seed},
+	}
+}
+
+func mustOpen(t *testing.T, opts Options) *Store {
+	t.Helper()
+	st, err := Open(opts)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", opts.Dir, err)
+	}
+	return st
+}
+
+// admit + state events for one job lifecycle, as the service would emit them.
+func emitLifecycle(st *Store, id, key string, spec jobs.Spec, final jobs.State, res *congestmwc.Result) {
+	st.Record(jobs.JournalEvent{Type: jobs.EventAdmit, ID: id, Key: key, State: jobs.StateQueued, Time: time.Now(), Spec: &spec})
+	st.Record(jobs.JournalEvent{Type: jobs.EventState, ID: id, Key: key, State: jobs.StateRunning, Time: time.Now()})
+	if final.Terminal() {
+		st.Record(jobs.JournalEvent{Type: jobs.EventState, ID: id, Key: key, State: final, Time: time.Now(), Result: res})
+	}
+}
+
+func TestWALReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st := mustOpen(t, Options{Dir: dir, Fsync: FsyncNone})
+
+	res := &congestmwc.Result{Weight: 21, Found: true, Rounds: 120, Messages: 900, Words: 1800, Cycle: []int{1, 2, 3}}
+	emitLifecycle(st, "j-00000001", "sha256:aa", ringSpec(16, 1), jobs.StateDone, res)
+	emitLifecycle(st, "j-00000002", "sha256:bb", ringSpec(16, 2), "", nil) // left running
+	st.Record(jobs.JournalEvent{Type: jobs.EventAdmit, ID: "j-00000003", Key: "sha256:cc",
+		State: jobs.StateQueued, Time: time.Now(), Spec: specPtr(ringSpec(16, 3))}) // left queued
+	if err := st.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	st2 := mustOpen(t, Options{Dir: dir, Fsync: FsyncNone})
+	defer st2.Close()
+	rec := st2.Recovered()
+
+	if len(rec.Pending) != 2 {
+		t.Fatalf("recovered %d pending jobs, want 2 (running + queued): %+v", len(rec.Pending), rec.Pending)
+	}
+	if rec.Pending[0].ID != "j-00000002" || rec.Pending[1].ID != "j-00000003" {
+		t.Errorf("pending IDs = %s, %s; want j-00000002, j-00000003", rec.Pending[0].ID, rec.Pending[1].ID)
+	}
+	for _, p := range rec.Pending {
+		if p.Interrupted != 1 {
+			t.Errorf("job %s Interrupted = %d, want 1", p.ID, p.Interrupted)
+		}
+		if p.Spec.Graph.Gen == nil || p.Spec.Graph.Gen.N != 16 {
+			t.Errorf("job %s spec did not round-trip: %+v", p.ID, p.Spec)
+		}
+	}
+	if rec.MaxID != 3 {
+		t.Errorf("MaxID = %d, want 3", rec.MaxID)
+	}
+	got, ok := rec.Results["sha256:aa"]
+	if !ok {
+		t.Fatal("done job's result not recovered")
+	}
+	if got.Weight != 21 || !got.Found || got.Rounds != 120 || len(got.Cycle) != 3 {
+		t.Errorf("recovered result = %+v, want %+v", got, res)
+	}
+}
+
+func specPtr(s jobs.Spec) *jobs.Spec { return &s }
+
+func TestLookupHitsDurableResult(t *testing.T) {
+	dir := t.TempDir()
+	st := mustOpen(t, Options{Dir: dir})
+	defer st.Close()
+
+	res := &congestmwc.Result{Weight: 9, Found: true, Rounds: 10}
+	st.Record(jobs.JournalEvent{Type: jobs.EventState, ID: "j-00000001", Key: "sha256:dd",
+		State: jobs.StateDone, Time: time.Now(), Result: res})
+
+	got, ok := st.Lookup("sha256:dd")
+	if !ok || got.Weight != 9 {
+		t.Fatalf("Lookup = %+v, %v; want the stored result", got, ok)
+	}
+	if _, ok := st.Lookup("sha256:absent"); ok {
+		t.Error("Lookup of an unknown key reported a hit")
+	}
+	m := st.StoreMetrics()
+	if m.DurableHits != 1 {
+		t.Errorf("DurableHits = %d, want 1", m.DurableHits)
+	}
+	if m.DurableResults != 1 {
+		t.Errorf("DurableResults = %d, want 1", m.DurableResults)
+	}
+}
+
+func TestPartialTrailingLineTolerated(t *testing.T) {
+	dir := t.TempDir()
+	st := mustOpen(t, Options{Dir: dir, Fsync: FsyncAlways})
+	emitLifecycle(st, "j-00000001", "sha256:aa", ringSpec(16, 1), "", nil)
+	if err := st.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Simulate a crash mid-append: a torn, unparseable trailing line.
+	f, err := os.OpenFile(filepath.Join(dir, "wal.jsonl"), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"seq":99,"type":"state","id":"j-0000`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	st2 := mustOpen(t, Options{Dir: dir})
+	defer st2.Close()
+	rec := st2.Recovered()
+	if len(rec.Pending) != 1 || rec.Pending[0].ID != "j-00000001" {
+		t.Fatalf("recovered %+v, want the one intact job", rec.Pending)
+	}
+}
+
+func TestCompactionRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st := mustOpen(t, Options{Dir: dir, Fsync: FsyncNone})
+
+	res := &congestmwc.Result{Weight: 5, Found: true, Rounds: 40}
+	emitLifecycle(st, "j-00000001", "sha256:aa", ringSpec(16, 1), jobs.StateDone, res)
+	emitLifecycle(st, "j-00000002", "sha256:bb", ringSpec(16, 2), "", nil)
+
+	if err := st.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if m := st.StoreMetrics(); m.Snapshots != 1 {
+		t.Errorf("Snapshots = %d, want 1", m.Snapshots)
+	}
+	if m := st.StoreMetrics(); m.WALBytes != 0 {
+		t.Errorf("WALBytes = %d after compaction, want 0", m.WALBytes)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "snapshot.json")); err != nil {
+		t.Fatalf("snapshot file missing after compaction: %v", err)
+	}
+
+	// Post-compaction events append to the truncated WAL.
+	emitLifecycle(st, "j-00000003", "sha256:cc", ringSpec(16, 3), "", nil)
+	if err := st.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// A compaction cycle must round-trip to an identical recovered state:
+	// snapshot (job 2) + fresh WAL (job 3) + results dir (job 1's result).
+	st2 := mustOpen(t, Options{Dir: dir})
+	defer st2.Close()
+	rec := st2.Recovered()
+	if len(rec.Pending) != 2 {
+		t.Fatalf("recovered %d pending jobs after compaction, want 2: %+v", len(rec.Pending), rec.Pending)
+	}
+	if rec.Pending[0].ID != "j-00000002" || rec.Pending[1].ID != "j-00000003" {
+		t.Errorf("pending after compaction = %s, %s; want j-00000002, j-00000003",
+			rec.Pending[0].ID, rec.Pending[1].ID)
+	}
+	if got := rec.Results["sha256:aa"]; got == nil || got.Weight != 5 {
+		t.Errorf("result lost across compaction: %+v", got)
+	}
+	if rec.MaxID != 3 {
+		t.Errorf("MaxID = %d after compaction round-trip, want 3", rec.MaxID)
+	}
+}
+
+func TestAutoCompactionTriggers(t *testing.T) {
+	dir := t.TempDir()
+	st := mustOpen(t, Options{Dir: dir, Fsync: FsyncNone, CompactBytes: 512})
+	defer st.Close()
+
+	for i := 0; i < 50; i++ {
+		emitLifecycle(st, "j-00000001", "sha256:aa", ringSpec(16, 1), "", nil)
+	}
+	m := st.StoreMetrics()
+	if m.Snapshots == 0 {
+		t.Fatalf("no auto-compaction after %d bytes of WAL traffic (threshold 512)", m.WALBytes)
+	}
+	if m.WALBytes >= 512+256 {
+		t.Errorf("WALBytes = %d, want bounded near the 512 threshold", m.WALBytes)
+	}
+}
+
+func TestFsyncAlwaysCounts(t *testing.T) {
+	dir := t.TempDir()
+	st := mustOpen(t, Options{Dir: dir, Fsync: FsyncAlways})
+	emitLifecycle(st, "j-00000001", "sha256:aa", ringSpec(16, 1), "", nil)
+	m := st.StoreMetrics()
+	if m.WALRecords != 2 {
+		t.Fatalf("WALRecords = %d, want 2 (admit + running)", m.WALRecords)
+	}
+	if m.Fsyncs < 2 {
+		t.Errorf("Fsyncs = %d with FsyncAlways after 2 records, want >= 2", m.Fsyncs)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+func TestRecordAfterCloseDropped(t *testing.T) {
+	dir := t.TempDir()
+	st := mustOpen(t, Options{Dir: dir})
+	if err := st.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	st.Record(jobs.JournalEvent{Type: jobs.EventState, ID: "j-00000009", State: jobs.StateRunning, Time: time.Now()})
+	if m := st.StoreMetrics(); m.DroppedRecords != 1 {
+		t.Errorf("DroppedRecords = %d, want 1", m.DroppedRecords)
+	}
+	// Close is idempotent.
+	if err := st.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+}
+
+func TestOpenRejectsBadPolicy(t *testing.T) {
+	_, err := Open(Options{Dir: t.TempDir(), Fsync: "sometimes"})
+	if err == nil || !strings.Contains(err.Error(), "fsync policy") {
+		t.Fatalf("Open with bad policy = %v, want descriptive error", err)
+	}
+	if _, err := Open(Options{}); err == nil {
+		t.Fatal("Open without Dir succeeded")
+	}
+}

@@ -2,30 +2,57 @@
 # End-to-end smoke test for the mwcd daemon: build, start, submit a small
 # weighted-MWC job over HTTP, poll it to completion, verify the answer,
 # check that an identical resubmission is served from the result cache, and
-# shut the daemon down gracefully.
+# shut the daemon down gracefully. A second leg starts the daemon with a
+# durable -data-dir, SIGKILLs it mid-job, restarts it from the same
+# directory, and verifies that the interrupted job finishes under its
+# original ID and completed results survive as cache hits.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 ADDR="127.0.0.1:${MWCD_PORT:-8356}"
 BASE="http://$ADDR"
+MWCD_PID=""
+DATA_DIR=""
 
 go build -o /tmp/mwcd ./cmd/mwcd
-/tmp/mwcd -addr "$ADDR" -workers 2 -queue 16 &
-MWCD_PID=$!
+
 cleanup() {
-  if kill -0 "$MWCD_PID" 2>/dev/null; then
+  if [ -n "$MWCD_PID" ] && kill -0 "$MWCD_PID" 2>/dev/null; then
     kill "$MWCD_PID" 2>/dev/null || true
     wait "$MWCD_PID" 2>/dev/null || true
+  fi
+  if [ -n "$DATA_DIR" ]; then
+    rm -rf "$DATA_DIR"
   fi
 }
 trap cleanup EXIT
 
-# Wait for the daemon to come up.
-for _ in $(seq 1 50); do
-  if curl -fsS "$BASE/healthz" >/dev/null 2>&1; then break; fi
-  sleep 0.1
-done
-curl -fsS "$BASE/healthz" >/dev/null
+start_daemon() {
+  /tmp/mwcd "$@" &
+  MWCD_PID=$!
+  for _ in $(seq 1 50); do
+    if curl -fsS "$BASE/healthz" >/dev/null 2>&1; then break; fi
+    sleep 0.1
+  done
+  curl -fsS "$BASE/healthz" >/dev/null
+}
+
+poll_done() {
+  local id=$1 status state
+  for _ in $(seq 1 200); do
+    status=$(curl -fsS "$BASE/v1/jobs/$id")
+    state=$(echo "$status" | sed -n 's/.*"state": *"\([^"]*\)".*/\1/p' | head -1)
+    case "$state" in
+      done) echo "$status"; return 0 ;;
+      failed|cancelled|expired) echo "job $id ended in $state:" >&2; echo "$status" >&2; return 1 ;;
+    esac
+    sleep 0.1
+  done
+  echo "job $id never finished" >&2
+  return 1
+}
+
+start_daemon -addr "$ADDR" -workers 2 -queue 16
 
 SPEC='{"graph":{"class":"uw","gen":{"kind":"planted","n":80,"cycleLen":5,"cycleW":20,"seed":7}},"algo":"approx"}'
 
@@ -36,23 +63,17 @@ JOB_ID=$(echo "$RESP" | sed -n 's/.*"id": *"\([^"]*\)".*/\1/p' | head -1)
 test -n "$JOB_ID"
 
 echo "== poll $JOB_ID"
-STATE=""
-for _ in $(seq 1 100); do
-  STATUS=$(curl -fsS "$BASE/v1/jobs/$JOB_ID")
-  STATE=$(echo "$STATUS" | sed -n 's/.*"state": *"\([^"]*\)".*/\1/p' | head -1)
-  case "$STATE" in
-    done) break ;;
-    failed|cancelled|expired) echo "job ended in $STATE:"; echo "$STATUS"; exit 1 ;;
-  esac
-  sleep 0.1
-done
-test "$STATE" = done
+STATUS=$(poll_done "$JOB_ID")
 echo "$STATUS" | grep -q '"found": *true'
 
 echo "== resubmit (expect cache hit)"
 RESP2=$(curl -fsS -X POST "$BASE/v1/jobs" -d "$SPEC")
 echo "$RESP2" | grep -q '"cacheHit": *true'
 echo "$RESP2" | grep -q '"state": *"done"'
+
+echo "== bad limit rejected"
+CODE=$(curl -s -o /dev/null -w '%{http_code}' "$BASE/v1/jobs?limit=abc")
+test "$CODE" = 400
 
 echo "== metrics"
 curl -fsS "$BASE/metrics" | grep -E '^mwcd_cache_hits_total [1-9]'
@@ -61,4 +82,50 @@ curl -fsS "$BASE/metrics" | grep -E '^mwcd_jobs_done_total [1-9]'
 echo "== graceful shutdown"
 kill -TERM "$MWCD_PID"
 wait "$MWCD_PID"
+MWCD_PID=""
+
+echo "== durability: submit, SIGKILL, restart, recover"
+DATA_DIR=$(mktemp -d)
+start_daemon -addr "$ADDR" -workers 1 -queue 16 -data-dir "$DATA_DIR" -fsync always
+
+FAST_SPEC='{"graph":{"class":"uw","gen":{"kind":"ring","n":64,"maxW":7}},"algo":"exact"}'
+SLOW_SPEC='{"graph":{"class":"uw","gen":{"kind":"ring","n":2048,"maxW":7}},"algo":"exact"}'
+
+FAST_RESP=$(curl -fsS -X POST "$BASE/v1/jobs" -d "$FAST_SPEC")
+FAST_ID=$(echo "$FAST_RESP" | sed -n 's/.*"id": *"\([^"]*\)".*/\1/p' | head -1)
+poll_done "$FAST_ID" >/dev/null
+
+SLOW_RESP=$(curl -fsS -X POST "$BASE/v1/jobs" -d "$SLOW_SPEC")
+SLOW_ID=$(echo "$SLOW_RESP" | sed -n 's/.*"id": *"\([^"]*\)".*/\1/p' | head -1)
+test -n "$SLOW_ID"
+sleep 0.5
+
+echo "== kill -9 while $SLOW_ID is in flight"
+kill -9 "$MWCD_PID"
+wait "$MWCD_PID" 2>/dev/null || true
+MWCD_PID=""
+
+echo "== restart from $DATA_DIR"
+start_daemon -addr "$ADDR" -workers 1 -queue 16 -data-dir "$DATA_DIR" -fsync always
+
+# The interrupted job is re-enqueued under its original ID, finishes, and
+# records the interrupted attempt. ?wait= long-polls until it is terminal.
+STATUS=$(curl -fsS "$BASE/v1/jobs/$SLOW_ID?wait=30s")
+echo "$STATUS" | grep -q '"state": *"done"'
+echo "$STATUS" | grep -q '"interruptedAttempts": *1'
+
+echo "== resubmit pre-crash spec (expect durable cache hit, no re-run)"
+RESP3=$(curl -fsS -X POST "$BASE/v1/jobs" -d "$FAST_SPEC")
+echo "$RESP3" | grep -q '"cacheHit": *true'
+echo "$RESP3" | grep -q '"state": *"done"'
+
+echo "== store metrics"
+curl -fsS "$BASE/metrics" | grep -E '^mwcd_store_wal_records_total [1-9]'
+curl -fsS "$BASE/metrics" | grep -E '^mwcd_store_recovered_jobs 1$'
+curl -fsS "$BASE/metrics" | grep -E '^mwcd_store_durable_results [1-9]'
+
+echo "== graceful shutdown (durable)"
+kill -TERM "$MWCD_PID"
+wait "$MWCD_PID"
+MWCD_PID=""
 echo SMOKE-OK
