@@ -52,6 +52,7 @@ func run(args []string) error {
 		timeout = fs.Duration("timeout", 5*time.Minute, "default per-job deadline (0 = unbounded)")
 		maxBody = fs.Int64("maxbody", 1<<20, "request body size limit in bytes")
 		records = fs.Int("maxrecords", 4096, "retained job records before the oldest terminal ones are pruned")
+		maxN    = fs.Int("maxn", 16384, "largest instance size accepted at submission (negative disables the cap)")
 		drain   = fs.Duration("drain", 30*time.Second, "graceful-shutdown budget for running jobs")
 		observe = fs.Bool("observe", false, "attach per-job observability summaries (phase table, peak congestion)")
 		dataDir = fs.String("data-dir", "", "durable data directory (WAL + result store); empty = in-memory only")
@@ -83,6 +84,7 @@ func run(args []string) error {
 		CacheEntries:   *cache,
 		DefaultTimeout: *timeout,
 		MaxRecords:     *records,
+		MaxN:           *maxN,
 		Observe:        *observe,
 	}
 	if st != nil {

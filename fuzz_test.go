@@ -1,0 +1,70 @@
+package congestmwc_test
+
+// Native fuzz targets over the internal/check oracle registry, so `go test
+// -fuzz` and the cmd/mwcfuzz soak driver share one notion of correctness.
+// The targets live in the external test package: internal/check imports
+// congestmwc, so an internal fuzz file would be an import cycle.
+//
+// Run them with, e.g.:
+//
+//	go test -fuzz FuzzApproxMWC -fuzztime 30s .
+//	go test -fuzz FuzzExactVsReference -fuzztime 30s .
+//
+// Seed corpora live under testdata/fuzz/<Target>/; docs/TESTING.md
+// documents the byte encoding and how to replay a crasher.
+
+import (
+	"testing"
+
+	"congestmwc/internal/check"
+)
+
+// fuzzOptions keeps the per-execution cost low enough for the mutation
+// engine while still exercising both engines and the cancellation probe.
+func fuzzOptions(seed int64) check.RunOptions {
+	if seed < 0 {
+		seed = -seed
+	}
+	return check.RunOptions{Seed: seed%1024 + 1, Parallel: true, Cancel: true}
+}
+
+// FuzzApproxMWC checks every approximation oracle (found-agreement,
+// soundness, ratio bound, witness validity, round ceiling, engine
+// agreement, Init-phase cancellation) on fuzzer-shaped instances.
+func FuzzApproxMWC(f *testing.F) {
+	f.Add(byte(0), byte(5), int64(1), []byte{0, 3, 1, 4})
+	f.Add(byte(1), byte(9), int64(7), []byte{2, 0, 5, 1, 0, 6})
+	f.Add(byte(2), byte(12), int64(3), []byte{0, 4, 0, 1, 5, 9, 2, 6, 16})
+	f.Add(byte(3), byte(7), int64(11), []byte{3, 0, 2, 1, 4, 0})
+	f.Fuzz(func(t *testing.T, classSel, sizeSel byte, seed int64, data []byte) {
+		inst := check.DecodeInstance(classSel, sizeSel, data)
+		vs, err := check.CheckInstance(inst, fuzzOptions(seed))
+		if err != nil {
+			t.Fatalf("decoded instance unusable (decoder must always build a connected graph): %v", err)
+		}
+		for _, v := range vs {
+			t.Errorf("n=%d m=%d class=%v: %s", inst.N, len(inst.Edges), inst.Class, v)
+		}
+	})
+}
+
+// FuzzExactVsReference differentially checks the O~(n)-round exact
+// algorithm (weight, witness, round ceiling) against the sequential
+// reference on fuzzer-shaped instances.
+func FuzzExactVsReference(f *testing.F) {
+	f.Add(byte(0), byte(4), int64(1), []byte{1, 3, 0, 2})
+	f.Add(byte(1), byte(8), int64(5), []byte{4, 0, 6, 2})
+	f.Add(byte(2), byte(10), int64(2), []byte{0, 5, 7, 3, 1, 0})
+	f.Add(byte(3), byte(6), int64(9), []byte{2, 0, 3, 4, 1, 15})
+	f.Fuzz(func(t *testing.T, classSel, sizeSel byte, seed int64, data []byte) {
+		inst := check.DecodeInstance(classSel, sizeSel, data)
+		opts := check.RunOptions{Seed: fuzzOptions(seed).Seed, Exact: true}
+		out, err := check.Run(inst, opts)
+		if err != nil {
+			t.Fatalf("decoded instance unusable: %v", err)
+		}
+		for _, v := range check.Check(out) {
+			t.Errorf("n=%d m=%d class=%v: %s", inst.N, len(inst.Edges), inst.Class, v)
+		}
+	})
+}

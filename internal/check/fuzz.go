@@ -1,0 +1,42 @@
+package check
+
+// DecodeInstance deterministically maps raw fuzzer bytes to a valid,
+// connected instance — the bridge between go's native fuzzing engine and
+// the oracle harness. classSel picks the graph class, sizeSel the vertex
+// count (3..20), and data is consumed as (u, v[, w]) byte groups on top of
+// a weight-1 path backbone that guarantees connectivity whatever the
+// fuzzer mutates. Weighted classes draw weights 0..16 (0 probes the
+// documented weight>=1 rejection) with 16 mapped to 2^30 to probe
+// overflow handling.
+func DecodeInstance(classSel, sizeSel byte, data []byte) Instance {
+	class := Classes[int(classSel)%len(Classes)]
+	n := 3 + int(sizeSel)%18
+	inst := Instance{Class: class, N: n, Label: "fuzz"}
+	directed := inst.Directed()
+	weighted := inst.Weighted()
+	set := newEdgeSet(directed)
+	for i := 0; i < n-1; i++ {
+		set.add(i, i+1, 1)
+	}
+	step := 2
+	if weighted {
+		step = 3
+	}
+	for i := 0; i+step <= len(data); i += step {
+		u := int(data[i]) % n
+		v := int(data[i+1]) % n
+		if u == v {
+			continue
+		}
+		w := int64(1)
+		if weighted {
+			w = int64(data[i+2]) % 17
+			if w == 16 {
+				w = 1 << 30 // near-maximum weights, overflow probing
+			}
+		}
+		set.add(u, v, w)
+	}
+	inst.Edges = set.edges
+	return inst
+}

@@ -1,0 +1,268 @@
+package check
+
+import (
+	"math"
+	"math/rand"
+
+	"congestmwc"
+	"congestmwc/internal/gen"
+)
+
+// Shape names. Every shape yields a connected communication graph; cycles
+// may or may not exist (the reference solver decides, and the oracles
+// check Found-agreement either way).
+const (
+	ShapeRing       = "ring"        // the n-cycle, random weights
+	ShapeSparse     = "sparse"      // gen.Random with p ~ 2.5/n
+	ShapeDense      = "dense"       // small gen.Random with p = 0.45
+	ShapePlanted    = "planted"     // known planted minimum cycle
+	ShapePathChord  = "path-chord"  // long path + closing chord: diameter ~ n
+	ShapeStar       = "star"        // hub + spokes + a few spoke chords
+	ShapeDenseBlock = "dense-block" // clique block + long path tail
+	ShapeAcyclic    = "acyclic"     // tree (undirected) / DAG (directed)
+	ShapeMaxWeight  = "max-weight"  // weights near 2^30 (overflow probing)
+	ShapeZeroWeight = "zero-weight" // weighted classes: weight-0 edges
+	ShapeGrid       = "grid"        // undirected classes: square grid
+	ShapeTwoCycle   = "two-cycle"   // directed classes: anti-parallel pairs
+)
+
+// Classes is the list of all four graph classes, in a fixed order usable
+// for round-robin scheduling and index-based fuzz inputs.
+var Classes = []congestmwc.Class{
+	congestmwc.Undirected,
+	congestmwc.Directed,
+	congestmwc.UndirectedWeighted,
+	congestmwc.DirectedWeighted,
+}
+
+// Shapes returns the shape names applicable to a class.
+func Shapes(class congestmwc.Class) []string {
+	shapes := []string{
+		ShapeRing, ShapeSparse, ShapeDense, ShapePlanted, ShapePathChord,
+		ShapeStar, ShapeDenseBlock, ShapeAcyclic, ShapeMaxWeight,
+	}
+	switch class {
+	case congestmwc.Undirected:
+		shapes = append(shapes, ShapeGrid)
+	case congestmwc.Directed:
+		shapes = append(shapes, ShapeTwoCycle)
+	case congestmwc.UndirectedWeighted:
+		shapes = append(shapes, ShapeGrid, ShapeZeroWeight)
+	case congestmwc.DirectedWeighted:
+		shapes = append(shapes, ShapeTwoCycle, ShapeZeroWeight)
+	}
+	return shapes
+}
+
+// RandomInstance draws a random shape for the class and builds an instance
+// with at most maxN vertices (maxN < 8 is raised to 8). Deterministic in
+// the rng state.
+func RandomInstance(rng *rand.Rand, class congestmwc.Class, maxN int) Instance {
+	shapes := Shapes(class)
+	return ShapeInstance(rng, class, shapes[rng.Intn(len(shapes))], maxN)
+}
+
+// ShapeInstance builds an instance of the given shape with n drawn from
+// [3, maxN]. Unknown shapes fall back to ShapeSparse.
+func ShapeInstance(rng *rand.Rand, class congestmwc.Class, shape string, maxN int) Instance {
+	if maxN < 8 {
+		maxN = 8
+	}
+	n := 3 + rng.Intn(maxN-2)
+	directed := class == congestmwc.Directed || class == congestmwc.DirectedWeighted
+	weighted := class == congestmwc.UndirectedWeighted || class == congestmwc.DirectedWeighted
+	maxW := []int64{1, 2, 9, 1000}[rng.Intn(4)]
+	w := func() int64 {
+		if !weighted {
+			return 1
+		}
+		return 1 + rng.Int63n(maxW)
+	}
+
+	b := newEdgeSet(directed)
+	switch shape {
+	case ShapeRing:
+		if n < 3 {
+			n = 3
+		}
+		for i := 0; i < n; i++ {
+			b.add(i, (i+1)%n, w())
+		}
+	case ShapeSparse:
+		g, err := (gen.Random{N: n, P: 2.5 / float64(n), Directed: directed,
+			Weighted: weighted, MaxW: maxW, Seed: rng.Int63()}).Graph()
+		if err == nil {
+			return FromInternal(g, shape)
+		}
+	case ShapeDense:
+		if n > 20 {
+			n = 4 + rng.Intn(17)
+		}
+		g, err := (gen.Random{N: n, P: 0.45, Directed: directed,
+			Weighted: weighted, MaxW: maxW, Seed: rng.Int63()}).Graph()
+		if err == nil {
+			return FromInternal(g, shape)
+		}
+	case ShapePlanted:
+		minLen := 3
+		if directed {
+			minLen = 2
+		}
+		cl := minLen + rng.Intn(min(6, n-minLen+1))
+		cw := int64(cl)
+		if weighted {
+			cw = int64(cl) + rng.Int63n(int64(cl)*maxW+1)
+		}
+		g, _, err := (gen.PlantedCycle{N: n, CycleLen: cl, CycleW: cw, Directed: directed,
+			Weighted: weighted, BackgroundDeg: 1 + rng.Intn(2), Seed: rng.Int63()}).Graph()
+		if err == nil {
+			return FromInternal(g, shape)
+		}
+	case ShapePathChord:
+		for i := 0; i+1 < n; i++ {
+			b.addOriented(rng, directed, i, i+1, w())
+		}
+		if n >= 3 {
+			b.addOriented(rng, directed, n-1, 0, w())
+		}
+		if n >= 6 && rng.Intn(2) == 0 {
+			b.addOriented(rng, directed, rng.Intn(n/2), n/2+rng.Intn(n/2), w())
+		}
+	case ShapeStar:
+		for i := 1; i < n; i++ {
+			b.addOriented(rng, directed, 0, i, w())
+		}
+		for k := 1 + rng.Intn(3); k > 0 && n > 2; k-- {
+			u, v := 1+rng.Intn(n-1), 1+rng.Intn(n-1)
+			if u != v {
+				b.addOriented(rng, directed, u, v, w())
+			}
+		}
+	case ShapeDenseBlock:
+		k := min(5+rng.Intn(3), n)
+		for u := 0; u < k; u++ {
+			for v := u + 1; v < k; v++ {
+				b.addOriented(rng, directed, u, v, w())
+			}
+		}
+		for i := k - 1; i+1 < n; i++ {
+			b.addOriented(rng, directed, i, i+1, w())
+		}
+	case ShapeAcyclic:
+		if directed {
+			// DAG: all arcs from lower to higher IDs; the path backbone keeps
+			// the communication graph connected, and no directed cycle exists.
+			for i := 0; i+1 < n; i++ {
+				b.add(i, i+1, w())
+			}
+			for k := rng.Intn(n + 1); k > 0; k-- {
+				u, v := rng.Intn(n), rng.Intn(n)
+				if u < v {
+					b.add(u, v, w())
+				}
+			}
+		} else {
+			// Random tree: no cycle at all.
+			for v := 1; v < n; v++ {
+				b.add(rng.Intn(v), v, w())
+			}
+		}
+	case ShapeMaxWeight:
+		big := int64(1)<<30 + rng.Int63n(1<<20)
+		wb := func() int64 {
+			if !weighted {
+				return 1
+			}
+			return big + rng.Int63n(1<<10)
+		}
+		if n < 3 {
+			n = 3
+		}
+		for i := 0; i < n; i++ {
+			b.add(i, (i+1)%n, wb())
+		}
+		if n >= 5 {
+			b.addOriented(rng, directed, 0, n/2, wb())
+		}
+	case ShapeZeroWeight:
+		// Weighted classes only: a ring plus chord where roughly half the
+		// edges have weight zero. The weighted approximation pipeline
+		// documents weights >= 1 and must reject this cleanly; exact and
+		// reference must still agree on the true (possibly zero-weight) MWC.
+		if n < 3 {
+			n = 3
+		}
+		for i := 0; i < n; i++ {
+			wz := int64(0)
+			if rng.Intn(2) == 0 {
+				wz = 1 + rng.Int63n(maxW)
+			}
+			b.add(i, (i+1)%n, wz)
+		}
+		if n >= 5 {
+			b.addOriented(rng, directed, 0, n/2, 0)
+		}
+	case ShapeGrid:
+		side := int(math.Sqrt(float64(n)))
+		if side < 2 {
+			side = 2
+		}
+		g := gen.Grid(side, side, weighted, maxW, rng.Int63())
+		return FromInternal(g, shape)
+	case ShapeTwoCycle:
+		// Directed classes: anti-parallel pairs make 2-cycles, the smallest
+		// directed cycles — a boundary the undirected classes cannot hit.
+		for i := 0; i+1 < n; i++ {
+			b.add(i, i+1, w())
+			if rng.Intn(3) > 0 {
+				b.add(i+1, i, w())
+			}
+		}
+		b.add(n-1, 0, w())
+	default:
+		return ShapeInstance(rng, class, ShapeSparse, maxN)
+	}
+	return Instance{Class: class, N: n, Edges: b.edges, Label: shape}
+}
+
+// edgeSet accumulates edges, rejecting self loops and duplicates under the
+// class's identification (unordered pairs for undirected classes).
+type edgeSet struct {
+	directed bool
+	seen     map[[2]int]bool
+	edges    []congestmwc.Edge
+}
+
+func newEdgeSet(directed bool) *edgeSet {
+	return &edgeSet{directed: directed, seen: make(map[[2]int]bool)}
+}
+
+func (s *edgeSet) add(u, v int, w int64) bool {
+	a, b := u, v
+	if !s.directed && a > b {
+		a, b = b, a
+	}
+	if u == v || s.seen[[2]int{a, b}] {
+		return false
+	}
+	s.seen[[2]int{a, b}] = true
+	s.edges = append(s.edges, congestmwc.Edge{From: u, To: v, Weight: w})
+	return true
+}
+
+// addOriented adds the edge u-v; for directed classes the orientation is
+// random and with probability 1/4 the reverse arc is added too (so comm
+// connectivity is unchanged but directed reachability varies).
+func (s *edgeSet) addOriented(rng *rand.Rand, directed bool, u, v int, w int64) {
+	if !directed {
+		s.add(u, v, w)
+		return
+	}
+	if rng.Intn(2) == 0 {
+		u, v = v, u
+	}
+	s.add(u, v, w)
+	if rng.Intn(4) == 0 {
+		s.add(v, u, w)
+	}
+}

@@ -1,0 +1,214 @@
+package check
+
+import (
+	"slices"
+
+	"congestmwc"
+)
+
+// MinimizeOptions bounds the minimizer.
+type MinimizeOptions struct {
+	// MaxEvals caps how many candidate instances the failing predicate is
+	// evaluated on (default 2000). Each evaluation typically re-runs the
+	// algorithms, so this is the minimizer's cost knob.
+	MaxEvals int
+}
+
+// Minimize shrinks a failing instance with delta debugging: chunked and
+// single edge removal, isolated-vertex elimination, weight halving and
+// degree-2 path contraction, iterated to a fixpoint (or until the
+// evaluation budget runs out). failing must return true on any instance
+// that still reproduces the bug; candidates that fail to build or
+// disconnect the communication graph are never passed to it. The returned
+// instance always satisfies failing (it is the input when nothing smaller
+// reproduces).
+func Minimize(inst Instance, failing func(Instance) bool, opts MinimizeOptions) Instance {
+	maxEvals := opts.MaxEvals
+	if maxEvals <= 0 {
+		maxEvals = 2000
+	}
+	cur := compact(inst)
+	evals := 0
+	// accept evaluates a candidate and adopts it when it still fails.
+	accept := func(cand Instance) bool {
+		if evals >= maxEvals {
+			return false
+		}
+		cand = compact(cand)
+		if !cand.Valid() {
+			return false
+		}
+		evals++
+		if !failing(cand) {
+			return false
+		}
+		cur = cand
+		return true
+	}
+
+	for changed := true; changed && evals < maxEvals; {
+		changed = false
+		// Edge removal, ddmin style: large chunks first, then single edges.
+		for chunk := len(cur.Edges) / 2; chunk >= 1; chunk /= 2 {
+			for i := 0; i+chunk <= len(cur.Edges); {
+				cand := cur
+				cand.Edges = slices.Delete(slices.Clone(cur.Edges), i, i+chunk)
+				if accept(cand) {
+					changed = true // indices shifted; retry at the same offset
+				} else {
+					i += chunk
+				}
+				if evals >= maxEvals {
+					break
+				}
+			}
+		}
+		if cur.Weighted() {
+			// Global halving first (fast progress on huge weights), then
+			// per-edge halving and per-edge reset to 1.
+			for accept(halveWeights(cur)) {
+				changed = true
+			}
+			for i := 0; i < len(cur.Edges) && evals < maxEvals; i++ {
+				if cur.Edges[i].Weight > 1 {
+					if accept(setWeight(cur, i, 1)) || accept(setWeight(cur, i, (cur.Edges[i].Weight+1)/2)) {
+						changed = true
+					}
+				}
+			}
+			// Degree-2 path contraction preserves cycle weights through the
+			// contracted vertex while removing it.
+			for v := 0; v < cur.N && evals < maxEvals; v++ {
+				if cand, ok := contractDegree2(cur, v); ok && accept(cand) {
+					changed = true
+				}
+			}
+		}
+	}
+	return cur
+}
+
+// compact removes vertices with no incident edges and renumbers the rest
+// contiguously, so edge removal shrinks N too.
+func compact(in Instance) Instance {
+	used := make([]bool, in.N)
+	for _, e := range in.Edges {
+		if e.From >= 0 && e.From < in.N {
+			used[e.From] = true
+		}
+		if e.To >= 0 && e.To < in.N {
+			used[e.To] = true
+		}
+	}
+	remap := make([]int, in.N)
+	next := 0
+	for v := 0; v < in.N; v++ {
+		if used[v] {
+			remap[v] = next
+			next++
+		} else {
+			remap[v] = -1
+		}
+	}
+	if next == in.N {
+		return in
+	}
+	out := in
+	out.N = next
+	out.Edges = make([]congestmwc.Edge, 0, len(in.Edges))
+	for _, e := range in.Edges {
+		e.From, e.To = remap[e.From], remap[e.To]
+		out.Edges = append(out.Edges, e)
+	}
+	return out
+}
+
+func halveWeights(in Instance) Instance {
+	out := in
+	out.Edges = slices.Clone(in.Edges)
+	changed := false
+	for i := range out.Edges {
+		if out.Edges[i].Weight > 1 {
+			out.Edges[i].Weight = (out.Edges[i].Weight + 1) / 2
+			changed = true
+		}
+	}
+	if !changed {
+		return Instance{} // invalid: accept() rejects it without an eval
+	}
+	return out
+}
+
+func setWeight(in Instance, i int, w int64) Instance {
+	out := in
+	out.Edges = slices.Clone(in.Edges)
+	out.Edges[i].Weight = w
+	return out
+}
+
+// contractDegree2 removes vertex v when it lies on a path a - v - b with
+// no other incident edges and no existing a-b edge, replacing the two
+// edges with one a-b edge of summed weight: cycles through v keep their
+// weight. Only meaningful for weighted classes (unweighted edges cannot
+// carry a summed weight).
+func contractDegree2(in Instance, v int) (Instance, bool) {
+	var incident []int
+	for i, e := range in.Edges {
+		if e.From == v || e.To == v {
+			incident = append(incident, i)
+			if len(incident) > 2 {
+				return Instance{}, false
+			}
+		}
+	}
+	if len(incident) != 2 {
+		return Instance{}, false
+	}
+	e1, e2 := in.Edges[incident[0]], in.Edges[incident[1]]
+	var from, to int
+	if in.Directed() {
+		// Need the pattern a -> v -> b (one in-arc, one out-arc).
+		switch {
+		case e1.To == v && e2.From == v:
+			from, to = e1.From, e2.To
+		case e2.To == v && e1.From == v:
+			from, to = e2.From, e1.To
+		default:
+			return Instance{}, false
+		}
+	} else {
+		from = other(e1, v)
+		to = other(e2, v)
+	}
+	if from == to {
+		return Instance{}, false // contraction would create a self loop
+	}
+	for _, e := range in.Edges {
+		if e.From == v || e.To == v {
+			continue
+		}
+		if e.From == from && e.To == to {
+			return Instance{}, false
+		}
+		if !in.Directed() && e.From == to && e.To == from {
+			return Instance{}, false
+		}
+	}
+	out := in
+	out.Edges = make([]congestmwc.Edge, 0, len(in.Edges)-1)
+	for i, e := range in.Edges {
+		if i == incident[0] || i == incident[1] {
+			continue
+		}
+		out.Edges = append(out.Edges, e)
+	}
+	out.Edges = append(out.Edges, congestmwc.Edge{From: from, To: to, Weight: e1.Weight + e2.Weight})
+	return out, true
+}
+
+func other(e congestmwc.Edge, v int) int {
+	if e.From == v {
+		return e.To
+	}
+	return e.From
+}

@@ -1,0 +1,419 @@
+package check
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+
+	"congestmwc"
+)
+
+// RunOptions configures one differential run of an instance.
+type RunOptions struct {
+	// Seed drives the simulated executions (default 1).
+	Seed int64
+	// SampleFactor raises the Theta(log n) sampling constants; the harness
+	// default of 6 pushes the Monte Carlo failure probability far down on
+	// the small instances the fuzzer favours.
+	SampleFactor float64
+	// Eps is the weighted-approximation accuracy parameter (default 0.25,
+	// matching the facade default; the ratio oracle uses the same value).
+	Eps float64
+	// Exact also runs the O~(n)-round exact baseline (differential against
+	// the sequential reference).
+	Exact bool
+	// Parallel also runs the approximation on the parallel engine and
+	// checks engine agreement.
+	Parallel bool
+	// Cancel probes cancellation during the Init phase (an
+	// already-cancelled context must surface ErrCanceled, never nil —
+	// regression for the PR 3 Init-phase bug).
+	Cancel bool
+}
+
+func (o RunOptions) withDefaults() RunOptions {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.SampleFactor == 0 {
+		o.SampleFactor = 6
+	}
+	if o.Eps == 0 {
+		o.Eps = 0.25
+	}
+	return o
+}
+
+// Outcome is everything one differential run produced; the oracles judge
+// it. Approx/Exact results are nil when their run errored (or was not
+// requested).
+type Outcome struct {
+	Inst Instance
+	Opts RunOptions
+
+	// Ref/RefFound are the sequential ground truth (internal/seq).
+	Ref      int64
+	RefFound bool
+	// Diameter is the communication-graph diameter, the +D term of every
+	// round bound.
+	Diameter int
+
+	Approx    *congestmwc.Result
+	ApproxErr error
+	// ApproxPar is the parallel-engine run of the same approximation
+	// (same seed), when RunOptions.Parallel was set.
+	ApproxPar    *congestmwc.Result
+	ApproxParErr error
+	Exact        *congestmwc.Result
+	ExactErr     error
+	// CancelRes/CancelErr are the result of running the approximation
+	// under an already-cancelled context, when RunOptions.Cancel was set.
+	CancelRes *congestmwc.Result
+	CancelErr error
+}
+
+// Violation is one oracle failure on one instance.
+type Violation struct {
+	Oracle string
+	Detail string
+}
+
+func (v Violation) String() string { return v.Oracle + ": " + v.Detail }
+
+// Run executes the differential run: sequential reference, approximation
+// (sequential engine, plus parallel engine and exact baseline when asked)
+// and the cancellation probe. It errors only when the instance itself is
+// unusable (fails to build, or disconnected).
+func Run(inst Instance, opts RunOptions) (*Outcome, error) {
+	opts = opts.withDefaults()
+	g, err := inst.Graph()
+	if err != nil {
+		return nil, fmt.Errorf("check: instance does not build: %w", err)
+	}
+	if !g.Connected() {
+		return nil, fmt.Errorf("check: instance communication graph is disconnected")
+	}
+	out := &Outcome{Inst: inst, Opts: opts}
+	ig, err := inst.internalGraph()
+	if err != nil {
+		return nil, fmt.Errorf("check: %w", err)
+	}
+	out.Diameter, _ = ig.CommDiameter()
+
+	ref, err := congestmwc.ReferenceMWC(g)
+	if err != nil && !errors.Is(err, congestmwc.ErrNoCycle) {
+		return nil, fmt.Errorf("check: reference: %w", err)
+	}
+	out.Ref, out.RefFound = ref, err == nil
+
+	ro := congestmwc.Options{Seed: opts.Seed, SampleFactor: opts.SampleFactor, Eps: opts.Eps}
+	out.Approx, out.ApproxErr = congestmwc.ApproxMWC(g, ro)
+	if opts.Parallel {
+		po := ro
+		po.Parallel = true
+		out.ApproxPar, out.ApproxParErr = congestmwc.ApproxMWC(g, po)
+	}
+	if opts.Exact {
+		out.Exact, out.ExactErr = congestmwc.ExactMWC(g, ro)
+	}
+	if opts.Cancel {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		out.CancelRes, out.CancelErr = congestmwc.ApproxMWCCtx(ctx, g, ro)
+	}
+	return out, nil
+}
+
+// CheckInstance is Run followed by Check.
+func CheckInstance(inst Instance, opts RunOptions) ([]Violation, error) {
+	out, err := Run(inst, opts)
+	if err != nil {
+		return nil, err
+	}
+	return Check(out), nil
+}
+
+// expectedApproxReject reports whether an approximation error on this
+// instance is documented behaviour rather than a bug: the weighted
+// pipeline rejects weight-0 edges descriptively.
+func expectedApproxReject(out *Outcome) bool {
+	return out.Inst.Weighted() && out.Inst.HasZeroWeight()
+}
+
+// ApproxRatioBound returns the largest approximation weight the paper's
+// theorems permit on this instance: (2 - 1/g)*g = 2g - 1 for the
+// undirected girth (Theorem 1.3.B), 2*MWC for directed unweighted
+// (Theorem 1.2.C) and (2+eps)*MWC for the weighted classes (Theorems
+// 1.2.D, 1.4.C). A small additive slack (+2) absorbs integer rounding in
+// the weighted pipeline, as in the long-standing facade tests.
+func ApproxRatioBound(class congestmwc.Class, ref int64, eps float64) int64 {
+	if eps <= 0 {
+		eps = 0.25
+	}
+	switch class {
+	case congestmwc.Undirected:
+		return 2*ref - 1
+	case congestmwc.Directed:
+		return 2 * ref
+	default:
+		return int64(math.Ceil((2+eps)*float64(ref))) + 2
+	}
+}
+
+// Oracle is one named invariant over a run's Outcome. Check returns "" on
+// pass and a violation detail otherwise.
+type Oracle struct {
+	Name  string
+	Check func(*Outcome) string
+}
+
+// Oracles returns the full oracle registry, in evaluation order.
+func Oracles() []Oracle {
+	return []Oracle{
+		{"approx-error", oracleApproxError},
+		{"approx-found", oracleApproxFound},
+		{"approx-sound", oracleApproxSound},
+		{"approx-ratio", oracleApproxRatio},
+		{"approx-witness", oracleApproxWitness},
+		{"approx-rounds", oracleApproxRounds},
+		{"exact-error", oracleExactError},
+		{"exact-reference", oracleExactReference},
+		{"exact-witness", oracleExactWitness},
+		{"exact-rounds", oracleExactRounds},
+		{"engines-agree", oracleEnginesAgree},
+		{"cancel-init", oracleCancelInit},
+	}
+}
+
+// Check evaluates every registered oracle against the outcome.
+func Check(out *Outcome) []Violation {
+	var vs []Violation
+	for _, o := range Oracles() {
+		if detail := o.Check(out); detail != "" {
+			vs = append(vs, Violation{Oracle: o.Name, Detail: detail})
+		}
+	}
+	return vs
+}
+
+func oracleApproxError(out *Outcome) string {
+	if out.ApproxErr == nil || expectedApproxReject(out) {
+		return ""
+	}
+	return fmt.Sprintf("ApproxMWC failed on a valid instance: %v", out.ApproxErr)
+}
+
+func oracleApproxFound(out *Outcome) string {
+	if out.Approx == nil || out.ApproxErr != nil {
+		return ""
+	}
+	if out.Approx.Found != out.RefFound {
+		return fmt.Sprintf("approx Found=%v but reference Found=%v (ref weight %d)",
+			out.Approx.Found, out.RefFound, out.Ref)
+	}
+	return ""
+}
+
+func oracleApproxSound(out *Outcome) string {
+	if out.Approx == nil || out.ApproxErr != nil || !out.Approx.Found || !out.RefFound {
+		return ""
+	}
+	if out.Approx.Weight < out.Ref {
+		return fmt.Sprintf("approx weight %d below the true MWC %d (reported weight must be a real cycle's)",
+			out.Approx.Weight, out.Ref)
+	}
+	return ""
+}
+
+func oracleApproxRatio(out *Outcome) string {
+	if out.Approx == nil || out.ApproxErr != nil || !out.Approx.Found || !out.RefFound {
+		return ""
+	}
+	bound := ApproxRatioBound(out.Inst.Class, out.Ref, out.Opts.Eps)
+	if out.Approx.Weight > bound {
+		return fmt.Sprintf("approx weight %d exceeds the class bound %d (true MWC %d, class %s)",
+			out.Approx.Weight, bound, out.Ref, out.Inst.Class)
+	}
+	return ""
+}
+
+// verifyWitness validates a non-nil witness cycle against the instance.
+func verifyWitness(out *Outcome, res *congestmwc.Result, exact bool) string {
+	g, err := out.Inst.Graph()
+	if err != nil {
+		return "" // Run already rejected unbuildable instances
+	}
+	w, err := g.VerifyCycle(res.Cycle)
+	if err != nil {
+		return fmt.Sprintf("witness %v is not a simple cycle: %v", res.Cycle, err)
+	}
+	if exact && w != res.Weight {
+		return fmt.Sprintf("exact witness %v weighs %d, result claims %d", res.Cycle, w, res.Weight)
+	}
+	if !exact && w > res.Weight {
+		return fmt.Sprintf("approx witness %v weighs %d, more than the reported weight %d", res.Cycle, w, res.Weight)
+	}
+	return ""
+}
+
+func oracleApproxWitness(out *Outcome) string {
+	if out.Approx == nil || out.ApproxErr != nil || out.Approx.Cycle == nil {
+		return ""
+	}
+	return verifyWitness(out, out.Approx, false)
+}
+
+func oracleApproxRounds(out *Outcome) string {
+	if out.Approx == nil || out.ApproxErr != nil {
+		return ""
+	}
+	ceiling := RoundCeiling(out.Inst.Class, AlgoApprox, out.Inst.N, out.Diameter, out.Opts.Eps, out.Inst.MaxWeight())
+	if out.Approx.Rounds > ceiling {
+		return fmt.Sprintf("approx took %d rounds, over the theorem-shaped ceiling %d (n=%d, D=%d)",
+			out.Approx.Rounds, ceiling, out.Inst.N, out.Diameter)
+	}
+	return ""
+}
+
+func oracleExactError(out *Outcome) string {
+	if !out.Opts.Exact || out.ExactErr == nil {
+		return ""
+	}
+	return fmt.Sprintf("ExactMWC failed on a valid instance: %v", out.ExactErr)
+}
+
+func oracleExactReference(out *Outcome) string {
+	if out.Exact == nil || out.ExactErr != nil {
+		return ""
+	}
+	if out.Exact.Found != out.RefFound {
+		return fmt.Sprintf("exact Found=%v but reference Found=%v", out.Exact.Found, out.RefFound)
+	}
+	if out.Exact.Found && out.Exact.Weight != out.Ref {
+		return fmt.Sprintf("exact weight %d != reference %d", out.Exact.Weight, out.Ref)
+	}
+	return ""
+}
+
+func oracleExactWitness(out *Outcome) string {
+	if out.Exact == nil || out.ExactErr != nil || !out.Exact.Found {
+		return ""
+	}
+	if out.Exact.Cycle == nil {
+		return "exact found a cycle but produced no witness"
+	}
+	return verifyWitness(out, out.Exact, true)
+}
+
+func oracleExactRounds(out *Outcome) string {
+	if out.Exact == nil || out.ExactErr != nil {
+		return ""
+	}
+	ceiling := RoundCeiling(out.Inst.Class, AlgoExact, out.Inst.N, out.Diameter, out.Opts.Eps, out.Inst.MaxWeight())
+	if out.Exact.Rounds > ceiling {
+		return fmt.Sprintf("exact took %d rounds, over the theorem-shaped ceiling %d (n=%d, D=%d)",
+			out.Exact.Rounds, ceiling, out.Inst.N, out.Diameter)
+	}
+	return ""
+}
+
+func oracleEnginesAgree(out *Outcome) string {
+	if !out.Opts.Parallel {
+		return ""
+	}
+	if (out.ApproxErr == nil) != (out.ApproxParErr == nil) {
+		return fmt.Sprintf("engines disagree on failure: sequential err=%v, parallel err=%v",
+			out.ApproxErr, out.ApproxParErr)
+	}
+	if out.Approx == nil || out.ApproxPar == nil || out.ApproxErr != nil {
+		return ""
+	}
+	a, p := out.Approx, out.ApproxPar
+	if a.Found != p.Found || a.Weight != p.Weight || a.Rounds != p.Rounds ||
+		a.Messages != p.Messages || a.Words != p.Words {
+		return fmt.Sprintf("sequential and parallel engines diverge: seq={w=%d found=%v r=%d m=%d wd=%d} par={w=%d found=%v r=%d m=%d wd=%d}",
+			a.Weight, a.Found, a.Rounds, a.Messages, a.Words,
+			p.Weight, p.Found, p.Rounds, p.Messages, p.Words)
+	}
+	return ""
+}
+
+func oracleCancelInit(out *Outcome) string {
+	if !out.Opts.Cancel {
+		return ""
+	}
+	if out.CancelErr == nil {
+		return "run under an already-cancelled context returned nil error (lost cancellation, PR 3 Init-phase bug class)"
+	}
+	if expectedApproxReject(out) && !errors.Is(out.CancelErr, context.Canceled) {
+		return "" // input validation may legitimately fire before the first round
+	}
+	if !errors.Is(out.CancelErr, context.Canceled) {
+		return fmt.Sprintf("cancelled run's error %v does not wrap context.Canceled", out.CancelErr)
+	}
+	if out.CancelRes == nil {
+		return "cancelled run returned no partial result"
+	}
+	if out.CancelRes.Found {
+		return "cancelled run claims Found=true"
+	}
+	return ""
+}
+
+// Algo names the two facade entry points, for round ceilings and logs.
+type Algo string
+
+// Algorithms.
+const (
+	AlgoApprox Algo = "approx"
+	AlgoExact  Algo = "exact"
+)
+
+// Round-ceiling constants. The shapes come from the paper's theorems
+// (O~(sqrt n + D), O~(n^{4/5} + D), O~(n^{2/3} + D), O~(n) for the exact
+// baseline), with polylog factors made explicit as powers of log2 n —
+// plus, for the weighted approximations, a log2(maxW) factor for the
+// weight-scaling levels the O~ hides under the weights-poly(n) assumption.
+// Leading constants are calibrated empirically at roughly 4x the maximum
+// observed over the generator's classes and shapes up to n = 96 (see
+// TestRoundCeilingHolds). An unintentional regression that pushes any
+// algorithm past these budgets is a real performance bug.
+const (
+	ceilExact      = 8.0
+	ceilUndirected = 8.0
+	ceilDirected   = 8.0
+	ceilUW         = 24.0
+	ceilDW         = 24.0
+)
+
+// RoundCeiling returns the round budget the oracles enforce for algo on
+// the class at n vertices with communication diameter d and maximum edge
+// weight maxW (pass 1 for unweighted classes).
+func RoundCeiling(class congestmwc.Class, algo Algo, n, d int, eps float64, maxW int64) int {
+	if eps <= 0 {
+		eps = 0.25
+	}
+	if maxW < 1 {
+		maxW = 1
+	}
+	fn, fd := float64(n), float64(d)
+	lg := math.Log2(fn + 2)
+	lw := math.Log2(float64(maxW)) + 1
+	var budget float64
+	if algo == AlgoExact {
+		budget = ceilExact * (fn*lg + fd)
+	} else {
+		switch class {
+		case congestmwc.Undirected:
+			budget = ceilUndirected * (math.Sqrt(fn)*lg*lg + fd)
+		case congestmwc.Directed:
+			budget = ceilDirected * (math.Pow(fn, 0.8)*lg*lg*lg + fd)
+		case congestmwc.UndirectedWeighted:
+			budget = ceilUW * (math.Pow(fn, 2.0/3)*lg*lg*(lw+lg)/eps + fd)
+		default: // DirectedWeighted
+			budget = ceilDW * (math.Pow(fn, 0.8)*lg*lg*(lw+lg)/eps + fd)
+		}
+	}
+	return int(budget) + 1
+}

@@ -1,0 +1,181 @@
+package check
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"congestmwc"
+)
+
+// TestOraclesCleanOnGeneratedInstances is the in-process soak: every
+// class, every shape, both engines, with the exact baseline and the
+// cancellation probe — zero violations expected. cmd/mwcfuzz runs the same
+// loop for minutes; this keeps a slice of it in `go test`.
+func TestOraclesCleanOnGeneratedInstances(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential sweep is seconds-long; skipped in -short")
+	}
+	for _, class := range Classes {
+		for _, shape := range Shapes(class) {
+			rng := rand.New(rand.NewSource(5))
+			for i := 0; i < 2; i++ {
+				inst := ShapeInstance(rng, class, shape, 20)
+				vs, err := CheckInstance(inst, RunOptions{
+					Seed: int64(10*i + 1), Exact: true, Parallel: true, Cancel: true,
+				})
+				if err != nil {
+					t.Fatalf("%v/%s: %v", class, shape, err)
+				}
+				for _, v := range vs {
+					t.Errorf("%v/%s (n=%d, m=%d): %s", class, shape, inst.N, len(inst.Edges), v)
+				}
+			}
+		}
+	}
+}
+
+// TestZeroWeightRejectionIsExpected: weight-0 edges make the weighted
+// approximation refuse (documented), and the oracles must not count that
+// refusal as a violation — while exact and reference still agree.
+func TestZeroWeightRejectionIsExpected(t *testing.T) {
+	inst := Instance{
+		Class: congestmwc.UndirectedWeighted,
+		N:     4,
+		Edges: []congestmwc.Edge{
+			{From: 0, To: 1, Weight: 0},
+			{From: 1, To: 2, Weight: 3},
+			{From: 2, To: 3, Weight: 0},
+			{From: 3, To: 0, Weight: 1},
+		},
+		Label: ShapeZeroWeight,
+	}
+	out, err := Run(inst, RunOptions{Exact: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.ApproxErr == nil {
+		t.Fatal("expected the weighted pipeline to reject weight-0 edges")
+	}
+	if !out.RefFound || out.Ref != 4 {
+		t.Fatalf("reference = (%d, %v), want (4, true)", out.Ref, out.RefFound)
+	}
+	for _, v := range Check(out) {
+		t.Errorf("unexpected violation: %s", v)
+	}
+}
+
+// TestOracleCatchesWrongExactWeight: a doctored outcome (exact result off
+// by one) must trip exact-reference — the oracles cannot be vacuous.
+func TestOracleCatchesWrongExactWeight(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	inst := ShapeInstance(rng, congestmwc.Undirected, ShapeRing, 12)
+	out, err := Run(inst, RunOptions{Exact: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Exact == nil || !out.Exact.Found {
+		t.Fatal("exact found no cycle on a ring")
+	}
+	out.Exact.Weight++
+	found := false
+	for _, v := range Check(out) {
+		if v.Oracle == "exact-reference" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("doctored exact weight not caught by exact-reference")
+	}
+}
+
+// TestOracleCatchesBogusWitness: a corrupted witness cycle must trip the
+// witness oracle.
+func TestOracleCatchesBogusWitness(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	inst := ShapeInstance(rng, congestmwc.Undirected, ShapeRing, 12)
+	out, err := Run(inst, RunOptions{Exact: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Exact == nil || len(out.Exact.Cycle) < 3 {
+		t.Fatal("exact produced no witness on a ring")
+	}
+	out.Exact.Cycle = out.Exact.Cycle[:len(out.Exact.Cycle)-1]
+	found := false
+	for _, v := range Check(out) {
+		if v.Oracle == "exact-witness" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("corrupted witness not caught by exact-witness")
+	}
+}
+
+// TestRoundCeilingShape: ceilings grow with n, are positive, and the
+// weighted ones grow with the maximum weight.
+func TestRoundCeilingShape(t *testing.T) {
+	for _, class := range Classes {
+		for _, algo := range []Algo{AlgoApprox, AlgoExact} {
+			prev := 0
+			for _, n := range []int{4, 16, 64, 256} {
+				c := RoundCeiling(class, algo, n, n/2, 0.25, 9)
+				if c <= prev {
+					t.Errorf("%v/%s: ceiling not increasing at n=%d: %d <= %d", class, algo, n, c, prev)
+				}
+				prev = c
+			}
+		}
+	}
+	small := RoundCeiling(congestmwc.UndirectedWeighted, AlgoApprox, 32, 5, 0.25, 2)
+	big := RoundCeiling(congestmwc.UndirectedWeighted, AlgoApprox, 32, 5, 0.25, 1<<30)
+	if big <= small {
+		t.Errorf("weighted ceiling ignores maxW: %d <= %d", big, small)
+	}
+}
+
+// TestCorpusRoundTrip: WriteCorpus output is loadable by ReadCorpus (and
+// by plain graphio.Read, which the test exercises through it) with the
+// instance and metadata intact.
+func TestCorpusRoundTrip(t *testing.T) {
+	for _, class := range Classes {
+		rng := rand.New(rand.NewSource(21))
+		inst := RandomInstance(rng, class, 24)
+		var buf bytes.Buffer
+		meta := map[string]string{"oracle": "approx-ratio", "seed": "42"}
+		if err := WriteCorpus(&buf, inst, meta); err != nil {
+			t.Fatalf("%v: %v", class, err)
+		}
+		back, gotMeta, err := ReadCorpus(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%v: %v", class, err)
+		}
+		if back.Class != inst.Class || back.N != inst.N || len(back.Edges) != len(inst.Edges) {
+			t.Errorf("%v: round trip changed shape: %+v -> %+v", class, inst, back)
+		}
+		if gotMeta["oracle"] != "approx-ratio" || gotMeta["seed"] != "42" || gotMeta["shape"] != inst.Label {
+			t.Errorf("%v: metadata lost: %v", class, gotMeta)
+		}
+	}
+}
+
+// TestGoTestCase renders a compilable-looking regression test.
+func TestGoTestCase(t *testing.T) {
+	inst := Instance{
+		Class: congestmwc.DirectedWeighted,
+		N:     2,
+		Edges: []congestmwc.Edge{{From: 0, To: 1, Weight: 2}, {From: 1, To: 0, Weight: 3}},
+		Label: "ring",
+	}
+	src := GoTestCase(inst, "approx-ratio", RunOptions{Seed: 9})
+	for _, want := range []string{
+		"func TestRepro", "congestmwc.DirectedWeighted", "{From: 0, To: 1, Weight: 2}",
+		"check.CheckInstance", `"approx-ratio"`, "Seed: 9",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("emitted test case missing %q:\n%s", want, src)
+		}
+	}
+}

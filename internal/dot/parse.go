@@ -1,0 +1,190 @@
+package dot
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"congestmwc/internal/graph"
+)
+
+// Parsed is the result of reading a DOT file: the graph plus the rendering
+// metadata Write embeds (the graph name and any gold-highlighted witness
+// vertices), so Write -> Read round-trips losslessly.
+type Parsed struct {
+	Graph *graph.Graph
+	// Name is the graph's declared name ("G" when omitted).
+	Name string
+	// Highlight lists the vertices marked style=filled fillcolor=gold, in
+	// file order — Write's encoding of a witness cycle.
+	Highlight []int
+}
+
+// Read parses the DOT dialect Write emits (one statement per line: a
+// graph/digraph header, optional default-attribute statements, vertex
+// statements and -- / -> edge statements with optional [key=value]
+// attribute lists). Edges carrying a label=N attribute make the graph
+// weighted with those weights; unlabeled edges in a weighted graph default
+// to weight 1. The vertex count is one past the largest vertex mentioned.
+func Read(r io.Reader) (*Parsed, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	p := &Parsed{Name: "G"}
+	var (
+		directed   bool
+		weighted   bool
+		headerSeen bool
+		closed     bool
+		maxV       = -1
+		edges      []graph.Edge
+	)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "" || strings.HasPrefix(line, "//") || strings.HasPrefix(line, "#"):
+			continue
+		case !headerSeen:
+			kw, name, err := parseHeader(line)
+			if err != nil {
+				return nil, fmt.Errorf("dot: line %d: %w", lineNo, err)
+			}
+			directed = kw == "digraph"
+			if name != "" {
+				p.Name = name
+			}
+			headerSeen = true
+			continue
+		case line == "}":
+			closed = true
+			continue
+		case closed:
+			return nil, fmt.Errorf("dot: line %d: statement after closing brace", lineNo)
+		}
+		line = strings.TrimSuffix(line, ";")
+		stmt, attrs, err := splitAttrs(line)
+		if err != nil {
+			return nil, fmt.Errorf("dot: line %d: %w", lineNo, err)
+		}
+		switch stmt {
+		case "node", "edge", "graph":
+			continue // default-attribute statements carry no structure
+		}
+		sep := "--"
+		if directed {
+			sep = "->"
+		}
+		if u, v, ok := strings.Cut(stmt, sep); ok {
+			from, err1 := strconv.Atoi(strings.TrimSpace(u))
+			to, err2 := strconv.Atoi(strings.TrimSpace(v))
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("dot: line %d: bad edge endpoints %q", lineNo, stmt)
+			}
+			if from < 0 || to < 0 {
+				return nil, fmt.Errorf("dot: line %d: negative vertex in %q", lineNo, stmt)
+			}
+			maxV = max(maxV, max(from, to))
+			w := int64(1)
+			if label, ok := attrs["label"]; ok {
+				w, err = strconv.ParseInt(label, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("dot: line %d: non-integer edge label %q", lineNo, label)
+				}
+				weighted = true
+			}
+			edges = append(edges, graph.Edge{From: from, To: to, Weight: w})
+			continue
+		}
+		v, err := strconv.Atoi(strings.TrimSpace(stmt))
+		if err != nil {
+			return nil, fmt.Errorf("dot: line %d: unrecognised statement %q", lineNo, stmt)
+		}
+		if v < 0 {
+			return nil, fmt.Errorf("dot: line %d: negative vertex %d", lineNo, v)
+		}
+		maxV = max(maxV, v)
+		if attrs["fillcolor"] == "gold" {
+			p.Highlight = append(p.Highlight, v)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dot: %w", err)
+	}
+	if !headerSeen {
+		return nil, fmt.Errorf("dot: missing graph/digraph header")
+	}
+	if !closed {
+		return nil, fmt.Errorf("dot: missing closing brace")
+	}
+	g, err := graph.Build(maxV+1, edges, graph.Options{Directed: directed, Weighted: weighted})
+	if err != nil {
+		return nil, fmt.Errorf("dot: %w", err)
+	}
+	p.Graph = g
+	return p, nil
+}
+
+// parseHeader parses `graph "name" {` / `digraph name {` (the name is
+// optional; quoted names may contain spaces and \" escapes).
+func parseHeader(line string) (keyword, name string, err error) {
+	rest, ok := strings.CutSuffix(strings.TrimSpace(line), "{")
+	if !ok {
+		return "", "", fmt.Errorf("header %q does not end in '{'", line)
+	}
+	rest = strings.TrimSpace(rest)
+	switch {
+	case rest == "graph" || strings.HasPrefix(rest, "graph "):
+		keyword, rest = "graph", strings.TrimSpace(strings.TrimPrefix(rest, "graph"))
+	case rest == "digraph" || strings.HasPrefix(rest, "digraph "):
+		keyword, rest = "digraph", strings.TrimSpace(strings.TrimPrefix(rest, "digraph"))
+	default:
+		return "", "", fmt.Errorf("header %q is neither graph nor digraph", line)
+	}
+	if rest == "" {
+		return keyword, "", nil
+	}
+	if strings.HasPrefix(rest, `"`) {
+		unq, err := strconv.Unquote(rest)
+		if err != nil {
+			return "", "", fmt.Errorf("bad quoted graph name %s: %v", rest, err)
+		}
+		return keyword, unq, nil
+	}
+	if strings.ContainsAny(rest, " \t") {
+		return "", "", fmt.Errorf("unquoted graph name %q contains spaces", rest)
+	}
+	return keyword, rest, nil
+}
+
+// splitAttrs separates `stmt [k1=v1 k2=v2]` into the statement text and its
+// attribute map (empty when there is no attribute list).
+func splitAttrs(line string) (string, map[string]string, error) {
+	open := strings.Index(line, "[")
+	if open < 0 {
+		return strings.TrimSpace(line), map[string]string{}, nil
+	}
+	if !strings.HasSuffix(line, "]") {
+		return "", nil, fmt.Errorf("unterminated attribute list in %q", line)
+	}
+	attrs := map[string]string{}
+	for _, field := range strings.FieldsFunc(line[open+1:len(line)-1], func(r rune) bool {
+		return r == ' ' || r == ',' || r == '\t'
+	}) {
+		k, v, ok := strings.Cut(field, "=")
+		if !ok {
+			return "", nil, fmt.Errorf("attribute %q is not key=value", field)
+		}
+		if strings.HasPrefix(v, `"`) {
+			unq, err := strconv.Unquote(v)
+			if err != nil {
+				return "", nil, fmt.Errorf("bad quoted attribute value %s: %v", v, err)
+			}
+			v = unq
+		}
+		attrs[k] = v
+	}
+	return strings.TrimSpace(line[:open]), attrs, nil
+}

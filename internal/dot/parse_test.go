@@ -1,0 +1,159 @@
+package dot
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"congestmwc/internal/graph"
+	"congestmwc/internal/graphio"
+)
+
+func mustBuild(t *testing.T, n int, edges []graph.Edge, directed, weighted bool) *graph.Graph {
+	t.Helper()
+	g, err := graph.Build(n, edges, graph.Options{Directed: directed, Weighted: weighted})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func sameGraph(a, b *graph.Graph) bool {
+	return a.N() == b.N() && a.Directed() == b.Directed() && a.Weighted() == b.Weighted() &&
+		reflect.DeepEqual(a.Edges(), b.Edges())
+}
+
+// TestDOTRoundTrip drives each case through the full chain: dot.Write ->
+// dot.Read (identity, including name and highlight), then the parsed graph
+// through graphio.Write -> graphio.Read -> dot.Write -> dot.Read again —
+// the two serialisation formats must agree on the graph they describe.
+func TestDOTRoundTrip(t *testing.T) {
+	cases := []struct {
+		name      string
+		graph     *graph.Graph
+		opts      Options
+		wantName  string
+		highlight []int
+	}{
+		{
+			name: "undirected-unweighted",
+			graph: mustBuild(t, 4, []graph.Edge{
+				{From: 0, To: 1, Weight: 1}, {From: 1, To: 2, Weight: 1},
+				{From: 2, To: 3, Weight: 1}, {From: 3, To: 0, Weight: 1},
+			}, false, false),
+			wantName: "G",
+		},
+		{
+			name: "directed",
+			graph: mustBuild(t, 3, []graph.Edge{
+				{From: 0, To: 1, Weight: 1}, {From: 1, To: 2, Weight: 1}, {From: 2, To: 0, Weight: 1},
+			}, true, false),
+			opts:     Options{Name: "cycle3"},
+			wantName: "cycle3",
+		},
+		{
+			name: "weighted-with-labels",
+			graph: mustBuild(t, 4, []graph.Edge{
+				{From: 0, To: 1, Weight: 7}, {From: 1, To: 2, Weight: 1073741824},
+				{From: 2, To: 0, Weight: 1}, {From: 2, To: 3, Weight: 12},
+			}, false, true),
+			opts:     Options{ShowWeights: true},
+			wantName: "G",
+		},
+		{
+			name: "quoted-name-with-spaces",
+			graph: mustBuild(t, 3, []graph.Edge{
+				{From: 0, To: 1, Weight: 2}, {From: 1, To: 2, Weight: 3}, {From: 2, To: 0, Weight: 4},
+			}, true, true),
+			opts:     Options{Name: `planted "uw" instance`, ShowWeights: true},
+			wantName: `planted "uw" instance`,
+		},
+		{
+			name: "highlighted-witness",
+			graph: mustBuild(t, 5, []graph.Edge{
+				{From: 0, To: 1, Weight: 1}, {From: 1, To: 2, Weight: 1}, {From: 2, To: 0, Weight: 1},
+				{From: 2, To: 3, Weight: 1}, {From: 3, To: 4, Weight: 1},
+			}, false, false),
+			opts:      Options{Highlight: []int{0, 1, 2}},
+			wantName:  "G",
+			highlight: []int{0, 1, 2},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := Write(&buf, tc.graph, tc.opts); err != nil {
+				t.Fatal(err)
+			}
+			first := buf.String()
+			parsed, err := Read(strings.NewReader(first))
+			if err != nil {
+				t.Fatalf("Read(Write(g)): %v\n%s", err, first)
+			}
+			if parsed.Name != tc.wantName {
+				t.Errorf("name %q, want %q", parsed.Name, tc.wantName)
+			}
+			if !reflect.DeepEqual(parsed.Highlight, tc.highlight) &&
+				(len(parsed.Highlight) != 0 || len(tc.highlight) != 0) {
+				t.Errorf("highlight %v, want %v", parsed.Highlight, tc.highlight)
+			}
+			if !sameGraph(parsed.Graph, tc.graph) {
+				t.Fatalf("parsed graph differs: n=%d m=%d dir=%v w=%v %v, want n=%d m=%d dir=%v w=%v %v",
+					parsed.Graph.N(), parsed.Graph.M(), parsed.Graph.Directed(), parsed.Graph.Weighted(), parsed.Graph.Edges(),
+					tc.graph.N(), tc.graph.M(), tc.graph.Directed(), tc.graph.Weighted(), tc.graph.Edges())
+			}
+
+			// dot -> graphio -> dot: both formats must describe the same graph.
+			var gio bytes.Buffer
+			if err := graphio.Write(&gio, parsed.Graph); err != nil {
+				t.Fatal(err)
+			}
+			viaGraphio, err := graphio.Read(bytes.NewReader(gio.Bytes()))
+			if err != nil {
+				t.Fatalf("graphio.Read(graphio.Write(parsed)): %v\n%s", err, gio.String())
+			}
+			if !sameGraph(viaGraphio, tc.graph) {
+				t.Fatalf("graphio round trip changed the graph: %v", viaGraphio.Edges())
+			}
+			var second bytes.Buffer
+			if err := Write(&second, viaGraphio, tc.opts); err != nil {
+				t.Fatal(err)
+			}
+			reparsed, err := Read(bytes.NewReader(second.Bytes()))
+			if err != nil {
+				t.Fatalf("Read of second render: %v\n%s", err, second.String())
+			}
+			if !sameGraph(reparsed.Graph, tc.graph) {
+				t.Fatalf("second parse differs from the original graph: %v", reparsed.Graph.Edges())
+			}
+			// Parse/serialize/parse identity: the two renders are byte-equal.
+			if first != second.String() {
+				t.Errorf("renders differ after the graphio round trip:\n--- first\n%s--- second\n%s", first, second.String())
+			}
+		})
+	}
+}
+
+// TestDOTReadRejects pins the parser's error cases.
+func TestDOTReadRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"empty", ""},
+		{"no-header", "0 -- 1;\n}\n"},
+		{"unclosed", "graph \"G\" {\n  0 -- 1;\n"},
+		{"bad-endpoint", "graph \"G\" {\n  a -- 1;\n}\n"},
+		{"bad-label", "graph \"G\" {\n  0 -- 1 [label=x];\n}\n"},
+		{"trailing-statement", "graph \"G\" {\n}\n0 -- 1;\n"},
+		{"unterminated-attrs", "graph \"G\" {\n  0 -- 1 [label=3;\n}\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Read(strings.NewReader(tc.in)); err == nil {
+				t.Fatalf("parsed invalid input without error:\n%s", tc.in)
+			}
+		})
+	}
+}

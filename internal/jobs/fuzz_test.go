@@ -1,0 +1,81 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fuzzHandler shares one small service across fuzz executions: the fuzz
+// engine runs sequentially within a worker process, and a shared service
+// also lets state accumulated by earlier inputs (records, cache entries,
+// queue depth) feed back into later ones.
+var (
+	fuzzOnce sync.Once
+	fuzzMux  http.Handler
+)
+
+func fuzzTarget() http.Handler {
+	fuzzOnce.Do(func() {
+		svc := New(Config{
+			Workers:        2,
+			QueueCap:       8,
+			MaxRecords:     64,
+			MaxN:           64,
+			DefaultTimeout: 2 * time.Second,
+		})
+		fuzzMux = NewHandler(svc, HandlerConfig{MaxBodyBytes: 1 << 16, MaxWait: 50 * time.Millisecond})
+	})
+	return fuzzMux
+}
+
+// FuzzJobsSubmit drives the daemon's HTTP surface with arbitrary
+// method/path/body triples. The oracles are the service's availability
+// guarantees: no panic, no 5xx (the handler maps every client mistake to a
+// 4xx), JSON responses on the JSON API, and a bounded response to any
+// ?limit=/?wait= query — the PR 3 huge-limit regression class.
+func FuzzJobsSubmit(f *testing.F) {
+	f.Add("GET", "/v1/jobs?limit=999999999999", "")
+	f.Add("GET", "/v1/jobs?limit=-5", "")
+	f.Add("GET", "/v1/jobs/j-00000001?wait=10000h", "")
+	f.Add("POST", "/v1/jobs", `{"graph":{"class":"ud","gen":{"kind":"ring","n":8}},"algo":"approx"}`)
+	f.Add("POST", "/v1/jobs", `{"graph":{"class":"dw","gen":{"kind":"random","n":2000000000,"seed":1}},"algo":"exact"}`)
+	f.Add("POST", "/v1/jobs", `{"graph":{"class":"uw","n":3,"edges":[{"from":0,"to":1,"weight":2},{"from":1,"to":2},{"from":2,"to":0}]},"algo":"approx","options":{"seed":7}}`)
+	f.Add("POST", "/v1/jobs", `{"graph":{"class":"d","gen":{"kind":"ring","n":5}},"algo":"approx","timeoutMs":-3}`)
+	f.Add("DELETE", "/v1/jobs/j-00000001", "")
+	f.Add("POST", "/v1/jobs", strings.Repeat("[", 4096))
+	f.Fuzz(func(t *testing.T, method, path, body string) {
+		if !strings.HasPrefix(path, "/") {
+			t.Skip("not a well-formed request line")
+		}
+		// http.NewRequest (unlike httptest.NewRequest) rejects malformed
+		// methods and URLs with an error instead of panicking; anything it
+		// rejects could never reach the handler through a real server.
+		req, err := http.NewRequest(method, "http://mwcd.test"+path, strings.NewReader(body))
+		if err != nil {
+			t.Skip("unparsable request line")
+		}
+		req.Header.Set("Content-Type", "application/json")
+		// Bound the long-poll paths so a fuzzer-supplied ?wait= cannot make
+		// one execution take the full MaxWait budget.
+		ctx, cancel := context.WithTimeout(req.Context(), 100*time.Millisecond)
+		defer cancel()
+		rec := httptest.NewRecorder()
+		fuzzTarget().ServeHTTP(rec, req.WithContext(ctx))
+
+		if rec.Code >= 500 {
+			t.Fatalf("%s %s -> %d (the API must map bad input to 4xx, never 5xx): %s",
+				method, path, rec.Code, rec.Body.String())
+		}
+		if ct := rec.Header().Get("Content-Type"); strings.Contains(ct, "application/json") {
+			if !json.Valid(rec.Body.Bytes()) {
+				t.Fatalf("%s %s -> invalid JSON body: %q", method, path, rec.Body.String())
+			}
+		}
+	})
+}

@@ -73,6 +73,12 @@ type Config struct {
 	// MaxRecords bounds retained job records; the oldest terminal records
 	// are pruned beyond it (default 4096).
 	MaxRecords int
+	// MaxN caps the vertex count of any submitted instance, inline or
+	// generated, checked at admission BEFORE the graph is built: a
+	// generated spec with a huge N would otherwise cost O(N^2) work and
+	// O(N) allocation inside Submit itself, turning one small request into
+	// a denial of service. Default 16384; negative disables the cap.
+	MaxN int
 	// Observe attaches an internal/obs collector to every run: job
 	// statuses carry the per-run summary (phase table, peak congestion,
 	// wall clock) and service metrics aggregate the peaks.
@@ -95,6 +101,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxRecords <= 0 {
 		c.MaxRecords = 4096
+	}
+	if c.MaxN == 0 {
+		c.MaxN = 16384
 	}
 	return c
 }
@@ -274,7 +283,7 @@ func New(cfg Config) *Service {
 // running is answered idempotently with that in-flight job instead of
 // enqueueing duplicate work. The returned Job is safe for concurrent use.
 func (s *Service) Submit(spec Spec) (*Job, error) {
-	g, opts, err := spec.resolve()
+	g, opts, err := spec.resolve(s.cfg.MaxN)
 	if err != nil {
 		return nil, err
 	}
@@ -700,7 +709,7 @@ func (s *Service) Restore(rec RecoveredState) (warmed, requeued int, err error) 
 			s.nextID++
 			j.id = fmt.Sprintf("j-%08d", s.nextID)
 		}
-		g, opts, rerr := rj.Spec.resolve()
+		g, opts, rerr := rj.Spec.resolve(s.cfg.MaxN)
 		if rerr != nil {
 			// The spec was valid at its original admission; journal
 			// corruption is the only way here. Park the job as failed

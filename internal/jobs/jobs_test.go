@@ -438,3 +438,38 @@ func TestListReturnsNewestFirst(t *testing.T) {
 		t.Errorf("List(maxListLimit+1) returned %d entries, want 3", len(got))
 	}
 }
+
+// TestSubmitRejectsOversizedInstance: the MaxN admission cap must reject a
+// generator spec with a huge N before any graph is built — a few request
+// bytes must not buy O(N^2) work inside Submit (denial-of-service class).
+func TestSubmitRejectsOversizedInstance(t *testing.T) {
+	s := New(Config{Workers: 1, MaxN: 100})
+	defer closeService(t, s)
+
+	start := time.Now()
+	_, err := s.Submit(Spec{
+		Graph: GraphSpec{Class: "dw", Gen: &GenSpec{Kind: "random", N: 2_000_000_000, Seed: 1}},
+		Algo:  AlgoExact,
+	})
+	if err == nil {
+		t.Fatal("oversized generator spec admitted")
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("rejection took %v; the cap must fire before graph construction", elapsed)
+	}
+	// Inline graphs are capped by the same check.
+	if _, err := s.Submit(Spec{
+		Graph: GraphSpec{Class: "ud", N: 101, Edges: []Edge{{From: 0, To: 1}}},
+		Algo:  AlgoApprox,
+	}); err == nil {
+		t.Fatal("oversized inline spec admitted")
+	}
+	// At or under the cap, submission works.
+	j, err := s.Submit(exactRingSpec(100, 1))
+	if err != nil {
+		t.Fatalf("at-cap submission rejected: %v", err)
+	}
+	if st := waitTerminal(t, j, 30*time.Second); st.State != StateDone {
+		t.Fatalf("at-cap job ended %s: %s", st.State, st.Error)
+	}
+}

@@ -194,7 +194,7 @@ func TestDurableLookupBacksCacheMiss(t *testing.T) {
 	defer closeService(t, s)
 
 	spec := exactRingSpec(48, 9)
-	g, opts, err := spec.resolve()
+	g, opts, err := spec.resolve(0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -234,7 +234,7 @@ func TestRestoreRequeuesAndWarms(t *testing.T) {
 	defer closeService(t, s)
 
 	warmSpec := exactRingSpec(48, 20)
-	g, opts, err := warmSpec.resolve()
+	g, opts, err := warmSpec.resolve(0)
 	if err != nil {
 		t.Fatal(err)
 	}

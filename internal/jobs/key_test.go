@@ -8,7 +8,7 @@ import (
 // keyOf resolves the spec and returns its canonical cache key.
 func keyOf(t *testing.T, spec Spec) string {
 	t.Helper()
-	g, opts, err := spec.resolve()
+	g, opts, err := spec.resolve(0)
 	if err != nil {
 		t.Fatalf("resolve(%+v): %v", spec, err)
 	}

@@ -117,8 +117,10 @@ func parseClass(s string) (congestmwc.Class, error) {
 // called once at admission: validation failures surface to the submitter
 // immediately, and the resolved graph is what both the cache key and the
 // run use, so generated and inline submissions of the same instance share a
-// key.
-func (s Spec) resolve() (*congestmwc.Graph, congestmwc.Options, error) {
+// key. maxN caps the instance size (<= 0 disables); the cap is enforced on
+// the declared sizes before any graph is constructed, because generator
+// specs amplify a few request bytes into O(N^2) build work.
+func (s Spec) resolve(maxN int) (*congestmwc.Graph, congestmwc.Options, error) {
 	var zero congestmwc.Options
 	switch s.Algo {
 	case AlgoApprox, AlgoExact:
@@ -138,11 +140,31 @@ func (s Spec) resolve() (*congestmwc.Graph, congestmwc.Options, error) {
 	if err != nil {
 		return nil, zero, err
 	}
+	if err := s.Graph.checkSize(maxN); err != nil {
+		return nil, zero, err
+	}
 	g, err := s.Graph.build(class)
 	if err != nil {
 		return nil, zero, err
 	}
 	return g, opts, nil
+}
+
+// checkSize rejects instances whose declared vertex count exceeds maxN
+// (<= 0 disables the cap). It runs before build, so an oversized generator
+// spec costs nothing.
+func (gs GraphSpec) checkSize(maxN int) error {
+	if maxN <= 0 {
+		return nil
+	}
+	n := gs.N
+	if gs.Gen != nil && gs.Gen.N > n {
+		n = gs.Gen.N
+	}
+	if n > maxN {
+		return fmt.Errorf("jobs: instance size n=%d exceeds the service cap of %d vertices", n, maxN)
+	}
+	return nil
 }
 
 func (gs GraphSpec) build(class congestmwc.Class) (*congestmwc.Graph, error) {

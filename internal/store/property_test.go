@@ -1,0 +1,207 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"congestmwc"
+	"congestmwc/internal/jobs"
+)
+
+// TestConcurrentAppendsRaceCompaction hammers one store from many
+// goroutines while a tiny CompactBytes threshold forces auto-compaction to
+// fire continuously under the appends, with Sync, Compact, Lookup and
+// StoreMetrics racing on top. Run under -race (CI does), this is the
+// store's concurrency property test; afterwards, recovery must see exactly
+// the jobs that were left non-terminal and every terminal result.
+func TestConcurrentAppendsRaceCompaction(t *testing.T) {
+	dir := t.TempDir()
+	st := mustOpen(t, Options{Dir: dir, Fsync: FsyncNone, CompactBytes: 2048})
+
+	const (
+		writers = 8
+		perG    = 40
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				id := fmt.Sprintf("j-%02d%06d", g, i)
+				key := fmt.Sprintf("sha256:%02d-%06d", g, i)
+				// Every third job is left running; the rest complete with a
+				// durable result.
+				if i%3 == 0 {
+					emitLifecycle(st, id, key, ringSpec(8, int64(i)), "", nil)
+					continue
+				}
+				res := &congestmwc.Result{Weight: int64(i), Found: true, Rounds: i}
+				emitLifecycle(st, id, key, ringSpec(8, int64(i)), jobs.StateDone, res)
+				if _, ok := st.Lookup(key); !ok {
+					t.Errorf("result for %s not durable immediately after its done record", key)
+				}
+			}
+		}(g)
+	}
+	// Concurrent maintenance: explicit compactions, syncs and metric reads
+	// racing the appenders and the auto-compactions.
+	stop := make(chan struct{})
+	var maint sync.WaitGroup
+	maint.Add(1)
+	go func() {
+		defer maint.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				if err := st.Compact(); err != nil {
+					t.Errorf("Compact: %v", err)
+					return
+				}
+				if err := st.Sync(); err != nil {
+					t.Errorf("Sync: %v", err)
+					return
+				}
+				_ = st.StoreMetrics()
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	maint.Wait()
+	if err := st.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	st2 := mustOpen(t, Options{Dir: dir, Fsync: FsyncNone})
+	defer st2.Close()
+	rec := st2.Recovered()
+	wantPending := writers * ((perG + 2) / 3)
+	if len(rec.Pending) != wantPending {
+		t.Fatalf("recovered %d pending jobs, want %d", len(rec.Pending), wantPending)
+	}
+	seen := make(map[string]bool, len(rec.Pending))
+	for _, rj := range rec.Pending {
+		if seen[rj.ID] {
+			t.Fatalf("job %s recovered twice", rj.ID)
+		}
+		seen[rj.ID] = true
+	}
+	wantResults := writers*perG - wantPending
+	if len(rec.Results) != wantResults {
+		t.Fatalf("recovered %d durable results, want %d", len(rec.Results), wantResults)
+	}
+}
+
+// TestReplayAfterCompactionEquivalence is the compaction-correctness
+// property: for randomized interleavings of job lifecycles, a store that
+// compacted aggressively mid-stream must recover exactly the same state as
+// one that never compacted. 20 random event orders, both stores fed
+// identically.
+func TestReplayAfterCompactionEquivalence(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		rng := rand.New(rand.NewSource(int64(100 + trial)))
+		compDir, plainDir := t.TempDir(), t.TempDir()
+		comp := mustOpen(t, Options{Dir: compDir, Fsync: FsyncNone, CompactBytes: 512})
+		plain := mustOpen(t, Options{Dir: plainDir, Fsync: FsyncNone, CompactBytes: -1})
+
+		// A pool of jobs, each a queue of lifecycle events; interleave them
+		// in random order (respecting each job's own event sequence).
+		const nJobs = 12
+		type jobScript struct {
+			id, key string
+			events  []jobs.JournalEvent
+		}
+		scripts := make([]*jobScript, nJobs)
+		for j := range scripts {
+			id := fmt.Sprintf("j-%08d", j+1)
+			key := fmt.Sprintf("sha256:k%02d", j)
+			spec := ringSpec(8, int64(j))
+			js := &jobScript{id: id, key: key}
+			js.events = append(js.events,
+				jobs.JournalEvent{Type: jobs.EventAdmit, ID: id, Key: key, State: jobs.StateQueued, Time: time.Now(), Spec: &spec})
+			switch rng.Intn(4) {
+			case 0: // left queued
+			case 1: // left running
+				js.events = append(js.events,
+					jobs.JournalEvent{Type: jobs.EventState, ID: id, Key: key, State: jobs.StateRunning, Time: time.Now()})
+			case 2: // failed
+				js.events = append(js.events,
+					jobs.JournalEvent{Type: jobs.EventState, ID: id, Key: key, State: jobs.StateRunning, Time: time.Now()},
+					jobs.JournalEvent{Type: jobs.EventState, ID: id, Key: key, State: jobs.StateFailed, Error: "boom", Time: time.Now()})
+			default: // done with a durable result
+				res := &congestmwc.Result{Weight: int64(10 + j), Found: true, Rounds: j}
+				js.events = append(js.events,
+					jobs.JournalEvent{Type: jobs.EventState, ID: id, Key: key, State: jobs.StateRunning, Time: time.Now()},
+					jobs.JournalEvent{Type: jobs.EventState, ID: id, Key: key, State: jobs.StateDone, Time: time.Now(), Result: res})
+			}
+			scripts[j] = js
+		}
+		for {
+			live := scripts[:0:0]
+			for _, js := range scripts {
+				if len(js.events) > 0 {
+					live = append(live, js)
+				}
+			}
+			if len(live) == 0 {
+				break
+			}
+			js := live[rng.Intn(len(live))]
+			ev := js.events[0]
+			js.events = js.events[1:]
+			comp.Record(ev)
+			plain.Record(ev)
+			if rng.Intn(5) == 0 {
+				if err := comp.Compact(); err != nil {
+					t.Fatalf("trial %d: Compact: %v", trial, err)
+				}
+			}
+		}
+		if err := comp.Close(); err != nil {
+			t.Fatalf("trial %d: close compacting store: %v", trial, err)
+		}
+		if err := plain.Close(); err != nil {
+			t.Fatalf("trial %d: close plain store: %v", trial, err)
+		}
+
+		recComp := reopenRecovered(t, compDir)
+		recPlain := reopenRecovered(t, plainDir)
+		if got, want := pendingIDs(recComp), pendingIDs(recPlain); got != want {
+			t.Fatalf("trial %d: pending sets diverge:\ncompacted: %s\nplain:     %s", trial, got, want)
+		}
+		if len(recComp.Results) != len(recPlain.Results) {
+			t.Fatalf("trial %d: result counts diverge: %d vs %d", trial, len(recComp.Results), len(recPlain.Results))
+		}
+		for key, res := range recPlain.Results {
+			got, ok := recComp.Results[key]
+			if !ok || got == nil || got.Weight != res.Weight || got.Rounds != res.Rounds {
+				t.Fatalf("trial %d: result for %s diverges: %+v vs %+v", trial, key, got, res)
+			}
+		}
+		if recComp.MaxID != recPlain.MaxID {
+			t.Fatalf("trial %d: MaxID diverges: %d vs %d", trial, recComp.MaxID, recPlain.MaxID)
+		}
+	}
+}
+
+func reopenRecovered(t *testing.T, dir string) jobs.RecoveredState {
+	t.Helper()
+	st := mustOpen(t, Options{Dir: dir, Fsync: FsyncNone})
+	defer st.Close()
+	return st.Recovered()
+}
+
+func pendingIDs(rec jobs.RecoveredState) string {
+	s := ""
+	for _, rj := range rec.Pending {
+		s += rj.ID + ","
+	}
+	return s
+}

@@ -30,25 +30,50 @@ trap cleanup EXIT
 start_daemon() {
   /tmp/mwcd "$@" &
   MWCD_PID=$!
-  for _ in $(seq 1 50); do
-    if curl -fsS "$BASE/healthz" >/dev/null 2>&1; then break; fi
+  # Bounded poll until the daemon answers, failing fast if it exited.
+  for _ in $(seq 1 100); do
+    if curl -fsS "$BASE/healthz" >/dev/null 2>&1; then return 0; fi
+    if ! kill -0 "$MWCD_PID" 2>/dev/null; then
+      echo "mwcd exited during startup" >&2
+      return 1
+    fi
     sleep 0.1
   done
   curl -fsS "$BASE/healthz" >/dev/null
 }
 
+# poll_done <id>: block until the job is done, via the server's own ?wait=
+# long-poll (event-driven, no fixed sleeps); bounded at ~60s total.
 poll_done() {
   local id=$1 status state
-  for _ in $(seq 1 200); do
-    status=$(curl -fsS "$BASE/v1/jobs/$id")
+  for _ in $(seq 1 30); do
+    status=$(curl -fsS "$BASE/v1/jobs/$id?wait=2s")
     state=$(echo "$status" | sed -n 's/.*"state": *"\([^"]*\)".*/\1/p' | head -1)
     case "$state" in
       done) echo "$status"; return 0 ;;
       failed|cancelled|expired) echo "job $id ended in $state:" >&2; echo "$status" >&2; return 1 ;;
     esac
-    sleep 0.1
   done
   echo "job $id never finished" >&2
+  return 1
+}
+
+# poll_state <id> <state>: bounded poll until the job reports the state
+# (for non-terminal states, which ?wait= does not long-poll for).
+poll_state() {
+  local id=$1 want=$2 status state=""
+  for _ in $(seq 1 200); do
+    status=$(curl -fsS "$BASE/v1/jobs/$id")
+    state=$(echo "$status" | sed -n 's/.*"state": *"\([^"]*\)".*/\1/p' | head -1)
+    if [ "$state" = "$want" ]; then return 0; fi
+    case "$state" in
+      done|failed|cancelled|expired)
+        echo "job $id reached terminal $state while waiting for $want" >&2
+        return 1 ;;
+    esac
+    sleep 0.05
+  done
+  echo "job $id never reached $want (last: $state)" >&2
   return 1
 }
 
@@ -98,7 +123,9 @@ poll_done "$FAST_ID" >/dev/null
 SLOW_RESP=$(curl -fsS -X POST "$BASE/v1/jobs" -d "$SLOW_SPEC")
 SLOW_ID=$(echo "$SLOW_RESP" | sed -n 's/.*"id": *"\([^"]*\)".*/\1/p' | head -1)
 test -n "$SLOW_ID"
-sleep 0.5
+# Wait until the worker has actually picked the job up: killing while it is
+# still queued would test a different recovery path than intended.
+poll_state "$SLOW_ID" running
 
 echo "== kill -9 while $SLOW_ID is in flight"
 kill -9 "$MWCD_PID"
