@@ -8,12 +8,23 @@
 //	mwcd -addr :8356
 //	mwcd -addr 127.0.0.1:9000 -workers 8 -queue 128 -cache 512 -timeout 2m
 //	mwcd -data-dir /var/lib/mwcd -fsync always
+//	mwcd -observe -log-format json -pprof 127.0.0.1:6060
 //
 // With -data-dir the daemon journals every job lifecycle event and
 // terminal result to disk (internal/store): on restart it re-enqueues the
 // jobs that were queued or running, under their original IDs, and serves
 // previously-computed results from the durable cache without
 // re-simulation. Without it the daemon is purely in-memory, as before.
+//
+// With -observe every job carries a live event hub: GET
+// /v1/jobs/{id}/events streams state transitions and per-round simulation
+// progress as Server-Sent Events (cmd/mwctail renders them), and job
+// statuses include the per-run observability summary.
+//
+// Logs are structured (log/slog): -log-format selects text or JSON, and
+// every HTTP request is access-logged with a request ID, status and
+// latency. -pprof serves net/http/pprof on a separate loopback-only
+// listener.
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: admission stops,
 // running jobs get -drain to finish, and only then does the process exit.
@@ -24,10 +35,13 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
+	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -42,24 +56,126 @@ func main() {
 	}
 }
 
+// newLogger builds the daemon's structured logger on stderr.
+func newLogger(format string) (*slog.Logger, error) {
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil)), nil
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q (want text or json)", format)
+	}
+}
+
+// statusWriter records the response status and size for the access log
+// while passing streaming (http.Flusher) through — the SSE events endpoint
+// must still be able to flush frame by frame.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	sw.status = code
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(p []byte) (int, error) {
+	n, err := sw.ResponseWriter.Write(p)
+	sw.bytes += int64(n)
+	return n, err
+}
+
+func (sw *statusWriter) Flush() {
+	if f, ok := sw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap lets http.ResponseController reach the underlying writer.
+func (sw *statusWriter) Unwrap() http.ResponseWriter { return sw.ResponseWriter }
+
+// accessLog wraps the API handler with per-request structured logging:
+// monotonic request IDs (echoed as X-Request-Id), method, path, status,
+// response bytes and latency. Long-lived streams log once, on completion,
+// with their full duration.
+func accessLog(logger *slog.Logger, next http.Handler) http.Handler {
+	var nextID atomic.Uint64
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := fmt.Sprintf("r-%08d", nextID.Add(1))
+		w.Header().Set("X-Request-Id", id)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		logger.LogAttrs(r.Context(), slog.LevelInfo, "request",
+			slog.String("id", id),
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", sw.status),
+			slog.Int64("bytes", sw.bytes),
+			slog.Duration("latency", time.Since(start)),
+			slog.String("remote", r.RemoteAddr),
+		)
+	})
+}
+
+// startPprof serves net/http/pprof on its own listener, refusing anything
+// but a loopback bind: the profiling surface exposes heap and goroutine
+// internals and must never ride on the public API address.
+func startPprof(logger *slog.Logger, addr string) (*http.Server, error) {
+	host, _, err := net.SplitHostPort(addr)
+	if err != nil {
+		return nil, fmt.Errorf("-pprof %q: %w", addr, err)
+	}
+	if ip := net.ParseIP(host); host != "localhost" && (ip == nil || !ip.IsLoopback()) {
+		return nil, fmt.Errorf("-pprof %q: profiling is restricted to loopback addresses", addr)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("-pprof listen: %w", err)
+	}
+	go func() {
+		logger.Info("pprof listening", slog.String("addr", ln.Addr().String()))
+		if err := srv.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
+			logger.Error("pprof server failed", slog.Any("err", err))
+		}
+	}()
+	return srv, nil
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("mwcd", flag.ContinueOnError)
 	var (
-		addr    = fs.String("addr", ":8356", "listen address")
-		workers = fs.Int("workers", 4, "worker-pool size")
-		queue   = fs.Int("queue", 64, "admission queue capacity (backpressure beyond it)")
-		cache   = fs.Int("cache", 256, "result-cache entries (negative disables caching)")
-		timeout = fs.Duration("timeout", 5*time.Minute, "default per-job deadline (0 = unbounded)")
-		maxBody = fs.Int64("maxbody", 1<<20, "request body size limit in bytes")
-		records = fs.Int("maxrecords", 4096, "retained job records before the oldest terminal ones are pruned")
-		maxN    = fs.Int("maxn", 16384, "largest instance size accepted at submission (negative disables the cap)")
-		drain   = fs.Duration("drain", 30*time.Second, "graceful-shutdown budget for running jobs")
-		observe = fs.Bool("observe", false, "attach per-job observability summaries (phase table, peak congestion)")
-		dataDir = fs.String("data-dir", "", "durable data directory (WAL + result store); empty = in-memory only")
-		fsync   = fs.String("fsync", "interval", "WAL fsync policy: always | interval | none (-data-dir only)")
-		walMax  = fs.Int64("walmax", 4<<20, "WAL bytes before snapshot + compaction (-data-dir only)")
+		addr      = fs.String("addr", ":8356", "listen address")
+		workers   = fs.Int("workers", 4, "worker-pool size")
+		queue     = fs.Int("queue", 64, "admission queue capacity (backpressure beyond it)")
+		cache     = fs.Int("cache", 256, "result-cache entries (negative disables caching)")
+		timeout   = fs.Duration("timeout", 5*time.Minute, "default per-job deadline (0 = unbounded)")
+		maxBody   = fs.Int64("maxbody", 1<<20, "request body size limit in bytes")
+		records   = fs.Int("maxrecords", 4096, "retained job records before the oldest terminal ones are pruned")
+		maxN      = fs.Int("maxn", 16384, "largest instance size accepted at submission (negative disables the cap)")
+		drain     = fs.Duration("drain", 30*time.Second, "graceful-shutdown budget for running jobs")
+		observe   = fs.Bool("observe", false, "attach per-job observability (live /events streams, obs summaries)")
+		dataDir   = fs.String("data-dir", "", "durable data directory (WAL + result store); empty = in-memory only")
+		fsync     = fs.String("fsync", "interval", "WAL fsync policy: always | interval | none (-data-dir only)")
+		walMax    = fs.Int64("walmax", 4<<20, "WAL bytes before snapshot + compaction (-data-dir only)")
+		logFormat = fs.String("log-format", "text", "log output format: text | json")
+		pprofAddr = fs.String("pprof", "", "serve net/http/pprof on this loopback address (empty = off)")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	logger, err := newLogger(*logFormat)
+	if err != nil {
 		return err
 	}
 
@@ -96,13 +212,25 @@ func run(args []string) error {
 		if err != nil {
 			return fmt.Errorf("restore from %s: %w", *dataDir, err)
 		}
-		log.Printf("mwcd: recovered from %s: %d cached results warmed, %d interrupted jobs re-enqueued",
-			*dataDir, warmed, requeued)
+		logger.Info("recovered journal",
+			slog.String("dataDir", *dataDir),
+			slog.Int("warmed", warmed),
+			slog.Int("requeued", requeued),
+		)
 	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           jobs.NewHandler(svc, jobs.HandlerConfig{MaxBodyBytes: *maxBody}),
+		Handler:           accessLog(logger, jobs.NewHandler(svc, jobs.HandlerConfig{MaxBodyBytes: *maxBody})),
 		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	var psrv *http.Server
+	if *pprofAddr != "" {
+		psrv, err = startPprof(logger, *pprofAddr)
+		if err != nil {
+			return err
+		}
+		defer psrv.Close()
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
@@ -110,7 +238,13 @@ func run(args []string) error {
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("mwcd: listening on %s (%d workers, queue %d, cache %d)", *addr, *workers, *queue, *cache)
+		logger.Info("listening",
+			slog.String("addr", *addr),
+			slog.Int("workers", *workers),
+			slog.Int("queue", *queue),
+			slog.Int("cache", *cache),
+			slog.Bool("observe", *observe),
+		)
 		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 			errc <- err
 			return
@@ -133,12 +267,19 @@ func run(args []string) error {
 	case <-ctx.Done():
 	}
 	stop() // a second signal kills the process the default way
-	log.Printf("mwcd: shutting down, draining running jobs (budget %v)", *drain)
+	logger.Info("shutting down",
+		slog.Duration("drainBudget", *drain),
+		slog.Int("queueDepth", svc.Metrics().QueueDepth),
+	)
 
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
-	// Stop accepting HTTP first, then drain the job service; in-flight
-	// status polls finish before the listener closes.
+	// End live event streams first — Shutdown waits for active requests,
+	// and an SSE stream over a still-running job would otherwise pin the
+	// listener for the whole budget. Then stop accepting HTTP, then drain
+	// the job service; in-flight status polls finish before the listener
+	// closes.
+	svc.SignalDrain()
 	serr := srv.Shutdown(drainCtx)
 	jerr := svc.Close(drainCtx)
 	// The service is drained (its Close fsynced the journal after the last
@@ -156,6 +297,6 @@ func run(args []string) error {
 	if sterr != nil {
 		return fmt.Errorf("store close: %w", sterr)
 	}
-	log.Printf("mwcd: drained cleanly")
+	logger.Info("drained cleanly")
 	return nil
 }

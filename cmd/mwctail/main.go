@@ -1,0 +1,192 @@
+// Command mwctail follows a job's live event stream from a running mwcd
+// (started with -observe): it subscribes to GET /v1/jobs/{id}/events and
+// renders state transitions, phase spans and per-round simulation
+// progress as they happen, exiting when the job reaches a terminal state
+// and the daemon closes the stream.
+//
+// Examples:
+//
+//	mwctail j-000042
+//	mwctail -addr http://127.0.0.1:9000 -json j-000042
+//
+// With -json each event's JSON payload is passed through one object per
+// line, suitable for piping into jq.
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"congestmwc/internal/obs"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mwctail:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("mwctail", flag.ContinueOnError)
+	var (
+		addr    = fs.String("addr", "http://127.0.0.1:8356", "base URL of the mwcd daemon")
+		rawJSON = fs.Bool("json", false, "pass event payloads through as JSON lines instead of rendering")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: mwctail [flags] <job-id>\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return fmt.Errorf("expected exactly one job ID argument")
+	}
+	id := fs.Arg(0)
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	url := strings.TrimRight(*addr, "/") + "/v1/jobs/" + id + "/events"
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("%s: %s: %s", url, resp.Status, strings.TrimSpace(string(body)))
+	}
+
+	err = tail(resp.Body, out, *rawJSON)
+	if ctx.Err() != nil {
+		return nil // interrupted by the user: the partial tail is the output
+	}
+	return err
+}
+
+// frame is one parsed SSE frame: the dispatched field values of one
+// id/event/data block, or a comment line.
+type frame struct {
+	id      string
+	event   string
+	data    string
+	comment string // ": ..." keep-alive or notice, without the colon
+}
+
+// parseSSE reads Server-Sent Events frames from r, invoking fn for each
+// dispatched event and each comment line, until EOF (a clean end of
+// stream, returning nil) or a read error.
+func parseSSE(r io.Reader, fn func(frame) error) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	var cur frame
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if cur.event != "" || cur.data != "" {
+				if err := fn(cur); err != nil {
+					return err
+				}
+			}
+			cur = frame{}
+		case strings.HasPrefix(line, ":"):
+			if err := fn(frame{comment: strings.TrimPrefix(strings.TrimPrefix(line, ":"), " ")}); err != nil {
+				return err
+			}
+		default:
+			field, val, _ := strings.Cut(line, ":")
+			val = strings.TrimPrefix(val, " ")
+			switch field {
+			case "id":
+				cur.id = val
+			case "event":
+				cur.event = val
+			case "data":
+				if cur.data != "" {
+					cur.data += "\n"
+				}
+				cur.data += val
+			}
+		}
+	}
+	return sc.Err()
+}
+
+// tail renders the SSE stream from body onto out until the server closes
+// it. Comments (heartbeats, drain and close notices) go to out prefixed
+// with "#" so they are distinguishable from events but visible.
+func tail(body io.Reader, out io.Writer, rawJSON bool) error {
+	return parseSSE(body, func(f frame) error {
+		if f.comment != "" {
+			if f.comment != "heartbeat" {
+				fmt.Fprintf(out, "# %s\n", f.comment)
+			}
+			return nil
+		}
+		if rawJSON {
+			_, err := fmt.Fprintln(out, f.data)
+			return err
+		}
+		var ev obs.Event
+		if err := json.Unmarshal([]byte(f.data), &ev); err != nil {
+			return fmt.Errorf("event %s: bad payload %q: %w", f.id, f.data, err)
+		}
+		_, err := fmt.Fprintln(out, render(ev))
+		return err
+	})
+}
+
+// render formats one event as a human-readable progress line.
+func render(ev obs.Event) string {
+	switch ev.Type {
+	case obs.EventState:
+		s := fmt.Sprintf("[%6d] state: %s", ev.Seq, ev.State)
+		if ev.Error != "" {
+			s += " (" + ev.Error + ")"
+		}
+		return s
+	case obs.EventRunStart:
+		return fmt.Sprintf("[%6d] run start @ round %d", ev.Seq, ev.Round)
+	case obs.EventRunEnd:
+		return fmt.Sprintf("[%6d] run end @ round %d", ev.Seq, ev.Round)
+	case obs.EventPhaseBegin:
+		return fmt.Sprintf("[%6d] phase %s begin @ round %d", ev.Seq, ev.Phase, ev.Round)
+	case obs.EventPhaseEnd:
+		return fmt.Sprintf("[%6d] phase %s end @ round %d", ev.Seq, ev.Phase, ev.Round)
+	case obs.EventRound:
+		if ev.Sample == nil {
+			return fmt.Sprintf("[%6d] round %d", ev.Seq, ev.Round)
+		}
+		s := ev.Sample
+		line := fmt.Sprintf("[%6d] round %d: %d msgs, %d words, %d active",
+			ev.Seq, s.Round, s.Messages, s.Words, s.Active)
+		if s.Span > 1 {
+			line += fmt.Sprintf(" (spans %d rounds)", s.Span)
+		}
+		if s.WallNs > 0 {
+			line += fmt.Sprintf(" [%v]", time.Duration(s.WallNs).Round(time.Microsecond))
+		}
+		return line
+	default:
+		return fmt.Sprintf("[%6d] %s @ round %d", ev.Seq, ev.Type, ev.Round)
+	}
+}

@@ -1,0 +1,148 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"congestmwc/internal/obs"
+)
+
+// TestParseSSE covers the frame grammar: multi-field frames, comments,
+// multi-line data joining, and clean EOF.
+func TestParseSSE(t *testing.T) {
+	stream := "id: 1\nevent: state\ndata: {\"a\":1}\n\n" +
+		": heartbeat\n" +
+		"id: 2\nevent: round\ndata: {\"b\":\ndata: 2}\n\n" +
+		": stream closed (dropped 0 events)\n"
+	var frames []frame
+	err := parseSSE(strings.NewReader(stream), func(f frame) error {
+		frames = append(frames, f)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("parseSSE: %v", err)
+	}
+	want := []frame{
+		{id: "1", event: "state", data: `{"a":1}`},
+		{comment: "heartbeat"},
+		{id: "2", event: "round", data: "{\"b\":\n2}"},
+		{comment: "stream closed (dropped 0 events)"},
+	}
+	if len(frames) != len(want) {
+		t.Fatalf("got %d frames, want %d: %+v", len(frames), len(want), frames)
+	}
+	for i, f := range frames {
+		if f != want[i] {
+			t.Errorf("frame %d = %+v, want %+v", i, f, want[i])
+		}
+	}
+}
+
+// TestParseSSEIncompleteFrame: a trailing frame without its blank-line
+// dispatch is not delivered (matches the browser EventSource contract).
+func TestParseSSEIncompleteFrame(t *testing.T) {
+	n := 0
+	err := parseSSE(strings.NewReader("id: 9\nevent: state\ndata: {}\n"), func(frame) error {
+		n++
+		return nil
+	})
+	if err != nil || n != 0 {
+		t.Fatalf("got %d frames, err %v; want 0 frames, nil", n, err)
+	}
+}
+
+// TestRender pins the plain-text rendering of each event type.
+func TestRender(t *testing.T) {
+	cases := []struct {
+		ev   obs.Event
+		want string
+	}{
+		{obs.Event{Seq: 1, Type: obs.EventState, State: "queued"},
+			"[     1] state: queued"},
+		{obs.Event{Seq: 2, Type: obs.EventState, State: "failed", Error: "boom"},
+			"[     2] state: failed (boom)"},
+		{obs.Event{Seq: 3, Type: obs.EventRunStart, Round: 0},
+			"[     3] run start @ round 0"},
+		{obs.Event{Seq: 4, Type: obs.EventPhaseBegin, Phase: "exact:apsp", Round: 2},
+			"[     4] phase exact:apsp begin @ round 2"},
+		{obs.Event{Seq: 5, Type: obs.EventPhaseEnd, Phase: "exact:apsp", Round: 9},
+			"[     5] phase exact:apsp end @ round 9"},
+		{obs.Event{Seq: 6, Type: obs.EventRound, Round: 7,
+			Sample: &obs.RoundSample{Round: 7, Span: 1, Messages: 12, Words: 40, Active: 5}},
+			"[     6] round 7: 12 msgs, 40 words, 5 active"},
+		{obs.Event{Seq: 7, Type: obs.EventRound, Round: 9,
+			Sample: &obs.RoundSample{Round: 9, Span: 3, Messages: 1, Words: 1, Active: 1}},
+			"[     7] round 9: 1 msgs, 1 words, 1 active (spans 3 rounds)"},
+		{obs.Event{Seq: 8, Type: obs.EventRunEnd, Round: 11},
+			"[     8] run end @ round 11"},
+	}
+	for _, c := range cases {
+		if got := render(c.ev); got != c.want {
+			t.Errorf("render(%+v) = %q, want %q", c.ev, got, c.want)
+		}
+	}
+}
+
+// TestTail drives the full client loop against a fake SSE body: rendered
+// lines in order, heartbeats suppressed, other comments surfaced.
+func TestTail(t *testing.T) {
+	stream := "id: 1\nevent: state\ndata: {\"seq\":1,\"type\":\"state\",\"round\":0,\"state\":\"queued\"}\n\n" +
+		": heartbeat\n" +
+		"id: 2\nevent: round\ndata: {\"seq\":2,\"type\":\"round\",\"round\":3,\"sample\":{\"round\":3,\"span\":1,\"messages\":4,\"words\":8,\"cutWords\":0,\"active\":2,\"maxLinkWords\":1,\"maxQueueLen\":1}}\n\n" +
+		": stream closed (dropped 0 events)\n"
+	var out strings.Builder
+	if err := tail(strings.NewReader(stream), &out, false); err != nil {
+		t.Fatalf("tail: %v", err)
+	}
+	want := "[     1] state: queued\n" +
+		"[     2] round 3: 4 msgs, 8 words, 2 active\n" +
+		"# stream closed (dropped 0 events)\n"
+	if out.String() != want {
+		t.Errorf("tail output:\n%q\nwant:\n%q", out.String(), want)
+	}
+}
+
+// TestTailJSON: -json passes data payloads through verbatim, one per line.
+func TestTailJSON(t *testing.T) {
+	stream := "id: 1\nevent: state\ndata: {\"seq\":1,\"type\":\"state\"}\n\n" +
+		": heartbeat\n"
+	var out strings.Builder
+	if err := tail(strings.NewReader(stream), &out, true); err != nil {
+		t.Fatalf("tail: %v", err)
+	}
+	if out.String() != "{\"seq\":1,\"type\":\"state\"}\n" {
+		t.Errorf("json output = %q", out.String())
+	}
+}
+
+// TestRunAgainstServer exercises run() end to end against an httptest
+// server speaking the daemon's wire format.
+func TestRunAgainstServer(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/jobs/j-1/events" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/event-stream")
+		fmt.Fprint(w, "id: 1\nevent: state\ndata: {\"seq\":1,\"type\":\"state\",\"state\":\"done\"}\n\n")
+	}))
+	defer srv.Close()
+
+	var out strings.Builder
+	if err := run([]string{"-addr", srv.URL, "j-1"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "state: done") {
+		t.Errorf("output %q lacks the terminal state line", out.String())
+	}
+
+	if err := run([]string{"-addr", srv.URL, "j-missing"}, &out); err == nil {
+		t.Error("run against an unknown job should fail")
+	}
+	if err := run([]string{"-addr", srv.URL}, &out); err == nil {
+		t.Error("run without a job ID should fail")
+	}
+}

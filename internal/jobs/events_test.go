@@ -1,0 +1,379 @@
+package jobs
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"congestmwc/internal/obs"
+)
+
+// sseEvent is one parsed Server-Sent Events frame.
+type sseEvent struct {
+	id    string
+	event string
+	data  obs.Event
+}
+
+// readSSE consumes the stream, handing each parsed event to fn until fn
+// returns false, the stream ends, or the deadline passes. It returns
+// whether the stream ended with a clean server-side close (EOF after the
+// final frame) and the closing comments seen.
+func readSSE(t *testing.T, resp *http.Response, deadline time.Duration, fn func(sseEvent) bool) (cleanClose bool, comments []string) {
+	t.Helper()
+	timer := time.AfterFunc(deadline, func() { resp.Body.Close() })
+	defer timer.Stop()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var cur sseEvent
+	keep := true
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if cur.event != "" && keep {
+				keep = fn(cur)
+			}
+			cur = sseEvent{}
+		case strings.HasPrefix(line, ":"):
+			comments = append(comments, line)
+		case strings.HasPrefix(line, "id: "):
+			cur.id = line[len("id: "):]
+		case strings.HasPrefix(line, "event: "):
+			cur.event = line[len("event: "):]
+		case strings.HasPrefix(line, "data: "):
+			if err := json.Unmarshal([]byte(line[len("data: "):]), &cur.data); err != nil {
+				t.Fatalf("bad SSE data %q: %v", line, err)
+			}
+		default:
+			t.Fatalf("unexpected SSE line %q", line)
+		}
+	}
+	return sc.Err() == nil, comments
+}
+
+// getEvents opens the SSE stream for a job and asserts the streaming
+// headers.
+func getEvents(t *testing.T, ts *httptest.Server, id string) *http.Response {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/events")
+	if err != nil {
+		t.Fatalf("GET events: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		t.Fatalf("GET events: HTTP %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("events Content-Type = %q, want text/event-stream", ct)
+	}
+	return resp
+}
+
+// requireNoServiceGoroutines polls the full goroutine dump until no
+// goroutine outside this test file is parked in internal/jobs code — the
+// leak oracle for the SSE subscribe/disconnect/drain paths. Call it after
+// the service has been closed (workers exit with the queue).
+func requireNoServiceGoroutines(t *testing.T) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	var stray []string
+	for {
+		stray = stray[:0]
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		for _, g := range strings.Split(string(buf[:n]), "\n\n") {
+			if strings.Contains(g, "/internal/jobs/") && !strings.Contains(g, "_test.go") {
+				stray = append(stray, g)
+			}
+		}
+		if len(stray) == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("leaked %d jobs-package goroutines:\n%s", len(stray), strings.Join(stray, "\n\n"))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestHTTPEventsStreamLifecycle is the SSE e2e: subscribe to an in-flight
+// job, see at least one round-series event and one phase event arrive
+// live, then watch the stream end cleanly at the terminal state.
+func TestHTTPEventsStreamLifecycle(t *testing.T) {
+	s := New(Config{Workers: 1, Observe: true})
+	ts := httptest.NewServer(NewHandler(s, HandlerConfig{}))
+	defer func() {
+		ts.Close()
+		requireNoServiceGoroutines(t)
+	}()
+	defer s.Close(context.Background())
+
+	_, st := postJob(t, ts, exactRingSpec(512, 1))
+	resp := getEvents(t, ts, st.ID)
+	defer resp.Body.Close()
+
+	var rounds, phases int
+	var states []string
+	var lastSeq uint64
+	cleanClose, comments := readSSE(t, resp, time.Minute, func(ev sseEvent) bool {
+		if ev.data.Seq <= lastSeq {
+			t.Errorf("seq went backwards: %d after %d", ev.data.Seq, lastSeq)
+		}
+		lastSeq = ev.data.Seq
+		switch ev.event {
+		case obs.EventRound:
+			rounds++
+			if ev.data.Sample == nil || ev.data.Sample.Span < 1 {
+				t.Errorf("round event without a usable sample: %+v", ev.data)
+			}
+		case obs.EventPhaseBegin, obs.EventPhaseEnd:
+			phases++
+		case obs.EventState:
+			states = append(states, ev.data.State)
+		}
+		return true
+	})
+
+	if !cleanClose {
+		t.Error("stream did not close cleanly at the terminal state")
+	}
+	if rounds == 0 || phases == 0 {
+		t.Errorf("streamed %d round and %d phase events, want at least one of each", rounds, phases)
+	}
+	if len(states) == 0 || states[len(states)-1] != string(StateDone) {
+		t.Fatalf("state events %v do not end in done", states)
+	}
+	// The replay must include the queued transition published before this
+	// client ever connected.
+	if states[0] != string(StateQueued) {
+		t.Errorf("first replayed state = %q, want queued", states[0])
+	}
+	foundClose := false
+	for _, c := range comments {
+		if strings.Contains(c, "stream closed") {
+			foundClose = true
+		}
+	}
+	if !foundClose {
+		t.Errorf("no closing comment before EOF; comments: %v", comments)
+	}
+}
+
+// TestHTTPEventsTerminalReplay subscribes only after the job finished: the
+// ring replays the tail (ending in the terminal state event) and the
+// stream closes immediately.
+func TestHTTPEventsTerminalReplay(t *testing.T) {
+	s := New(Config{Workers: 1, Observe: true})
+	ts := httptest.NewServer(NewHandler(s, HandlerConfig{}))
+	defer ts.Close()
+	defer s.Close(context.Background())
+
+	_, st := postJob(t, ts, exactRingSpec(128, 1))
+	pollTerminal(t, ts, st.ID, time.Minute)
+
+	resp := getEvents(t, ts, st.ID)
+	defer resp.Body.Close()
+	var last sseEvent
+	start := time.Now()
+	cleanClose, _ := readSSE(t, resp, 10*time.Second, func(ev sseEvent) bool {
+		last = ev
+		return true
+	})
+	if !cleanClose {
+		t.Error("replay-only stream did not close cleanly")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("replay of a finished job took %v, want an immediate close", elapsed)
+	}
+	if last.event != obs.EventState || last.data.State != string(StateDone) {
+		t.Errorf("final replayed event = %s/%+v, want the terminal state", last.event, last.data)
+	}
+}
+
+// TestHTTPEventsClientDisconnect walks away mid-stream and then checks
+// nothing server-side leaked: the handler goroutine must observe the
+// closed request context and unsubscribe.
+func TestHTTPEventsClientDisconnect(t *testing.T) {
+	s := New(Config{Workers: 1, Observe: true})
+	ts := httptest.NewServer(NewHandler(s, HandlerConfig{}))
+	defer ts.Close()
+
+	_, st := postJob(t, ts, exactRingSpec(2048, 1))
+	resp := getEvents(t, ts, st.ID)
+	got := 0
+	readSSE(t, resp, 30*time.Second, func(ev sseEvent) bool {
+		got++
+		return got < 3 // then hang up mid-stream
+	})
+	resp.Body.Close()
+	if got < 3 {
+		t.Fatalf("received %d events before disconnecting, want 3", got)
+	}
+
+	// Cancel the job and drain; afterwards no handler or hub goroutine may
+	// survive. (The handler exits on the request context, not the drain.)
+	if _, err := s.Cancel(st.ID); err != nil {
+		t.Fatalf("Cancel: %v", err)
+	}
+	if err := s.Close(context.Background()); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	ts.Close()
+	requireNoServiceGoroutines(t)
+}
+
+// TestHTTPEventsServiceDrain verifies an open stream over a still-running
+// job ends promptly when the service starts draining — the property that
+// keeps http.Server.Shutdown from being pinned by SSE clients.
+func TestHTTPEventsServiceDrain(t *testing.T) {
+	s := New(Config{Workers: 1, Observe: true})
+	ts := httptest.NewServer(NewHandler(s, HandlerConfig{}))
+	defer ts.Close()
+
+	_, st := postJob(t, ts, exactRingSpec(2048, 1))
+	resp := getEvents(t, ts, st.ID)
+	defer resp.Body.Close()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var sawDrainComment bool
+		_, comments := readSSE(t, resp, 30*time.Second, func(sseEvent) bool { return true })
+		for _, c := range comments {
+			if strings.Contains(c, "draining") {
+				sawDrainComment = true
+			}
+		}
+		if !sawDrainComment {
+			t.Errorf("stream ended without a draining comment: %v", comments)
+		}
+	}()
+
+	time.Sleep(50 * time.Millisecond) // let the stream attach
+	s.SignalDrain()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("stream did not end after SignalDrain")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	_ = s.Close(ctx) // abort the running job past the tiny budget
+	ts.Close()
+	requireNoServiceGoroutines(t)
+}
+
+// TestHTTPEventsRequireObserve pins the contract that streaming is only
+// wired up under Config.Observe.
+func TestHTTPEventsRequireObserve(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	_, st := postJob(t, ts, exactRingSpec(64, 1))
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatalf("GET events: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("events without -observe: HTTP %d, want 409", resp.StatusCode)
+	}
+}
+
+// TestHTTPEventsHeartbeat shrinks the heartbeat interval and checks the
+// keep-alive comments flow while a slow job produces its events.
+func TestHTTPEventsHeartbeat(t *testing.T) {
+	s := New(Config{Workers: 1, Observe: true})
+	ts := httptest.NewServer(NewHandler(s, HandlerConfig{Heartbeat: 20 * time.Millisecond}))
+	defer ts.Close()
+	defer s.Close(context.Background())
+
+	// Block the only worker so the watched job never starts: the stream
+	// then carries no simulation events, only heartbeats.
+	_, blocker := postJob(t, ts, exactRingSpec(2048, 7))
+	_, st := postJob(t, ts, exactRingSpec(2048, 8))
+	resp := getEvents(t, ts, st.ID)
+
+	heartbeats := 0
+	timer := time.AfterFunc(2*time.Second, func() { resp.Body.Close() })
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() && heartbeats < 3 {
+		if strings.HasPrefix(sc.Text(), ": heartbeat") {
+			heartbeats++
+		}
+	}
+	timer.Stop()
+	resp.Body.Close()
+	if heartbeats < 3 {
+		t.Errorf("saw %d heartbeats in 2s at a 20ms interval, want >= 3", heartbeats)
+	}
+	for _, id := range []string{blocker.ID, st.ID} {
+		if _, err := s.Cancel(id); err != nil {
+			t.Fatalf("Cancel(%s): %v", id, err)
+		}
+	}
+}
+
+// TestJobSubscribeStateSequence exercises the hub at the service level: a
+// subscriber attached at admission sees queued → running → done in order,
+// interleaved with run/round events.
+func TestJobSubscribeStateSequence(t *testing.T) {
+	s := New(Config{Workers: 1, Observe: true})
+	defer s.Close(context.Background())
+
+	j, err := s.Submit(exactRingSpec(128, 1))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	sub := j.Subscribe(0)
+	if sub == nil {
+		t.Fatal("Subscribe returned nil with Observe on")
+	}
+	defer sub.Close()
+
+	var states []string
+	sawRun := false
+	deadline := time.After(time.Minute)
+	for {
+		select {
+		case ev, ok := <-sub.Events():
+			if !ok {
+				if want := []string{"queued", "running", "done"}; strings.Join(states, ",") != strings.Join(want, ",") {
+					t.Errorf("state sequence = %v, want %v", states, want)
+				}
+				if !sawRun {
+					t.Error("no run/round events interleaved with the states")
+				}
+				return
+			}
+			switch ev.Type {
+			case obs.EventState:
+				states = append(states, ev.State)
+			case obs.EventRound, obs.EventRunStart:
+				sawRun = true
+			}
+		case <-deadline:
+			t.Fatalf("hub never closed; states so far %v", states)
+		}
+	}
+}
+
+// TestJobSubscribeNilWithoutObserve pins the zero-cost contract: without
+// Config.Observe jobs carry no hub at all.
+func TestJobSubscribeNilWithoutObserve(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close(context.Background())
+	j, err := s.Submit(exactRingSpec(64, 1))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if sub := j.Subscribe(0); sub != nil {
+		t.Error("Subscribe returned a subscription without Observe")
+	}
+}

@@ -1,0 +1,71 @@
+package jobs
+
+import "sync"
+
+// histogram is a fixed-bucket Prometheus-style histogram: observations are
+// counted into exponential upper-bound buckets plus an implicit +Inf
+// overflow, with a running sum. It is written once per terminal job (never
+// per simulated round), so a mutex is plenty.
+type histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // ascending upper bounds, excluding +Inf
+	counts []uint64  // per-bucket (non-cumulative); len == len(bounds)+1, last is overflow
+	sum    float64
+	n      uint64
+}
+
+func newHistogram(bounds []float64) *histogram {
+	return &histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+}
+
+// expBuckets returns n exponential upper bounds start, start*factor, …
+// — the fixed bucket layouts of the mwcd_job_* histograms.
+func expBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+func (h *histogram) observe(v float64) {
+	h.mu.Lock()
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i]++
+	h.sum += v
+	h.n++
+	h.mu.Unlock()
+}
+
+// HistogramSnapshot is the exported point-in-time state of one histogram,
+// in the shape the Prometheus text exposition needs: Counts[i] is the
+// CUMULATIVE count of observations <= Bounds[i], and Count (== the
+// implicit le="+Inf" bucket) covers everything.
+type HistogramSnapshot struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"`
+	Sum    float64   `json:"sum"`
+	Count  uint64    `json:"count"`
+}
+
+func (h *histogram) snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistogramSnapshot{
+		Bounds: h.bounds, // immutable after construction
+		Counts: make([]uint64, len(h.bounds)),
+		Sum:    h.sum,
+		Count:  h.n,
+	}
+	var cum uint64
+	for i := range h.bounds {
+		cum += h.counts[i]
+		s.Counts[i] = cum
+	}
+	return s
+}

@@ -9,6 +9,8 @@ import (
 	"net/http"
 	"strconv"
 	"time"
+
+	"congestmwc/internal/obs"
 )
 
 // HandlerConfig configures the HTTP surface of a Service.
@@ -19,17 +21,26 @@ type HandlerConfig struct {
 	// MaxWait caps the ?wait= long-poll duration on GET /v1/jobs/{id}
 	// (default 30s). Longer client requests are clamped, not rejected.
 	MaxWait time.Duration
+	// Heartbeat is the SSE keep-alive comment interval on
+	// GET /v1/jobs/{id}/events (default 15s): proxies and clients see
+	// traffic even while a long phase produces no events.
+	Heartbeat time.Duration
+	// EventBuffer is the per-subscriber channel buffer for the events
+	// endpoint (default 0 = the hub's ring size). A client slower than
+	// the event rate loses the oldest undelivered events first.
+	EventBuffer int
 }
 
 // NewHandler exposes the service over HTTP (the mwcd API, see
 // docs/SERVER.md):
 //
-//	POST   /v1/jobs      submit a job (202; 200 on a cache hit; 429 on backpressure)
-//	GET    /v1/jobs      list recent jobs (?limit=N)
-//	GET    /v1/jobs/{id} job status (?wait=5s long-polls until terminal)
-//	DELETE /v1/jobs/{id} cancel the job
-//	GET    /healthz      liveness
-//	GET    /metrics      Prometheus-style text metrics
+//	POST   /v1/jobs             submit a job (202; 200 on a cache hit; 429 on backpressure)
+//	GET    /v1/jobs             list recent jobs (?limit=N)
+//	GET    /v1/jobs/{id}        job status (?wait=5s long-polls until terminal)
+//	GET    /v1/jobs/{id}/events live event stream (Server-Sent Events; -observe only)
+//	DELETE /v1/jobs/{id}        cancel the job
+//	GET    /healthz             liveness
+//	GET    /metrics             Prometheus-style text metrics
 func NewHandler(s *Service, cfg HandlerConfig) http.Handler {
 	maxBody := cfg.MaxBodyBytes
 	if maxBody <= 0 {
@@ -38,6 +49,10 @@ func NewHandler(s *Service, cfg HandlerConfig) http.Handler {
 	maxWait := cfg.MaxWait
 	if maxWait <= 0 {
 		maxWait = 30 * time.Second
+	}
+	heartbeat := cfg.Heartbeat
+	if heartbeat <= 0 {
+		heartbeat = 15 * time.Second
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
@@ -117,6 +132,59 @@ func NewHandler(s *Service, cfg HandlerConfig) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, j.Status())
 	})
+	mux.HandleFunc("GET /v1/jobs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		j, err := s.Get(r.PathValue("id"))
+		if err != nil {
+			httpError(w, http.StatusNotFound, err.Error())
+			return
+		}
+		sub := j.Subscribe(cfg.EventBuffer)
+		if sub == nil {
+			httpError(w, http.StatusConflict,
+				"job event streaming is disabled: start the service with observability on (mwcd -observe)")
+			return
+		}
+		defer sub.Close()
+		fl, ok := w.(http.Flusher)
+		if !ok {
+			httpError(w, http.StatusInternalServerError, "response writer does not support streaming")
+			return
+		}
+		h := w.Header()
+		h.Set("Content-Type", "text/event-stream")
+		h.Set("Cache-Control", "no-cache")
+		h.Set("X-Accel-Buffering", "no") // keep reverse proxies from buffering the stream
+		w.WriteHeader(http.StatusOK)
+		fl.Flush()
+
+		hb := time.NewTicker(heartbeat)
+		defer hb.Stop()
+		for {
+			select {
+			case ev, open := <-sub.Events():
+				if !open {
+					// Terminal state reached: the hub closed after its final
+					// event. Report any backpressure loss, then end cleanly.
+					fmt.Fprintf(w, ": stream closed (dropped %d events)\n\n", sub.Dropped())
+					fl.Flush()
+					return
+				}
+				if err := writeSSE(w, ev); err != nil {
+					return // client gone mid-write
+				}
+				fl.Flush()
+			case <-hb.C:
+				fmt.Fprint(w, ": heartbeat\n\n")
+				fl.Flush()
+			case <-r.Context().Done():
+				return // client disconnected
+			case <-s.Draining():
+				fmt.Fprint(w, ": server draining\n\n")
+				fl.Flush()
+				return
+			}
+		}
+	})
 	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		st, err := s.Cancel(r.PathValue("id"))
 		if err != nil {
@@ -133,6 +201,18 @@ func NewHandler(s *Service, cfg HandlerConfig) http.Handler {
 		WriteMetrics(w, s.Metrics())
 	})
 	return mux
+}
+
+// writeSSE renders one event in the Server-Sent Events wire format: the
+// hub sequence number as the SSE id, the event type, and the obs.Event as
+// a single-line JSON data payload.
+func writeSSE(w io.Writer, ev obs.Event) error {
+	data, err := json.Marshal(ev)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, data)
+	return err
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -156,6 +236,20 @@ func WriteMetrics(w io.Writer, m Metrics) {
 	c := func(name, help string, value any) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %v\n", name, help, name, name, value)
 	}
+	fnum := func(v float64) string { return strconv.FormatFloat(v, 'f', -1, 64) }
+	h := func(name, help string, hs HistogramSnapshot) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+		for i, b := range hs.Bounds {
+			fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, fnum(b), hs.Counts[i])
+		}
+		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, hs.Count)
+		fmt.Fprintf(w, "%s_sum %s\n", name, fnum(hs.Sum))
+		fmt.Fprintf(w, "%s_count %d\n", name, hs.Count)
+	}
+	fmt.Fprintf(w, "# HELP mwcd_build_info Build identity, value is always 1.\n"+
+		"# TYPE mwcd_build_info gauge\nmwcd_build_info{version=%q,goversion=%q} 1\n",
+		orUnknown(m.BuildVersion), orUnknown(m.GoVersion))
+	g("mwcd_uptime_seconds", "Seconds since the job service started.", fnum(m.UptimeSeconds))
 	g("mwcd_queue_depth", "Jobs waiting in the admission queue.", m.QueueDepth)
 	g("mwcd_queue_capacity", "Admission queue capacity.", m.QueueCap)
 	g("mwcd_workers", "Worker pool size.", m.Workers)
@@ -173,6 +267,10 @@ func WriteMetrics(w io.Writer, m Metrics) {
 	c("mwcd_cache_misses_total", "Result-cache misses.", m.CacheMisses)
 	c("mwcd_cache_evictions_total", "Result-cache LRU evictions.", m.CacheEvictions)
 	g("mwcd_cache_hit_ratio", "Hits / (hits + misses).", strconv.FormatFloat(m.CacheHitRatio, 'f', -1, 64))
+	h("mwcd_job_queue_wait_seconds", "Seconds jobs spent queued before a worker picked them up.", m.JobQueueWaitSeconds)
+	h("mwcd_job_run_seconds", "Seconds jobs spent executing, start to terminal state.", m.JobRunSeconds)
+	h("mwcd_job_rounds", "CONGEST rounds simulated per job.", m.JobRounds)
+	h("mwcd_job_messages", "Messages delivered per job.", m.JobMessages)
 	c("mwcd_rounds_simulated_total", "CONGEST rounds executed across all jobs.", m.RoundsSimulated)
 	c("mwcd_messages_simulated_total", "Messages delivered across all jobs.", m.MessagesSimulated)
 	c("mwcd_words_simulated_total", "Words delivered across all jobs.", m.WordsSimulated)
@@ -188,4 +286,12 @@ func WriteMetrics(w io.Writer, m Metrics) {
 		c("mwcd_store_durable_hits_total", "Cache misses answered from the durable result store.", m.Store.DurableHits)
 		c("mwcd_store_dropped_records_total", "Events dropped because they arrived after the store closed.", m.Store.DroppedRecords)
 	}
+}
+
+// orUnknown keeps label values non-empty when build info is unavailable.
+func orUnknown(s string) string {
+	if s == "" {
+		return "unknown"
+	}
+	return s
 }

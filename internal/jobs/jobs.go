@@ -16,12 +16,15 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"congestmwc"
+	"congestmwc/internal/congest"
 	"congestmwc/internal/obs"
 )
 
@@ -117,6 +120,11 @@ type Job struct {
 	graph *congestmwc.Graph
 	opts  congestmwc.Options
 
+	// stream is the job's live event hub (Config.Observe only): state
+	// transitions plus the simulation's round/phase/run events, broadcast
+	// to any number of subscribers and closed at the terminal state.
+	stream *obs.Streamer
+
 	mu          sync.Mutex
 	state       State
 	result      *congestmwc.Result
@@ -136,6 +144,43 @@ func (j *Job) ID() string { return j.id }
 
 // Key returns the job's canonical cache key.
 func (j *Job) Key() string { return j.key }
+
+// Subscribe returns a live subscription to the job's event stream: the
+// buffered events so far (always including the state transitions, and the
+// latest simulation events still in the ring) replay first, then events
+// arrive as they happen, and the channel closes once the job is terminal.
+// It returns nil when the service runs without Config.Observe — there is
+// no hub to subscribe to.
+func (j *Job) Subscribe(buf int) *obs.Subscription {
+	if j.stream == nil {
+		return nil
+	}
+	return j.stream.Subscribe(buf)
+}
+
+// publishState broadcasts a state transition on the job's event hub (a
+// no-op without one) and closes the hub on terminal states, ending every
+// subscriber's stream.
+func (j *Job) publishState(st State, errMsg string) {
+	if j.stream == nil {
+		return
+	}
+	j.stream.Publish(obs.Event{Type: obs.EventState, State: string(st), Error: errMsg})
+	if st.Terminal() {
+		j.stream.Close()
+	}
+}
+
+// attachStream gives the job its event hub and publishes the initial
+// state. Without Config.Observe this is a no-op: jobs then carry no hub,
+// publishState does nothing, and streaming costs nothing.
+func (s *Service) attachStream(j *Job, st State) {
+	if !s.cfg.Observe {
+		return
+	}
+	j.stream = obs.NewStreamer(0)
+	j.publishState(st, j.errMsg)
+}
 
 // Wait blocks until the job reaches a terminal state or ctx is done, and
 // returns the job's status either way (with ctx.Err() when the wait was cut
@@ -236,9 +281,18 @@ type Service struct {
 	nextID   int64
 	closed   bool
 
-	wg       sync.WaitGroup
-	draining atomic.Bool
-	busy     atomic.Int64
+	wg        sync.WaitGroup
+	draining  atomic.Bool
+	busy      atomic.Int64
+	started   time.Time
+	drainCh   chan struct{}
+	drainOnce sync.Once
+
+	// Per-job latency/size histograms, observed once per executed job.
+	histQueueWait *histogram // seconds from admission to start
+	histRun       *histogram // seconds from start to terminal
+	histRounds    *histogram // simulated rounds per job
+	histMessages  *histogram // delivered messages per job
 
 	submitted  atomic.Uint64
 	deduped    atomic.Uint64
@@ -267,6 +321,15 @@ func New(cfg Config) *Service {
 		journal:  cfg.Journal,
 		jobs:     make(map[string]*Job),
 		inflight: make(map[string]*Job),
+		started:  time.Now(),
+		drainCh:  make(chan struct{}),
+		// Exponential buckets, fixed forever (they are part of the scrape
+		// contract): 1ms..~262s for the latency pair, 1..~262k rounds,
+		// 16..~4.2M messages.
+		histQueueWait: newHistogram(expBuckets(0.001, 4, 10)),
+		histRun:       newHistogram(expBuckets(0.001, 4, 10)),
+		histRounds:    newHistogram(expBuckets(1, 4, 10)),
+		histMessages:  newHistogram(expBuckets(16, 4, 10)),
 	}
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -312,6 +375,7 @@ func (s *Service) Submit(spec Spec) (*Job, error) {
 			done:     make(chan struct{}),
 		}
 		close(j.done)
+		s.attachStream(j, StateDone) // hub is born closed: replay says done
 		s.doneN.Add(1)
 		s.submitted.Add(1)
 		s.record(j)
@@ -334,6 +398,9 @@ func (s *Service) Submit(spec Spec) (*Job, error) {
 		created: time.Now(),
 		done:    make(chan struct{}),
 	}
+	// The hub must exist before the job is visible to a worker: runJob
+	// reads j.stream without the job lock.
+	s.attachStream(j, StateQueued)
 	select {
 	case s.queue <- j:
 	default:
@@ -491,6 +558,7 @@ func (s *Service) Cancel(id string) (Status, error) {
 	}
 	j.mu.Unlock()
 	if cancelled {
+		j.publishState(StateCancelled, "cancelled while queued")
 		s.journalRecord(JournalEvent{
 			Type: EventState, ID: j.id, Key: j.key,
 			State: StateCancelled, Error: "cancelled while queued", Time: time.Now(),
@@ -524,6 +592,7 @@ func (s *Service) runJob(j *Job) {
 		close(j.done)
 		s.cancelledN.Add(1)
 		j.mu.Unlock()
+		j.publishState(StateCancelled, "cancelled by service shutdown")
 		s.journalRecord(JournalEvent{
 			Type: EventState, ID: j.id, Key: j.key,
 			State: StateCancelled, Error: "cancelled by service shutdown", Time: time.Now(),
@@ -550,11 +619,13 @@ func (s *Service) runJob(j *Job) {
 	if s.cfg.Observe {
 		// Light collector: totals, phase table and peak congestion without
 		// the per-round series or per-link maps, so long runs stay O(1) in
-		// memory per job.
+		// memory per job. The job's event hub rides along as an observer
+		// tee: subscribers get the same round/phase/run stream live.
 		col = &obs.Collector{NoSeries: true, NoPerTag: true, NoPerLink: true, Wall: true}
-		opts = opts.WithObserver(col)
+		opts = opts.WithObserver(congest.Multi{col, j.stream})
 	}
 	j.mu.Unlock()
+	j.publishState(StateRunning, "")
 	s.journalRecord(JournalEvent{
 		Type: EventState, ID: j.id, Key: j.key, State: StateRunning, Time: time.Now(),
 	})
@@ -595,8 +666,18 @@ func (s *Service) runJob(j *Job) {
 		s.failedN.Add(1)
 	}
 	final, finalErr := j.state, j.errMsg
+	queueWait := j.started.Sub(j.created)
+	runTime := j.finished.Sub(j.started)
 	close(j.done)
 	j.mu.Unlock()
+
+	j.publishState(final, finalErr) // terminal: closes the event hub
+	s.histQueueWait.observe(queueWait.Seconds())
+	s.histRun.observe(runTime.Seconds())
+	if res != nil {
+		s.histRounds.observe(float64(res.Rounds))
+		s.histMessages.observe(float64(res.Messages))
+	}
 
 	ev := JournalEvent{Type: EventState, ID: j.id, Key: j.key, State: final, Error: finalErr, Time: time.Now()}
 	if final == StateDone {
@@ -628,6 +709,7 @@ func (s *Service) runJob(j *Job) {
 // simulations are aborted (they stop within one executed round) and Close
 // returns ctx.Err() after the workers exit. Close is idempotent.
 func (s *Service) Close(ctx context.Context) error {
+	s.SignalDrain()
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -663,6 +745,18 @@ func (s *Service) Close(ctx context.Context) error {
 		return ctx.Err()
 	}
 }
+
+// SignalDrain marks the start of a shutdown for streaming consumers
+// without stopping the service: the channel returned by Draining closes,
+// telling every live event stream (the daemon's SSE handlers) to end so
+// the HTTP server's graceful shutdown is not pinned by open streams over
+// still-running jobs. Close calls it implicitly; the daemon calls it
+// explicitly before http.Server.Shutdown.
+func (s *Service) SignalDrain() { s.drainOnce.Do(func() { close(s.drainCh) }) }
+
+// Draining returns a channel closed once shutdown has begun (SignalDrain
+// or Close).
+func (s *Service) Draining() <-chan struct{} { return s.drainCh }
 
 // Restore rebuilds service state from a journal's recovered snapshot:
 // terminal results pre-warm the in-memory cache (so repeats are served from
@@ -719,6 +813,7 @@ func (s *Service) Restore(rec RecoveredState) (warmed, requeued int, err error) 
 			j.errMsg = "recovery: " + rerr.Error()
 			j.finished = now
 			close(j.done)
+			s.attachStream(j, StateFailed)
 			s.failedN.Add(1)
 			s.record(j)
 			s.journalRecord(JournalEvent{
@@ -733,6 +828,7 @@ func (s *Service) Restore(rec RecoveredState) (warmed, requeued int, err error) 
 			j.cacheHit = true
 			j.started, j.finished = now, now
 			close(j.done)
+			s.attachStream(j, StateDone)
 			s.doneN.Add(1)
 			s.record(j)
 			// Mark the job terminal in the journal (the result itself is
@@ -743,6 +839,7 @@ func (s *Service) Restore(rec RecoveredState) (warmed, requeued int, err error) 
 			continue
 		}
 		j.state = StateQueued
+		s.attachStream(j, StateQueued)
 		s.record(j)
 		if s.inflight[j.key] == nil {
 			s.inflight[j.key] = j
@@ -784,6 +881,16 @@ func emptyGraph() *congestmwc.Graph {
 	return g
 }
 
+// buildVersion reads the module version stamped into the binary, once.
+// "(devel)" builds and test binaries report it verbatim; a build without
+// build info at all reports "unknown".
+var buildVersion = sync.OnceValue(func() string {
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		return bi.Main.Version
+	}
+	return "unknown"
+})
+
 // abortRunning cancels every currently-running job.
 func (s *Service) abortRunning() {
 	s.mu.Lock()
@@ -809,6 +916,19 @@ type Metrics struct {
 	Workers     int     `json:"workers"`
 	BusyWorkers int     `json:"busyWorkers"`
 	Utilization float64 `json:"utilization"`
+
+	// UptimeSeconds is the time since the service was built; BuildVersion
+	// and GoVersion identify the binary (debug.ReadBuildInfo).
+	UptimeSeconds float64 `json:"uptimeSeconds"`
+	BuildVersion  string  `json:"buildVersion"`
+	GoVersion     string  `json:"goVersion"`
+
+	// Per-job histograms: queueing latency, run latency and the simulated
+	// work per job, in fixed exponential buckets.
+	JobQueueWaitSeconds HistogramSnapshot `json:"jobQueueWaitSeconds"`
+	JobRunSeconds       HistogramSnapshot `json:"jobRunSeconds"`
+	JobRounds           HistogramSnapshot `json:"jobRounds"`
+	JobMessages         HistogramSnapshot `json:"jobMessages"`
 
 	Submitted uint64 `json:"submitted"`
 	Deduped   uint64 `json:"deduped"`
@@ -845,6 +965,15 @@ func (s *Service) Metrics() Metrics {
 		Workers:     s.cfg.Workers,
 		BusyWorkers: busy,
 		Utilization: float64(busy) / float64(s.cfg.Workers),
+
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		BuildVersion:  buildVersion(),
+		GoVersion:     runtime.Version(),
+
+		JobQueueWaitSeconds: s.histQueueWait.snapshot(),
+		JobRunSeconds:       s.histRun.snapshot(),
+		JobRounds:           s.histRounds.snapshot(),
+		JobMessages:         s.histMessages.snapshot(),
 
 		Submitted: s.submitted.Load(),
 		Deduped:   s.deduped.Load(),

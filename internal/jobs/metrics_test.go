@@ -3,15 +3,18 @@ package jobs
 import (
 	"bytes"
 	"fmt"
+	"strconv"
 	"strings"
 	"testing"
 )
 
 // metricKinds is the frozen contract of the hand-rolled Prometheus text
-// endpoint: every exported sample and whether it is a counter or a gauge.
-// A name or kind change here is a breaking change for scrapers — update
-// deliberately.
+// endpoint: every exported metric family and whether it is a counter, a
+// gauge or a histogram. A name or kind change here is a breaking change
+// for scrapers — update deliberately.
 var metricKinds = map[string]string{
+	"mwcd_build_info":                  "gauge",
+	"mwcd_uptime_seconds":              "gauge",
 	"mwcd_queue_depth":                 "gauge",
 	"mwcd_queue_capacity":              "gauge",
 	"mwcd_workers":                     "gauge",
@@ -29,6 +32,10 @@ var metricKinds = map[string]string{
 	"mwcd_cache_misses_total":          "counter",
 	"mwcd_cache_evictions_total":       "counter",
 	"mwcd_cache_hit_ratio":             "gauge",
+	"mwcd_job_queue_wait_seconds":      "histogram",
+	"mwcd_job_run_seconds":             "histogram",
+	"mwcd_job_rounds":                  "histogram",
+	"mwcd_job_messages":                "histogram",
 	"mwcd_rounds_simulated_total":      "counter",
 	"mwcd_messages_simulated_total":    "counter",
 	"mwcd_words_simulated_total":       "counter",
@@ -44,57 +51,180 @@ var metricKinds = map[string]string{
 	"mwcd_store_dropped_records_total": "counter",
 }
 
+// sample is one parsed exposition sample line.
+type sample struct {
+	name   string // before any label block
+	labels string // raw {...} block, "" if none
+	value  float64
+}
+
+// family is one # HELP/# TYPE block and the samples that follow it.
+type family struct {
+	name    string
+	kind    string
+	samples []sample
+}
+
+// parseFamilies splits the exposition text into HELP/TYPE-introduced
+// families, failing the test on any structural violation.
+func parseFamilies(t *testing.T, text string) []family {
+	t.Helper()
+	lines := strings.Split(strings.TrimRight(text, "\n"), "\n")
+	var fams []family
+	for i := 0; i < len(lines); {
+		var helpName string
+		if _, err := fmt.Sscanf(lines[i], "# HELP %s", &helpName); err != nil {
+			t.Fatalf("line %d: expected a # HELP line, got %q", i+1, lines[i])
+		}
+		i++
+		var f family
+		if i >= len(lines) {
+			t.Fatalf("output ends after # HELP %s", helpName)
+		}
+		if _, err := fmt.Sscanf(lines[i], "# TYPE %s %s", &f.name, &f.kind); err != nil {
+			t.Fatalf("line %d: expected a # TYPE line, got %q", i+1, lines[i])
+		}
+		if f.name != helpName {
+			t.Fatalf("# HELP %s followed by # TYPE %s", helpName, f.name)
+		}
+		i++
+		for i < len(lines) && !strings.HasPrefix(lines[i], "#") {
+			name, rawVal, ok := strings.Cut(lines[i], " ")
+			if !ok {
+				t.Fatalf("line %d is not a sample: %q", i+1, lines[i])
+			}
+			s := sample{name: name}
+			if base, labels, hasLabels := strings.Cut(name, "{"); hasLabels {
+				s.name, s.labels = base, "{"+labels
+			}
+			v, err := strconv.ParseFloat(rawVal, 64)
+			if err != nil {
+				t.Fatalf("line %d: sample value %q is not a number", i+1, rawVal)
+			}
+			s.value = v
+			f.samples = append(f.samples, s)
+			i++
+		}
+		if len(f.samples) == 0 {
+			t.Fatalf("family %s has no samples", f.name)
+		}
+		fams = append(fams, f)
+	}
+	return fams
+}
+
+// checkHistogram validates one histogram family against the exposition
+// rules: ascending le bounds, cumulative monotone bucket counts, a final
+// le="+Inf" bucket equal to _count, and a consistent _sum.
+func checkHistogram(t *testing.T, f family) {
+	t.Helper()
+	var buckets []sample
+	var sum, count *sample
+	for i := range f.samples {
+		s := &f.samples[i]
+		switch s.name {
+		case f.name + "_bucket":
+			buckets = append(buckets, *s)
+		case f.name + "_sum":
+			sum = s
+		case f.name + "_count":
+			count = s
+		default:
+			t.Errorf("histogram %s has stray sample %s", f.name, s.name)
+		}
+	}
+	if len(buckets) < 2 || sum == nil || count == nil {
+		t.Fatalf("histogram %s incomplete: %d buckets, sum %v, count %v",
+			f.name, len(buckets), sum != nil, count != nil)
+	}
+	prevLe, prevCount := -1.0, -1.0
+	for i, b := range buckets {
+		le := strings.TrimSuffix(strings.TrimPrefix(b.labels, `{le="`), `"}`)
+		isInf := le == "+Inf"
+		if isInf != (i == len(buckets)-1) {
+			t.Fatalf("histogram %s: le=%q at position %d of %d, +Inf must be last and only last",
+				f.name, le, i, len(buckets))
+		}
+		if !isInf {
+			bound, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				t.Fatalf("histogram %s: unparseable le %q", f.name, le)
+			}
+			if bound <= prevLe {
+				t.Errorf("histogram %s: le %v not ascending after %v", f.name, bound, prevLe)
+			}
+			prevLe = bound
+		}
+		if b.value < prevCount {
+			t.Errorf("histogram %s: bucket le=%q count %v below previous %v (not cumulative)",
+				f.name, le, b.value, prevCount)
+		}
+		prevCount = b.value
+	}
+	if inf := buckets[len(buckets)-1].value; inf != count.value {
+		t.Errorf("histogram %s: le=\"+Inf\" bucket %v != _count %v", f.name, inf, count.value)
+	}
+	if count.value == 0 && sum.value != 0 {
+		t.Errorf("histogram %s: empty histogram has nonzero _sum %v", f.name, sum.value)
+	}
+	if sum.value < 0 {
+		t.Errorf("histogram %s: negative _sum %v for non-negative observations", f.name, sum.value)
+	}
+}
+
+// testHistogram builds a populated snapshot the way the service does.
+func testHistogram(vals ...float64) HistogramSnapshot {
+	h := newHistogram(expBuckets(0.001, 4, 10))
+	for _, v := range vals {
+		h.observe(v)
+	}
+	return h.snapshot()
+}
+
 // TestWriteMetricsExpositionFormat parses the hand-rolled Prometheus text
-// output line by line: every sample must be introduced by matching # HELP
-// and # TYPE lines, every # TYPE declaration must match the sample name
-// that follows, and the counter/gauge kind of every metric must be stable.
+// output into metric families: every family must be introduced by matching
+// # HELP and # TYPE lines, the counter/gauge/histogram kind of every
+// family must be stable, histogram series must satisfy the cumulative
+// bucket rules, and no family may appear twice.
 func TestWriteMetricsExpositionFormat(t *testing.T) {
 	var buf bytes.Buffer
 	WriteMetrics(&buf, Metrics{
 		Workers: 4, QueueCap: 64, Submitted: 10, Done: 9,
+		UptimeSeconds: 12.5, BuildVersion: "(devel)", GoVersion: "go1.24.0",
+		JobQueueWaitSeconds: testHistogram(0.0005, 0.01, 0.02, 3),
+		JobRunSeconds:       testHistogram(0.3, 7, 900), // 900 overflows into +Inf
+		JobRounds:           testHistogram(128, 4096),
+		JobMessages:         testHistogram(),
 		Store: &StoreMetrics{WALBytes: 123, WALRecords: 30, Fsyncs: 3, Snapshots: 1,
 			RecoveredJobs: 2, DurableResults: 9, DurableHits: 4},
 	})
 
-	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
-	if len(lines)%3 != 0 {
-		t.Fatalf("output is %d lines, want HELP/TYPE/sample triplets:\n%s", len(lines), buf.String())
-	}
 	seen := make(map[string]bool)
-	for i := 0; i < len(lines); i += 3 {
-		help, typ, sample := lines[i], lines[i+1], lines[i+2]
-
-		var helpName string
-		if _, err := fmt.Sscanf(help, "# HELP %s", &helpName); err != nil {
-			t.Fatalf("line %d is not a HELP line: %q", i+1, help)
-		}
-		var typeName, kind string
-		if _, err := fmt.Sscanf(typ, "# TYPE %s %s", &typeName, &kind); err != nil {
-			t.Fatalf("line %d is not a TYPE line: %q", i+2, typ)
-		}
-		sampleName, _, ok := strings.Cut(sample, " ")
-		if !ok {
-			t.Fatalf("line %d is not a sample: %q", i+3, sample)
-		}
-
-		if typeName != sampleName {
-			t.Errorf("# TYPE declares %q but the sample is %q", typeName, sampleName)
-		}
-		if helpName != sampleName {
-			t.Errorf("# HELP declares %q but the sample is %q", helpName, sampleName)
-		}
-		wantKind, known := metricKinds[sampleName]
+	for _, f := range parseFamilies(t, buf.String()) {
+		wantKind, known := metricKinds[f.name]
 		if !known {
-			t.Errorf("unexpected metric %q: add it to metricKinds deliberately", sampleName)
+			t.Errorf("unexpected metric family %q: add it to metricKinds deliberately", f.name)
 			continue
 		}
-		if kind != wantKind {
-			t.Errorf("metric %q is a %s, contract says %s", sampleName, kind, wantKind)
+		if f.kind != wantKind {
+			t.Errorf("metric %q is a %s, contract says %s", f.name, f.kind, wantKind)
 		}
-		if seen[sampleName] {
-			t.Errorf("metric %q exported twice", sampleName)
+		if seen[f.name] {
+			t.Errorf("metric family %q exported twice", f.name)
 		}
-		seen[sampleName] = true
+		seen[f.name] = true
+
+		switch f.kind {
+		case "histogram":
+			checkHistogram(t, f)
+		default:
+			if len(f.samples) != 1 {
+				t.Errorf("%s %s has %d samples, want 1", f.kind, f.name, len(f.samples))
+			}
+			if f.samples[0].name != f.name {
+				t.Errorf("family %s sample is named %s", f.name, f.samples[0].name)
+			}
+		}
 	}
 	for name := range metricKinds {
 		if !seen[name] {
@@ -102,10 +232,39 @@ func TestWriteMetricsExpositionFormat(t *testing.T) {
 		}
 	}
 
+	// Build identity is exported as labels with value 1.
+	if !strings.Contains(buf.String(), `mwcd_build_info{version="(devel)",goversion="go1.24.0"} 1`) {
+		t.Error("mwcd_build_info lacks the version/goversion labels")
+	}
+
 	// Without a store, no mwcd_store_* samples appear at all.
 	buf.Reset()
 	WriteMetrics(&buf, Metrics{Workers: 1})
 	if strings.Contains(buf.String(), "mwcd_store_") {
 		t.Error("store metrics exported without a store attached")
+	}
+}
+
+// TestHistogramBuckets pins the observe/snapshot arithmetic the exposition
+// relies on: boundary values land in their own bucket (le is inclusive),
+// overflow lands only in +Inf, and counts are cumulative.
+func TestHistogramBuckets(t *testing.T) {
+	h := newHistogram(expBuckets(1, 4, 3)) // bounds 1, 4, 16
+	for _, v := range []float64{0.5, 1.0, 1.5, 4.0, 100} {
+		h.observe(v)
+	}
+	s := h.snapshot()
+	if s.Count != 5 {
+		t.Fatalf("Count = %d, want 5", s.Count)
+	}
+	// <=1: {0.5, 1.0}; <=4 adds {1.5, 4.0}; <=16 adds nothing; +Inf adds 100.
+	want := []uint64{2, 4, 4}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Errorf("cumulative count <= %v = %d, want %d", s.Bounds[i], s.Counts[i], w)
+		}
+	}
+	if s.Sum != 0.5+1+1.5+4+100 {
+		t.Errorf("Sum = %v, want %v", s.Sum, 0.5+1+1.5+4+100)
 	}
 }

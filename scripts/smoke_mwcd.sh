@@ -5,7 +5,10 @@
 # shut the daemon down gracefully. A second leg starts the daemon with a
 # durable -data-dir, SIGKILLs it mid-job, restarts it from the same
 # directory, and verifies that the interrupted job finishes under its
-# original ID and completed results survive as cache hits.
+# original ID and completed results survive as cache hits. A third leg
+# starts the daemon with -observe, tails a running job's SSE event stream,
+# and verifies that live round and terminal-state events arrive and that
+# the stream closes cleanly when the job finishes.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -152,6 +155,37 @@ curl -fsS "$BASE/metrics" | grep -E '^mwcd_store_recovered_jobs 1$'
 curl -fsS "$BASE/metrics" | grep -E '^mwcd_store_durable_results [1-9]'
 
 echo "== graceful shutdown (durable)"
+kill -TERM "$MWCD_PID"
+wait "$MWCD_PID"
+MWCD_PID=""
+
+echo "== observability: live SSE event stream"
+start_daemon -addr "$ADDR" -workers 1 -queue 16 -observe -log-format json
+
+SSE_RESP=$(curl -fsS -X POST "$BASE/v1/jobs" -d "$SLOW_SPEC")
+SSE_ID=$(echo "$SSE_RESP" | sed -n 's/.*"id": *"\([^"]*\)".*/\1/p' | head -1)
+test -n "$SSE_ID"
+poll_state "$SSE_ID" running
+
+# Tail the stream while the job is in flight. curl -N disables buffering;
+# the daemon closes the stream at the terminal state, so curl exiting 0 is
+# itself the proof of a clean close (no timeout, no reset).
+SSE_OUT=$(mktemp)
+curl -fsS -N -m 120 "$BASE/v1/jobs/$SSE_ID/events" > "$SSE_OUT"
+
+grep -q '^event: round' "$SSE_OUT"
+grep -q '^event: phase_begin' "$SSE_OUT"
+grep -q '^event: state' "$SSE_OUT"
+grep -q '"state":"done"' "$SSE_OUT"
+grep -q '^: stream closed' "$SSE_OUT"
+rm -f "$SSE_OUT"
+
+echo "== job latency histograms"
+curl -fsS "$BASE/metrics" | grep -E '^mwcd_job_run_seconds_count [1-9]'
+curl -fsS "$BASE/metrics" | grep -E '^mwcd_job_rounds_bucket\{le="\+Inf"\} [1-9]'
+curl -fsS "$BASE/metrics" | grep -E '^mwcd_build_info\{'
+
+echo "== graceful shutdown (observe)"
 kill -TERM "$MWCD_PID"
 wait "$MWCD_PID"
 MWCD_PID=""
