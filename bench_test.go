@@ -18,6 +18,7 @@ import (
 
 	"congestmwc/internal/congest"
 	"congestmwc/internal/dirmwc"
+	"congestmwc/internal/exact"
 	"congestmwc/internal/gen"
 	"congestmwc/internal/girth"
 	"congestmwc/internal/harness"
@@ -455,6 +456,98 @@ func BenchmarkAblationBandwidth(b *testing.B) {
 				rounds += res.Rounds
 			}
 			b.ReportMetric(float64(rounds)/float64(b.N), "rounds/op")
+		})
+	}
+}
+
+// BenchmarkCSRHotPath measures the per-message cost of the simulator's hot
+// path — graph adjacency, transport delivery, handler dispatch — on the
+// three workload profiles the CSR/zero-alloc data layer targets:
+//
+//   - wmwc_msgbound: the weighted MWC approximation instance from
+//     bench/stretched_idle.json, where deliveries (not idle rounds)
+//     dominate wall clock; the refactor's primary acceptance case.
+//   - scaledsssp_gapbound: the stretched/scaled SSSP instance dominated by
+//     skipped empty rounds; guards that data-layer changes do not slow the
+//     event-driven scheduler's win.
+//   - dense_apsp: exact MWC via all-source BFS on a dense random graph —
+//     maximum adjacency-scan and per-round fan-out pressure.
+//
+// Run with -benchmem: allocs/op is the number the pooled transport buffers
+// exist to drive down. Baselines live in bench/csr_hotpath.json and are
+// enforced by scripts/benchgate.go in CI.
+func BenchmarkCSRHotPath(b *testing.B) {
+	cases := []struct {
+		name string
+		run  func(b *testing.B, seed int64) (rounds, messages int)
+	}{
+		{
+			name: "wmwc_msgbound",
+			run: func(b *testing.B, seed int64) (int, int) {
+				g, err := (gen.Random{N: 40, P: 5.0 / 40, Weighted: true,
+					MaxW: 1024, Seed: 11}).Graph()
+				if err != nil {
+					b.Fatal(err)
+				}
+				net, err := congest.NewNetwork(g, congest.Options{Seed: seed})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := wmwc.Run(net, wmwc.Spec{Eps: 0.5})
+				if err != nil {
+					b.Fatal(err)
+				}
+				return res.Rounds, net.Stats().Messages
+			},
+		},
+		{
+			name: "scaledsssp_gapbound",
+			run: func(b *testing.B, seed int64) (int, int) {
+				g := gen.Ring(96, false, true, 3500)
+				net, err := congest.NewNetwork(g, congest.Options{Seed: seed})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := proto.RunApproxHopSSSP(net, proto.ApproxHopSSSPSpec{
+					Sources: []int{0}, H: 48, Eps: 0.001, Dir: proto.Undirected,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				return res.Rounds, net.Stats().Messages
+			},
+		},
+		{
+			name: "dense_apsp",
+			run: func(b *testing.B, seed int64) (int, int) {
+				g, err := (gen.Random{N: 64, P: 0.4, Seed: 7}).Graph()
+				if err != nil {
+					b.Fatal(err)
+				}
+				net, err := congest.NewNetwork(g, congest.Options{Seed: seed})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := exact.MWC(net)
+				if err != nil {
+					b.Fatal(err)
+				}
+				return res.Rounds, net.Stats().Messages
+			},
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			rounds, messages := 0, 0
+			for i := 0; i < b.N; i++ {
+				r, m := tc.run(b, 1)
+				rounds += r
+				messages += m
+			}
+			b.ReportMetric(float64(rounds)/float64(b.N), "rounds/op")
+			b.ReportMetric(float64(messages)/float64(b.N), "messages/op")
 		})
 	}
 }

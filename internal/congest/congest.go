@@ -18,6 +18,13 @@
 // multi-source BFS in O(k+h)) get their pipelining behaviour directly from
 // the transport queue.
 //
+// Message payloads are copied into per-link arenas on Send and into
+// per-receiver inbox arenas on delivery, so the steady-state delivery path
+// performs no heap allocation; the price is a lifetime contract — a
+// delivered Msg.Words is valid only inside the Deliver (or
+// Observer.OnMessage) invocation that receives it, and must be copied if
+// retained (see Msg).
+//
 // # Node programs
 //
 // Distributed algorithms are written as one Program per node. A Program
@@ -89,6 +96,13 @@ var (
 )
 
 // Msg is one CONGEST message: an algorithm-defined tag plus payload words.
+//
+// On Send the payload is copied into the sending link's arena, so the
+// sender keeps ownership of Words. On delivery, the payload is copied again
+// into the receiving node's inbox arena and Words is a view into it: valid
+// only for the duration of the Deliver invocation (and of a synchronous
+// Observer.OnMessage callback). Handlers that retain a payload beyond the
+// handler must copy it.
 type Msg struct {
 	Tag   int64
 	Words []int64
@@ -98,7 +112,9 @@ type Msg struct {
 // payload length).
 func (m Msg) Size() int { return 1 + len(m.Words) }
 
-// Delivery is a received message together with its sender.
+// Delivery is a received message together with its sender. Msg.Words is
+// only valid for the duration of the Deliver call that receives it; see
+// Msg.
 type Delivery struct {
 	From int
 	Msg  Msg
@@ -164,12 +180,22 @@ type Network struct {
 	stats Stats
 	now   int
 
-	tr  transport // links with pending traffic + delivery schedule
+	tr  transport // flat link arena + pending set + delivery schedule
 	cal calendar  // pending wake-up rounds
 	eng engine    // handler execution strategy (sequential / worker pool)
 
-	all       []int // the identity permutation [0..n), for Init phases
-	activeBuf []int // scratch: the round's receivers and woken nodes
+	// linkOff is the CSR offset array over the transport's link arena:
+	// node v's outgoing links are tr.links[linkOff[v]:linkOff[v+1]], entry i
+	// being the link to the i-th sorted communication neighbour. Link IDs
+	// are therefore globally sorted by (owner, to) — canonical delivery
+	// order is ascending ID order.
+	linkOff []int32
+
+	all       []int          // the identity permutation [0..n), for Init phases
+	activeBuf []int          // scratch: the round's receivers and woken nodes
+	scratch   []roundScratch // per-worker handler outboxes, merged by afterHandlers
+	epoch     []int64        // per-node stamp deduplicating the active list (see runRound)
+	epochN    int64
 
 	ctx  context.Context // abort signal installed via SetContext (may be nil)
 	done <-chan struct{} // ctx.Done(), cached; nil when no context is set
@@ -194,40 +220,57 @@ func NewNetwork(g *graph.Graph, opts Options) (*Network, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	n := g.N()
 	net := &Network{
-		g:     g,
-		opts:  opts,
-		nodes: make([]*nodeState, g.N()),
-		tr:    newTransport(opts.Bandwidth),
-		cal:   newCalendar(),
-		all:   make([]int, g.N()),
+		g:       g,
+		opts:    opts,
+		nodes:   make([]*nodeState, n),
+		tr:      newTransport(opts.Bandwidth),
+		cal:     newCalendar(),
+		all:     make([]int, n),
+		linkOff: make([]int32, n+1),
 	}
+	scratches := 1
 	if opts.Parallel {
 		net.eng = &parEngine{workers: workers}
+		scratches = workers
 	} else {
 		net.eng = seqEngine{}
 	}
-	for v := 0; v < g.N(); v++ {
+	net.scratch = make([]roundScratch, scratches)
+	net.epoch = make([]int64, n)
+	// Pass 1: per-node sorted distinct neighbours (Comm rows are sorted by
+	// destination, so deduplication is adjacent) and the link-CSR offsets.
+	neighbors := make([][]int, n)
+	total := 0
+	for v := 0; v < n; v++ {
 		net.all[v] = v
-		seen := make(map[int]bool)
-		var nbrs []int
-		for _, a := range g.Comm(v) {
-			if !seen[a.To] {
-				seen[a.To] = true
+		comm := g.Comm(v)
+		nbrs := make([]int, 0, len(comm))
+		last := -1
+		for _, a := range comm {
+			if a.To != last {
 				nbrs = append(nbrs, a.To)
+				last = a.To
 			}
 		}
-		sort.Ints(nbrs)
+		neighbors[v] = nbrs
+		net.linkOff[v] = int32(total)
+		total += len(nbrs)
+	}
+	net.linkOff[n] = int32(total)
+	// Pass 2: the flat link arena (IDs in ascending (owner, to) order) and
+	// the per-node state, including the reusable handler-facing Node.
+	net.tr.links = make([]link, total)
+	for v := 0; v < n; v++ {
+		for i, u := range neighbors[v] {
+			net.tr.links[net.linkOff[v]+int32(i)] = link{owner: int32(v), to: int32(u)}
+		}
 		st := &nodeState{
-			neighbors: nbrs,
-			linkIdx:   make(map[int]int, len(nbrs)),
-			links:     make([]*link, len(nbrs)),
+			neighbors: neighbors[v],
 			rng:       rand.New(rand.NewSource(opts.Seed*1_000_003 + int64(v))),
 		}
-		for i, u := range nbrs {
-			st.linkIdx[u] = i
-			st.links[i] = &link{owner: v, to: u}
-		}
+		st.node = Node{net: net, id: v, st: st}
 		net.nodes[v] = st
 	}
 	return net, nil
@@ -287,23 +330,28 @@ func (net *Network) ChargeRounds(r int) {
 // delivered between nodes on different sides increments Stats.CutWords.
 // Pass nil to stop metering.
 func (net *Network) MeterCut(side []bool) {
-	for v, st := range net.nodes {
-		for _, l := range st.links {
-			l.cut = side != nil && side[v] != side[l.to]
-		}
+	for i := range net.tr.links {
+		l := &net.tr.links[i]
+		l.cut = side != nil && side[l.owner] != side[l.to]
 	}
 }
 
-func sortedUnique(s []int) []int {
-	if len(s) == 0 {
-		return s
+// sortInts sorts a deduplicated active list in place. Active lists are
+// usually small (the round's receivers), where insertion sort wins over the
+// generic sort's partitioning machinery; large lists fall through to the
+// standard sort.
+func sortInts(s []int) {
+	if len(s) > 48 {
+		sort.Ints(s)
+		return
 	}
-	sort.Ints(s)
-	out := s[:1]
-	for _, v := range s[1:] {
-		if v != out[len(out)-1] {
-			out = append(out, v)
+	for i := 1; i < len(s); i++ {
+		x := s[i]
+		j := i - 1
+		for j >= 0 && s[j] > x {
+			s[j+1] = s[j]
+			j--
 		}
+		s[j+1] = x
 	}
-	return out
 }

@@ -4,28 +4,62 @@ import "fmt"
 
 // engine is the handler-execution strategy: how one round's Deliver/Tick
 // (or Init) handlers are invoked across the active nodes. Implementations
-// must preserve the invariant that handlers mutate only node-local state;
-// everything else about a round — transmission, wake-up merging, observer
-// callbacks — is engine-independent and lives in the run loop below, which
-// is why both engines produce bit-identical event streams.
+// must preserve the invariant that handlers mutate only node-local state
+// (their own nodeState and their own outgoing links), and must drain each
+// node's per-round scratch (wake-up requests, touched links) into a
+// per-worker roundScratch as they go — sharded collection, merged by
+// afterHandlers at the round barrier. Everything else about a round —
+// transmission, wake-up merging, observer callbacks — is engine-independent
+// and lives in the run loop below, which is why both engines produce
+// bit-identical event streams.
 type engine interface {
 	runHandlers(net *Network, ids []int, init bool)
 }
 
-// handleNode invokes one node's handler(s) for the current round. Called
-// from both engines; touches only the node's own state.
-func (net *Network) handleNode(v int, init bool) {
+// wakeReq is one drained wake-up request: node wants a Tick at round.
+type wakeReq struct {
+	round, node int
+}
+
+// roundScratch is one worker's outbox for a round: the link IDs its nodes
+// first wrote to (in ascending ID order — each node's batch is sorted and
+// node IDs ascend within a worker's chunk) and their wake-up requests.
+// Workers own disjoint scratches, so handler execution collects this state
+// without any lock; afterHandlers concatenates the scratches in worker
+// order, which preserves the global canonical order because worker chunks
+// partition the ascending active list.
+type roundScratch struct {
+	touched []int32
+	wakes   []wakeReq
+}
+
+// handleNode invokes one node's handler(s) for the current round and drains
+// the node's scratch into sc. Called from both engines; touches only the
+// node's own state and the caller's scratch.
+func (net *Network) handleNode(v int, init bool, sc *roundScratch) {
 	st := net.nodes[v]
-	nd := &Node{net: net, id: v, st: st}
+	nd := &st.node
 	if init {
 		st.program.Init(nd)
-		return
+	} else {
+		for _, d := range st.inbox {
+			st.program.Deliver(nd, d)
+		}
+		st.program.Tick(nd)
+		st.inbox = st.inbox[:0]
+		st.inWords = st.inWords[:0]
 	}
-	for _, d := range st.inbox {
-		st.program.Deliver(nd, d)
+	if len(st.wakes) > 0 {
+		for _, r := range st.wakes {
+			sc.wakes = append(sc.wakes, wakeReq{round: r, node: v})
+		}
+		st.wakes = st.wakes[:0]
 	}
-	st.program.Tick(nd)
-	st.inbox = st.inbox[:0]
+	if len(st.touched) > 0 {
+		insertionSortInt32(st.touched)
+		sc.touched = append(sc.touched, st.touched...)
+		st.touched = st.touched[:0]
+	}
 }
 
 // Run executes one Program per node until quiescence: no queued link
@@ -55,6 +89,7 @@ func (net *Network) Run(progs []Program, budget int) (int, error) {
 	for v, st := range net.nodes {
 		st.program = progs[v]
 		st.inbox = st.inbox[:0]
+		st.inWords = st.inWords[:0]
 	}
 	if net.canceled() {
 		if net.runObs != nil {
@@ -65,7 +100,7 @@ func (net *Network) Run(progs []Program, budget int) (int, error) {
 	// Init phase: local computation before round 1 of this run; sends made
 	// here enter the link queues and are delivered from the next round on.
 	net.eng.runHandlers(net, net.all, true)
-	net.afterHandlers(net.all)
+	net.afterHandlers()
 	// A cancellation landing during the Init phase makes the engine bail
 	// mid-batch; if the partially executed init left no pending traffic or
 	// wake-ups, the loop below never runs, so report the cancellation here
@@ -146,10 +181,22 @@ func (net *Network) runRound(round int) {
 		buf = append(buf, wk...)
 		net.cal.recycle(wk)
 	}
-	active := sortedUnique(buf)
+	// Dedup receivers/woken nodes with a per-node epoch stamp before sorting:
+	// buf holds one entry per delivering link plus the wake bucket, so nodes
+	// repeat up to their in-degree and sorting the raw list wastes most of
+	// its compares on duplicates.
+	net.epochN++
+	active := buf[:0] // in-place: the write index never passes the read index
+	for _, v := range buf {
+		if net.epoch[v] != net.epochN {
+			net.epoch[v] = net.epochN
+			active = append(active, v)
+		}
+	}
+	sortInts(active)
 	net.activeBuf = buf
 	net.eng.runHandlers(net, active, false)
-	net.afterHandlers(active)
+	net.afterHandlers()
 	net.stats.Activations += len(active)
 	if net.roundObs != nil {
 		net.roundObs.OnRoundEnd(round, RoundStats{
@@ -164,46 +211,42 @@ func (net *Network) runRound(round int) {
 	}
 }
 
-// afterHandlers merges per-node wake-up requests into the calendar and
-// newly-touched links into the transport's sorted queued set
-// (single-threaded). ids is sorted ascending and each node's touched list
-// is insertion-sorted by destination, so the concatenation is already in
-// canonical (owner, to) order and merges in O(new + queued).
-func (net *Network) afterHandlers(ids []int) {
+// afterHandlers merges the per-worker scratches filled during handler
+// execution: wake-up requests go to the calendar, touched link IDs to the
+// transport's sorted pending set. Worker chunks partition the ascending
+// active list and each worker's touched list is already sorted, so
+// concatenating scratches in worker order yields the canonical ascending
+// link-ID order and the transport merge stays O(new + queued).
+func (net *Network) afterHandlers() {
 	fresh := net.tr.fresh[:0]
-	for _, v := range ids {
-		st := net.nodes[v]
-		for _, r := range st.wakes {
-			net.cal.schedule(r, v)
+	for w := range net.scratch {
+		sc := &net.scratch[w]
+		if len(sc.touched) > 0 {
+			fresh = append(fresh, sc.touched...)
+			sc.touched = sc.touched[:0]
 		}
-		st.wakes = st.wakes[:0]
-		if len(st.touched) > 0 {
-			insertionSortByTo(st.touched)
-			fresh = append(fresh, st.touched...)
-			for i := range st.touched {
-				st.touched[i] = nil
+		if len(sc.wakes) > 0 {
+			for _, wr := range sc.wakes {
+				net.cal.schedule(wr.round, wr.node)
 			}
-			st.touched = st.touched[:0]
+			sc.wakes = sc.wakes[:0]
 		}
 	}
 	net.tr.enqueue(net.now, fresh)
-	for i := range fresh {
-		fresh[i] = nil
-	}
 	net.tr.fresh = fresh[:0]
 }
 
-// insertionSortByTo sorts a node's touched links by destination. The lists
-// are tiny (bounded by the node's degree, typically a handful), where
-// insertion sort beats sort.Slice without allocating.
-func insertionSortByTo(ls []*link) {
-	for i := 1; i < len(ls); i++ {
-		l := ls[i]
+// insertionSortInt32 sorts a node's touched link IDs. The lists are tiny
+// (bounded by the node's degree, typically a handful), where insertion sort
+// beats a generic sort without allocating.
+func insertionSortInt32(s []int32) {
+	for i := 1; i < len(s); i++ {
+		x := s[i]
 		j := i - 1
-		for j >= 0 && ls[j].to > l.to {
-			ls[j+1] = ls[j]
+		for j >= 0 && s[j] > x {
+			s[j+1] = s[j]
 			j--
 		}
-		ls[j+1] = l
+		s[j+1] = x
 	}
 }

@@ -7,6 +7,14 @@ import "sync"
 // PRNG and outgoing link queues), so chunking the active set across workers
 // is safe and the observable behaviour — delivery order, Stats, round
 // counts — is identical to the sequential engine.
+//
+// The transport is sharded per worker: worker w drains its nodes' touched
+// links and wake-ups into net.scratch[w] as it executes them, so the
+// collection that used to be a single-threaded O(active) pass after the
+// barrier now happens inside the parallel section. afterHandlers only
+// concatenates the per-worker outboxes — chunks partition the ascending
+// active list, so worker order is canonical order and no re-sorting or
+// locking is needed.
 type parEngine struct {
 	workers int
 }
@@ -14,7 +22,7 @@ type parEngine struct {
 func (e *parEngine) runHandlers(net *Network, ids []int, init bool) {
 	if len(ids) < 2 {
 		for _, v := range ids {
-			net.handleNode(v, init)
+			net.handleNode(v, init, &net.scratch[0])
 		}
 		return
 	}
@@ -34,7 +42,7 @@ func (e *parEngine) runHandlers(net *Network, ids []int, init bool) {
 			break
 		}
 		wg.Add(1)
-		go func(part []int) {
+		go func(part []int, sc *roundScratch) {
 			defer wg.Done()
 			for i, v := range part {
 				if i%abortStride == 0 && net.canceled() {
@@ -43,9 +51,9 @@ func (e *parEngine) runHandlers(net *Network, ids []int, init bool) {
 					// still waits for every worker, so no goroutine leaks.
 					return
 				}
-				net.handleNode(v, init)
+				net.handleNode(v, init, sc)
 			}
-		}(ids[lo:hi])
+		}(ids[lo:hi], &net.scratch[w])
 	}
 	wg.Wait()
 }

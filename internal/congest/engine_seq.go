@@ -7,10 +7,11 @@ package congest
 const abortStride = 64
 
 // seqEngine runs every handler inline on the calling goroutine — the
-// deterministic reference engine.
+// deterministic reference engine. It drains into the single scratch slot.
 type seqEngine struct{}
 
 func (seqEngine) runHandlers(net *Network, ids []int, init bool) {
+	sc := &net.scratch[0]
 	for i, v := range ids {
 		if i%abortStride == 0 && net.canceled() {
 			// Bail mid-round: the run loop observes the same signal at the
@@ -18,6 +19,6 @@ func (seqEngine) runHandlers(net *Network, ids []int, init bool) {
 			// round is never resumed.
 			return
 		}
-		net.handleNode(v, init)
+		net.handleNode(v, init, sc)
 	}
 }

@@ -8,19 +8,22 @@ import (
 )
 
 // nodeState is the engine-side state of one node: its communication
-// neighbourhood, outgoing links, inbox, PRNG and the per-round scratch the
-// handlers fill in (wake-up requests, links first written to this round).
-// Handlers mutate only their own nodeState, which is what makes the
-// parallel engine safe without locks.
+// neighbourhood, inbox, PRNG and the per-round scratch the handlers fill in
+// (wake-up requests, links first written to this round). The node's outgoing
+// links live in the transport's flat link arena, in the contiguous ID range
+// Network.linkOff[v]..Network.linkOff[v+1]; entry i of that range is the
+// link to neighbors[i]. Handlers mutate only their own nodeState and their
+// own outgoing links, which is what makes the parallel engine safe without
+// locks.
 type nodeState struct {
-	neighbors []int       // deduplicated, sorted communication neighbours
-	linkIdx   map[int]int // neighbour ID -> index into links
-	links     []*link
+	neighbors []int // deduplicated, sorted communication neighbours
 	inbox     []Delivery
+	inWords   []int64 // arena backing the inbox's payload views, truncated with it
 	rng       *rand.Rand
-	wakes     []int   // wake-up rounds requested during handlers (merged post-round)
-	touched   []*link // links first written to during this round's handlers
+	wakes     []int   // wake-up rounds requested during handlers (drained post-handler)
+	touched   []int32 // link IDs first written to during this round's handlers
 	program   Program
+	node      Node // reusable handle passed to handlers (avoids per-activation allocation)
 }
 
 // Node is the node-local view handed to Program handlers. It is only valid
@@ -59,6 +62,11 @@ func (nd *Node) Out() []graph.Arc { return nd.net.g.Out(nd.id) }
 // not be modified.
 func (nd *Node) In() []graph.Arc { return nd.net.g.In(nd.id) }
 
+// Comm returns the undirected communication adjacency of this node: one arc
+// per incident input edge regardless of direction (for undirected graphs
+// this equals Out). The slice must not be modified.
+func (nd *Node) Comm() []graph.Arc { return nd.net.g.Comm(nd.id) }
+
 // Neighbors returns the deduplicated, sorted communication neighbours. The
 // slice must not be modified.
 func (nd *Node) Neighbors() []int { return nd.st.neighbors }
@@ -66,20 +74,45 @@ func (nd *Node) Neighbors() []int { return nd.st.neighbors }
 // Rand returns the node's PRNG.
 func (nd *Node) Rand() *rand.Rand { return nd.st.rng }
 
+// linkTo returns the index of `to` in the node's sorted neighbor list, or
+// -1. Binary search over the CSR neighbor row — no per-node lookup map.
+func (nd *Node) linkTo(to int) int {
+	nbrs := nd.st.neighbors
+	lo, hi := 0, len(nbrs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if nbrs[mid] < to {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(nbrs) && nbrs[lo] == to {
+		return lo
+	}
+	return -1
+}
+
 // Send enqueues a message on the link to a communication neighbour.
 // Transmission begins next round; a message of size s occupies the link for
-// ceil(s/B) rounds. Send panics if `to` is not a neighbour — that is a
-// programming error in an algorithm, not a runtime condition.
+// ceil(s/B) rounds. The payload is copied into the link's words arena, so
+// the caller keeps ownership of m.Words (and stack-allocated payloads never
+// escape). Send panics if `to` is not a neighbour — that is a programming
+// error in an algorithm, not a runtime condition.
 func (nd *Node) Send(to int, m Msg) {
-	i, ok := nd.st.linkIdx[to]
-	if !ok {
+	i := nd.linkTo(to)
+	if i < 0 {
 		panic(fmt.Sprintf("congest: node %d sending to non-neighbor %d", nd.id, to))
 	}
-	l := nd.st.links[i]
-	l.queue = append(l.queue, m)
+	net := nd.net
+	id := net.linkOff[nd.id] + int32(i)
+	l := &net.tr.links[id]
+	off := int32(len(l.words))
+	l.words = append(l.words, m.Words...)
+	l.queue = append(l.queue, qmsg{tag: m.Tag, off: off, n: int32(len(m.Words))})
 	if !l.enqueued {
 		l.enqueued = true
-		nd.st.touched = append(nd.st.touched, l)
+		nd.st.touched = append(nd.st.touched, id)
 	}
 }
 
@@ -92,11 +125,11 @@ func (nd *Node) SendTag(to int, tag int64, words ...int64) {
 // the given neighbour (node-local knowledge: a sender knows what it has
 // handed to its own network interface).
 func (nd *Node) QueueLen(to int) int {
-	i, ok := nd.st.linkIdx[to]
-	if !ok {
+	i := nd.linkTo(to)
+	if i < 0 {
 		return 0
 	}
-	l := nd.st.links[i]
+	l := &nd.net.tr.links[nd.net.linkOff[nd.id]+int32(i)]
 	return len(l.queue) - l.head
 }
 

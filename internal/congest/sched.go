@@ -5,14 +5,23 @@ package congest
 // with a hand-rolled min-heap over the distinct pending rounds. Together
 // with transport.nextDelivery it tells the run loop the next round in which
 // anything can happen, so empty rounds are skipped instead of iterated.
+//
+// The dominant scheduling pattern is a WakeNext storm: every busy node asks
+// for the immediately following round, so one round accumulates hundreds of
+// entries. The most recently opened bucket is therefore kept out of the map
+// (hotRound/hot): repeat wake-ups for it are a plain append instead of a
+// map-hash-and-store, which is the difference between the calendar being
+// invisible and being ~10% of a message-bound run's profile.
 type calendar struct {
-	rounds []int         // min-heap of distinct pending wake-up rounds
-	nodes  map[int][]int // round -> nodes to wake (may contain duplicates)
-	free   [][]int       // recycled buckets, to avoid per-round allocation
+	rounds   []int         // min-heap of distinct pending wake-up rounds
+	nodes    map[int][]int // round -> nodes to wake (may contain duplicates)
+	free     [][]int       // recycled buckets, to avoid per-round allocation
+	hotRound int           // bucket kept out of the map; -1 when none
+	hot      []int
 }
 
 func newCalendar() calendar {
-	return calendar{nodes: make(map[int][]int)}
+	return calendar{nodes: make(map[int][]int), hotRound: -1}
 }
 
 // empty reports whether no wake-ups are pending.
@@ -28,15 +37,42 @@ func (c *calendar) next() int {
 
 // schedule records that node v wants a wake-up at the given round.
 func (c *calendar) schedule(round, v int) {
-	b, ok := c.nodes[round]
-	if !ok {
-		if n := len(c.free); n > 0 {
-			b = c.free[n-1]
-			c.free = c.free[:n-1]
-		}
-		c.push(round)
+	if round == c.hotRound {
+		c.hot = append(c.hot, v)
+		return
 	}
-	c.nodes[round] = append(b, v)
+	if b, ok := c.nodes[round]; ok {
+		c.nodes[round] = append(b, v)
+		return
+	}
+	// First wake-up for a new round: it becomes the hot bucket, demoting the
+	// previous one into the map. A round is in the heap iff it is in the map
+	// or is the hot round, so membership stays consistent.
+	c.push(round)
+	c.flushHot()
+	c.hotRound = round
+	c.hot = c.takeFree()
+	c.hot = append(c.hot, v)
+}
+
+// flushHot demotes the hot bucket into the map. By construction the map has
+// no entry for hotRound (a round becomes hot only when absent, and stays the
+// append target while hot), so this is a plain store.
+func (c *calendar) flushHot() {
+	if c.hotRound >= 0 {
+		c.nodes[c.hotRound] = c.hot
+		c.hotRound = -1
+		c.hot = nil
+	}
+}
+
+func (c *calendar) takeFree() []int {
+	if n := len(c.free); n > 0 {
+		b := c.free[n-1]
+		c.free = c.free[:n-1]
+		return b
+	}
+	return nil
 }
 
 // take removes and returns the bucket for the given round, or nil if no
@@ -47,6 +83,12 @@ func (c *calendar) take(round int) []int {
 		return nil
 	}
 	c.popMin()
+	if c.hotRound == round {
+		b := c.hot
+		c.hotRound = -1
+		c.hot = nil
+		return b
+	}
 	b := c.nodes[round]
 	delete(c.nodes, round)
 	return b

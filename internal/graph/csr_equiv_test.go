@@ -1,0 +1,165 @@
+package graph_test
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"congestmwc/internal/check"
+	"congestmwc/internal/congest"
+	"congestmwc/internal/graph"
+	"congestmwc/internal/proto"
+)
+
+// refAdj is the pre-CSR adjacency representation rebuilt naively: one Go
+// slice per vertex per direction, filled by appending in edge order and then
+// sorted by (To, EdgeID) — exactly what internal/graph did before the arena
+// refactor. The CSR build must reproduce its iteration order bit for bit.
+type refAdj struct {
+	out, in, comm [][]graph.Arc
+}
+
+func refBuild(n int, edges []graph.Edge, directed, weighted bool) *refAdj {
+	r := &refAdj{
+		out:  make([][]graph.Arc, n),
+		in:   make([][]graph.Arc, n),
+		comm: make([][]graph.Arc, n),
+	}
+	for id, e := range edges {
+		w := e.Weight
+		if !weighted {
+			w = 1
+		}
+		r.out[e.From] = append(r.out[e.From], graph.Arc{To: e.To, Weight: w, EdgeID: id})
+		r.in[e.To] = append(r.in[e.To], graph.Arc{To: e.From, Weight: w, EdgeID: id})
+		if !directed {
+			r.out[e.To] = append(r.out[e.To], graph.Arc{To: e.From, Weight: w, EdgeID: id})
+			r.in[e.From] = append(r.in[e.From], graph.Arc{To: e.To, Weight: w, EdgeID: id})
+		}
+	}
+	sortRef := func(arcs []graph.Arc) {
+		sort.Slice(arcs, func(i, j int) bool {
+			if arcs[i].To != arcs[j].To {
+				return arcs[i].To < arcs[j].To
+			}
+			return arcs[i].EdgeID < arcs[j].EdgeID
+		})
+	}
+	for v := 0; v < n; v++ {
+		sortRef(r.out[v])
+		sortRef(r.in[v])
+		if !directed {
+			r.comm[v] = r.out[v]
+			continue
+		}
+		arcs := make([]graph.Arc, 0, len(r.out[v])+len(r.in[v]))
+		arcs = append(arcs, r.out[v]...)
+		arcs = append(arcs, r.in[v]...)
+		sortRef(arcs)
+		r.comm[v] = arcs
+	}
+	return r
+}
+
+func sameArcs(got, want []graph.Arc) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestCSREquivalenceProperty drives randomly generated instances from all
+// four problem classes (via the internal/check generator) through both the
+// CSR build and the naive reference build and asserts they are
+// indistinguishable: identical neighbor iteration order, arc contents and
+// edge IDs in every direction, identical per-edge Weight lookups, and — for
+// connected instances — bit-identical results and Stats when a protocol runs
+// on sequential and parallel engines over the CSR graph. Run under -race in
+// CI, which additionally exercises the sharded parallel transport.
+func TestCSREquivalenceProperty(t *testing.T) {
+	const perClass = 40
+	rng := rand.New(rand.NewSource(0x5eed_c5a1))
+	for _, class := range check.Classes {
+		for iter := 0; iter < perClass; iter++ {
+			in := check.RandomInstance(rng, class, 24)
+			edges := make([]graph.Edge, len(in.Edges))
+			for i, e := range in.Edges {
+				edges[i] = graph.Edge{From: e.From, To: e.To, Weight: e.Weight}
+			}
+			g, err := graph.Build(in.N, edges, graph.Options{Directed: in.Directed(), Weighted: in.Weighted()})
+			if err != nil {
+				// Generator occasionally emits rejected inputs (self-loops,
+				// duplicates); the build-error paths have their own tests.
+				continue
+			}
+			ref := refBuild(in.N, edges, in.Directed(), in.Weighted())
+			for v := 0; v < in.N; v++ {
+				if !sameArcs(g.Out(v), ref.out[v]) {
+					t.Fatalf("%v #%d: Out(%d) = %v, reference %v", class, iter, v, g.Out(v), ref.out[v])
+				}
+				if !sameArcs(g.In(v), ref.in[v]) {
+					t.Fatalf("%v #%d: In(%d) = %v, reference %v", class, iter, v, g.In(v), ref.in[v])
+				}
+				if !sameArcs(g.Comm(v), ref.comm[v]) {
+					t.Fatalf("%v #%d: Comm(%d) = %v, reference %v", class, iter, v, g.Comm(v), ref.comm[v])
+				}
+				if g.Degree(v) != len(ref.comm[v]) {
+					t.Fatalf("%v #%d: Degree(%d) = %d, reference %d", class, iter, v, g.Degree(v), len(ref.comm[v]))
+				}
+			}
+			for id := 0; id < g.M(); id++ {
+				e := g.Edge(id)
+				want := edges[id]
+				if !in.Directed() && want.From > want.To {
+					// Build stores undirected edges orientation-normalized.
+					want.From, want.To = want.To, want.From
+				}
+				if e.From != want.From || e.To != want.To {
+					t.Fatalf("%v #%d: Edge(%d) = %+v, want %+v", class, iter, id, e, want)
+				}
+				if g.Weight(id) != e.Weight {
+					t.Fatalf("%v #%d: Weight(%d) = %d, Edge(%d).Weight = %d", class, iter, id, g.Weight(id), id, e.Weight)
+				}
+			}
+			if !in.Valid() || in.N < 2 {
+				continue
+			}
+			runOnce := func(parallel bool) (*proto.MultiBFSResult, congest.Stats) {
+				net, err := congest.NewNetwork(g, congest.Options{Seed: 7, Parallel: parallel, Workers: 4})
+				if err != nil {
+					t.Fatalf("%v #%d: network: %v", class, iter, err)
+				}
+				res, err := proto.RunMultiBFS(net, proto.MultiBFSSpec{
+					Sources: []int{0, in.N / 2},
+					Dir:     proto.Undirected,
+				})
+				if err != nil {
+					t.Fatalf("%v #%d: multi-bfs: %v", class, iter, err)
+				}
+				return res, net.Stats()
+			}
+			seqRes, seqStats := runOnce(false)
+			parRes, parStats := runOnce(true)
+			if seqStats != parStats {
+				t.Fatalf("%v #%d: seq stats %+v != par stats %+v", class, iter, seqStats, parStats)
+			}
+			if seqRes.Rounds != parRes.Rounds {
+				t.Fatalf("%v #%d: seq rounds %d != par rounds %d", class, iter, seqRes.Rounds, parRes.Rounds)
+			}
+			for v := 0; v < in.N; v++ {
+				for f := range seqRes.Dist[v] {
+					if seqRes.Dist[v][f] != parRes.Dist[v][f] || seqRes.Pred[v][f] != parRes.Pred[v][f] {
+						t.Fatalf("%v #%d: engines disagree at v=%d field=%d: seq (%d,%d) par (%d,%d)",
+							class, iter, v, f,
+							seqRes.Dist[v][f], seqRes.Pred[v][f], parRes.Dist[v][f], parRes.Pred[v][f])
+					}
+				}
+			}
+		}
+	}
+}

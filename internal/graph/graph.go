@@ -6,6 +6,19 @@
 // identified by integers in [0, N). Edge weights are non-negative int64
 // values; unweighted graphs carry implicit weight 1 on every edge.
 //
+// # Memory layout
+//
+// Adjacency is stored in compressed sparse row (CSR) form: one flat []Arc
+// arena per direction plus an []int32 offset array of length n+1, so vertex
+// v's arcs are the subslice arena[off[v]:off[v+1]]. Out, In and Comm return
+// these subslices directly — no per-vertex slice headers, no pointer
+// chasing, and the whole adjacency of the graph lives in three contiguous
+// allocations that scan linearly. For undirected graphs the in and comm
+// views alias the out arena. Edge weights are additionally available as an
+// edge-indexed array (Weight), which algorithms use to precompute
+// edge-indexed derived lengths (e.g. the Section-5 scaled weights) instead
+// of recomputing them per arc visit.
+//
 // The package also implements the two graph transforms used by the paper's
 // weighted algorithms (Section 5): weight scaling (Nanongkai-style
 // w -> ceil(2*h*w / (eps * 2^i))) and the notion of a stretched graph in
@@ -17,7 +30,7 @@ package graph
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // Common construction errors, matched by callers with errors.Is.
@@ -46,6 +59,16 @@ type Arc struct {
 	EdgeID int
 }
 
+// csr is one adjacency view in compressed sparse row form: vertex v's arcs
+// are arcs[off[v]:off[v+1]]. Views may alias each other's arenas (for
+// undirected graphs in == comm == out).
+type csr struct {
+	arcs []Arc
+	off  []int32 // length n+1
+}
+
+func (c *csr) row(v int) []Arc { return c.arcs[c.off[v]:c.off[v+1]] }
+
 // Graph is an immutable graph. Use Build (or the builder helpers in package
 // gen) to construct one; the zero value is not valid.
 type Graph struct {
@@ -53,9 +76,10 @@ type Graph struct {
 	directed bool
 	weighted bool
 	edges    []Edge
-	out      [][]Arc // arcs leaving v (directed) / all incident arcs (undirected)
-	in       [][]Arc // arcs entering v; aliases out for undirected graphs
-	comm     [][]Arc // undirected communication adjacency (union of in/out)
+	weights  []int64 // edge-indexed weights: weights[id] == edges[id].Weight
+	out      csr     // arcs leaving v (directed) / all incident arcs (undirected)
+	in       csr     // arcs entering v; aliases out for undirected graphs
+	comm     csr     // undirected communication adjacency (union of in/out)
 	maxW     int64
 }
 
@@ -63,6 +87,64 @@ type Graph struct {
 type Options struct {
 	Directed bool
 	Weighted bool
+}
+
+// edgeKey packs a normalized (from, to) pair for sort-based duplicate
+// detection. Vertex IDs fit in 32 bits (they are validated against n, an
+// int); invalid endpoints may produce colliding keys, but any edge with an
+// invalid endpoint fails validation at or before the index a spurious
+// collision would be reported at, so the validation loop always wins.
+type edgeKey struct {
+	key uint64
+	idx int32
+}
+
+// firstDuplicate returns the input index of the first edge (in input order)
+// that duplicates an earlier one, or -1. Duplicate detection is sort-based:
+// O(m log m) with two transient slices, replacing the former per-Build
+// map[[2]int]struct{} that dominated construction cost on the hot admission
+// and fuzzing paths.
+func firstDuplicate(edges []Edge, directed bool) int {
+	if len(edges) < 2 {
+		return -1
+	}
+	keys := make([]edgeKey, len(edges))
+	for i, e := range edges {
+		from, to := e.From, e.To
+		if !directed && from > to {
+			from, to = to, from
+		}
+		keys[i] = edgeKey{key: uint64(uint32(from))<<32 | uint64(uint32(to)), idx: int32(i)}
+	}
+	slices.SortFunc(keys, func(a, b edgeKey) int {
+		switch {
+		case a.key != b.key:
+			if a.key < b.key {
+				return -1
+			}
+			return 1
+		case a.idx != b.idx:
+			return int(a.idx - b.idx)
+		default:
+			return 0
+		}
+	})
+	dup := -1
+	for i := 1; i < len(keys); i++ {
+		if keys[i].key != keys[i-1].key {
+			continue
+		}
+		// Second occurrence of this key in input order (the run is sorted by
+		// idx); the overall answer is the smallest such index.
+		if second := int(keys[i].idx); dup < 0 || second < dup {
+			dup = second
+		}
+		// Skip the rest of the run: later occurrences have larger indices.
+		for i+1 < len(keys) && keys[i+1].key == keys[i].key {
+			i++
+		}
+	}
+	return dup
 }
 
 // Build validates the edge list and constructs a Graph.
@@ -81,12 +163,10 @@ func Build(n int, edges []Edge, opts Options) (*Graph, error) {
 		directed: opts.Directed,
 		weighted: opts.Weighted,
 		edges:    make([]Edge, 0, len(edges)),
-		out:      make([][]Arc, n),
-		in:       make([][]Arc, n),
-		comm:     make([][]Arc, n),
+		weights:  make([]int64, 0, len(edges)),
 	}
-	seen := make(map[[2]int]struct{}, len(edges))
-	for _, e := range edges {
+	dupIdx := firstDuplicate(edges, opts.Directed)
+	for i, e := range edges {
 		if e.From < 0 || e.From >= n || e.To < 0 || e.To >= n {
 			return nil, fmt.Errorf("%w: (%d,%d) with n=%d", ErrVertexRange, e.From, e.To, n)
 		}
@@ -105,32 +185,20 @@ func Build(n int, edges []Edge, opts Options) (*Graph, error) {
 		if w < 0 {
 			return nil, fmt.Errorf("%w: (%d,%d) weight %d", ErrNegativeW, e.From, e.To, w)
 		}
+		if i == dupIdx {
+			return nil, fmt.Errorf("%w: (%d,%d)", ErrDuplicateEdge, e.From, e.To)
+		}
 		from, to := e.From, e.To
 		if !opts.Directed && from > to {
 			from, to = to, from
 		}
-		key := [2]int{from, to}
-		if _, dup := seen[key]; dup {
-			return nil, fmt.Errorf("%w: (%d,%d)", ErrDuplicateEdge, e.From, e.To)
-		}
-		seen[key] = struct{}{}
-		id := len(g.edges)
 		g.edges = append(g.edges, Edge{From: from, To: to, Weight: w})
+		g.weights = append(g.weights, w)
 		if w > g.maxW {
 			g.maxW = w
 		}
-		g.out[from] = append(g.out[from], Arc{To: to, Weight: w, EdgeID: id})
-		g.in[to] = append(g.in[to], Arc{To: from, Weight: w, EdgeID: id})
-		if !opts.Directed {
-			g.out[to] = append(g.out[to], Arc{To: from, Weight: w, EdgeID: id})
-			g.in[from] = append(g.in[from], Arc{To: to, Weight: w, EdgeID: id})
-		}
 	}
-	for v := 0; v < n; v++ {
-		sortArcs(g.out[v])
-		sortArcs(g.in[v])
-	}
-	g.buildComm()
+	g.buildCSR()
 	return g, nil
 }
 
@@ -144,30 +212,129 @@ func MustBuild(n int, edges []Edge, opts Options) *Graph {
 	return g
 }
 
-func sortArcs(arcs []Arc) {
-	sort.Slice(arcs, func(i, j int) bool {
-		if arcs[i].To != arcs[j].To {
-			return arcs[i].To < arcs[j].To
+// buildCSR fills the out/in/comm views from the validated edge list via
+// counting sort: count degrees, prefix-sum into offsets, place arcs in edge
+// order, then sort each row by (To, EdgeID) — the canonical neighbor
+// iteration order every consumer observes.
+func (g *Graph) buildCSR() {
+	n, m := g.n, len(g.edges)
+	if !g.directed {
+		// One arena holds both orientations; in and comm alias it.
+		g.out = fillCSR(n, 2*m, func(emit func(v int, a Arc)) {
+			for id, e := range g.edges {
+				emit(e.From, Arc{To: e.To, Weight: e.Weight, EdgeID: id})
+				emit(e.To, Arc{To: e.From, Weight: e.Weight, EdgeID: id})
+			}
+		})
+		g.in = g.out
+		g.comm = g.out
+		return
+	}
+	g.out = fillCSR(n, m, func(emit func(v int, a Arc)) {
+		for id, e := range g.edges {
+			emit(e.From, Arc{To: e.To, Weight: e.Weight, EdgeID: id})
 		}
-		return arcs[i].EdgeID < arcs[j].EdgeID
 	})
+	g.in = fillCSR(n, m, func(emit func(v int, a Arc)) {
+		for id, e := range g.edges {
+			emit(e.To, Arc{To: e.From, Weight: e.Weight, EdgeID: id})
+		}
+	})
+	// comm is the per-vertex merge of the (already sorted) out and in rows,
+	// duplicates kept: each input edge is its own communication link.
+	arcs := make([]Arc, 2*m)
+	off := make([]int32, n+1)
+	pos := 0
+	for v := 0; v < n; v++ {
+		off[v] = int32(pos)
+		o, i := g.out.row(v), g.in.row(v)
+		for len(o) > 0 && len(i) > 0 {
+			if arcBefore(o[0], i[0]) {
+				arcs[pos] = o[0]
+				o = o[1:]
+			} else {
+				arcs[pos] = i[0]
+				i = i[1:]
+			}
+			pos++
+		}
+		pos += copy(arcs[pos:], o)
+		pos += copy(arcs[pos:], i)
+	}
+	off[n] = int32(pos)
+	g.comm = csr{arcs: arcs, off: off}
 }
 
-// buildComm computes the undirected communication adjacency: the union of
-// in- and out-arcs with duplicates (possible in directed graphs that contain
-// both orientations of a pair) kept, since each input edge is its own
-// communication link.
-func (g *Graph) buildComm() {
-	for v := 0; v < g.n; v++ {
-		if !g.directed {
-			g.comm[v] = g.out[v]
-			continue
+// fillCSR builds one CSR view over n vertices and size arcs. emit is called
+// twice with the same emission sequence: once to count per-vertex degrees,
+// once to place arcs.
+func fillCSR(n, size int, emitAll func(emit func(v int, a Arc))) csr {
+	off := make([]int32, n+1)
+	emitAll(func(v int, _ Arc) { off[v+1]++ })
+	for v := 0; v < n; v++ {
+		off[v+1] += off[v]
+	}
+	arcs := make([]Arc, size)
+	cursor := make([]int32, n)
+	emitAll(func(v int, a Arc) {
+		arcs[off[v]+cursor[v]] = a
+		cursor[v]++
+	})
+	c := csr{arcs: arcs, off: off}
+	for v := 0; v < n; v++ {
+		sortArcs(c.row(v))
+	}
+	return c
+}
+
+// arcBefore is the canonical (To, EdgeID) arc order within a row.
+func arcBefore(a, b Arc) bool {
+	if a.To != b.To {
+		return a.To < b.To
+	}
+	return a.EdgeID < b.EdgeID
+}
+
+// sortArcs sorts a CSR row in canonical (To, EdgeID) order without
+// allocating (plain insertion sort below a cutoff, sift-down heapsort
+// above; rows are sorted once at Build and read forever after).
+func sortArcs(arcs []Arc) {
+	if len(arcs) < 24 {
+		for i := 1; i < len(arcs); i++ {
+			a := arcs[i]
+			j := i - 1
+			for j >= 0 && arcBefore(a, arcs[j]) {
+				arcs[j+1] = arcs[j]
+				j--
+			}
+			arcs[j+1] = a
 		}
-		arcs := make([]Arc, 0, len(g.out[v])+len(g.in[v]))
-		arcs = append(arcs, g.out[v]...)
-		arcs = append(arcs, g.in[v]...)
-		sortArcs(arcs)
-		g.comm[v] = arcs
+		return
+	}
+	n := len(arcs)
+	for i := n/2 - 1; i >= 0; i-- {
+		siftArcs(arcs, i, n)
+	}
+	for i := n - 1; i > 0; i-- {
+		arcs[0], arcs[i] = arcs[i], arcs[0]
+		siftArcs(arcs, 0, i)
+	}
+}
+
+func siftArcs(arcs []Arc, root, hi int) {
+	for {
+		child := 2*root + 1
+		if child >= hi {
+			return
+		}
+		if child+1 < hi && arcBefore(arcs[child], arcs[child+1]) {
+			child++
+		}
+		if !arcBefore(arcs[root], arcs[child]) {
+			return
+		}
+		arcs[root], arcs[child] = arcs[child], arcs[root]
+		root = child
 	}
 }
 
@@ -197,22 +364,29 @@ func (g *Graph) Edges() []Edge {
 // Edge returns the edge with the given ID.
 func (g *Graph) Edge(id int) Edge { return g.edges[id] }
 
+// Weight returns the weight of the edge with the given ID — an O(1) lookup
+// into the edge-indexed weight array, for hot loops that have an EdgeID in
+// hand and do not need the endpoints.
+func (g *Graph) Weight(id int) int64 { return g.weights[id] }
+
 // Out returns the arcs leaving v. For undirected graphs this is every
-// incident edge. The returned slice must not be modified.
-func (g *Graph) Out(v int) []Arc { return g.out[v] }
+// incident edge. The returned slice is a view into the CSR arena and must
+// not be modified.
+func (g *Graph) Out(v int) []Arc { return g.out.row(v) }
 
 // In returns the arcs entering v (as Arc values whose To field names the
 // *other* endpoint, i.e. the tail of the edge). For undirected graphs this
-// equals Out(v). The returned slice must not be modified.
-func (g *Graph) In(v int) []Arc { return g.in[v] }
+// equals Out(v). The returned slice is a view into the CSR arena and must
+// not be modified.
+func (g *Graph) In(v int) []Arc { return g.in.row(v) }
 
 // Comm returns the undirected communication adjacency of v: one Arc per
-// incident input edge regardless of direction. The returned slice must not
-// be modified.
-func (g *Graph) Comm(v int) []Arc { return g.comm[v] }
+// incident input edge regardless of direction. The returned slice is a view
+// into the CSR arena and must not be modified.
+func (g *Graph) Comm(v int) []Arc { return g.comm.row(v) }
 
 // Degree returns the communication degree of v.
-func (g *Graph) Degree(v int) int { return len(g.comm[v]) }
+func (g *Graph) Degree(v int) int { return int(g.comm.off[v+1] - g.comm.off[v]) }
 
 // Reverse returns the graph with every directed edge reversed. For an
 // undirected graph it returns the receiver.
@@ -261,7 +435,7 @@ func (g *Graph) ConnectedComm() bool {
 	for len(stack) > 0 {
 		v := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, a := range g.comm[v] {
+		for _, a := range g.Comm(v) {
 			if !seen[a.To] {
 				seen[a.To] = true
 				count++
@@ -290,7 +464,7 @@ func (g *Graph) CommDiameter() (diameter, ecc0 int) {
 		for len(queue) > 0 {
 			v := queue[0]
 			queue = queue[1:]
-			for _, a := range g.comm[v] {
+			for _, a := range g.Comm(v) {
 				if dist[a.To] < 0 {
 					dist[a.To] = dist[v] + 1
 					if dist[a.To] > far {

@@ -1,7 +1,6 @@
 package proto
 
 import (
-	"container/heap"
 	"fmt"
 
 	"congestmwc/internal/congest"
@@ -82,35 +81,75 @@ type MultiBFSResult struct {
 	Rounds int
 }
 
-// pairHeap is a lazy min-heap of (dist, field) pairs pending forwarding.
+// pairHeap is a lazy min-heap of (dist, field) pairs pending forwarding,
+// hand-rolled on the concrete element type: this is the hottest data
+// structure of the whole simulator (one push per relaxation, one pop per
+// Tick), and container/heap would box every element in an interface value —
+// a heap allocation per operation. Pop order is deterministic regardless of
+// internal layout because (dist, field) is a total order on the heap's
+// contents (record never pushes the same field at the same distance twice).
 type pairItem struct {
 	dist  int64
 	field int32
 }
 
+func (a pairItem) less(b pairItem) bool {
+	if a.dist != b.dist {
+		return a.dist < b.dist
+	}
+	return a.field < b.field
+}
+
 type pairHeap []pairItem
 
-func (h pairHeap) Len() int { return len(h) }
-func (h pairHeap) Less(i, j int) bool {
-	if h[i].dist != h[j].dist {
-		return h[i].dist < h[j].dist
+func (h *pairHeap) push(it pairItem) {
+	s := append(*h, it)
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !s[i].less(s[p]) {
+			break
+		}
+		s[i], s[p] = s[p], s[i]
+		i = p
 	}
-	return h[i].field < h[j].field
-}
-func (h pairHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *pairHeap) Push(x interface{}) { *h = append(*h, x.(pairItem)) }
-func (h *pairHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+	*h = s
 }
 
+func (h *pairHeap) pop() pairItem {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s = s[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		if r := l + 1; r < n && s[r].less(s[l]) {
+			l = r
+		}
+		if !s[l].less(s[i]) {
+			break
+		}
+		s[i], s[l] = s[l], s[i]
+		i = l
+	}
+	*h = s
+	return top
+}
+
+// delayedSend is one scheduled (stretched-edge) relaxation. It stores the
+// pair's raw fields rather than a built message so the slice is pointer-free:
+// the per-Tick flush loop copies these structs, and pointer-free structs copy
+// without GC write barriers.
 type delayedSend struct {
-	fire int
-	to   int
-	msg  congest.Msg
+	fire  int
+	dist  int64
+	to    int32
+	field int32
 }
 
 type bfsNode struct {
@@ -122,6 +161,12 @@ type bfsNode struct {
 	dirty  pairHeap
 	pends  []delayedSend
 	shared *MultiBFSResult
+	// arcs/lens are the node's traversal arcs for spec.Dir and their
+	// effective lengths, resolved once at Init: spec.Length is pure, so
+	// evaluating it per send (the old code) only burned time — for the
+	// scaled graphs of Section 5 that was a math.Pow per relaxation.
+	arcs []graph.Arc
+	lens []int64
 }
 
 func (b *bfsNode) record(field int32, d int64, from int32) bool {
@@ -133,11 +178,32 @@ func (b *bfsNode) record(field int32, d int64, from int32) bool {
 	}
 	b.dist[field] = d
 	b.pred[field] = from
-	heap.Push(&b.dirty, pairItem{dist: d, field: field})
+	b.dirty.push(pairItem{dist: d, field: field})
 	return true
 }
 
 func (b *bfsNode) Init(nd *congest.Node) {
+	b.arcs = arcsFor(nd, b.spec.Dir)
+	b.lens = make([]int64, len(b.arcs))
+	for i, a := range b.arcs {
+		length := int64(1)
+		if b.spec.Length != nil {
+			l := b.spec.Length(a)
+			switch {
+			case b.spec.Stretch:
+				// Stretched simulation: traversal takes max(1, l) rounds
+				// and contributes the same to the distance.
+				if l > 1 {
+					length = l
+				}
+			case l >= 0:
+				// Plain weighted relaxation: weights are data; zero is a
+				// legal arc length.
+				length = l
+			}
+		}
+		b.lens[i] = length
+	}
 	k := len(b.dist)
 	if b.spec.InitDist != nil {
 		for i := 0; i < k; i++ {
@@ -184,50 +250,36 @@ func (b *bfsNode) Tick(nd *congest.Node) {
 		rest := b.pends[:0]
 		for _, p := range b.pends {
 			if p.fire <= now {
-				nd.Send(p.to, p.msg)
+				nd.SendTag(int(p.to), tagBFSPair, int64(p.field), p.dist)
 			} else {
 				rest = append(rest, p)
 			}
 		}
 		b.pends = rest
 	}
-	// Forward the smallest still-valid dirty pair.
+	// Forward the smallest still-valid dirty pair. Sends go through SendTag
+	// with inline payloads: Send copies the words into the link arena, so the
+	// variadic slice stays on the stack.
 	forwarded := false
 	for len(b.dirty) > 0 && !forwarded {
-		it, _ := heap.Pop(&b.dirty).(pairItem)
+		it := b.dirty.pop()
 		if it.dist != b.dist[it.field] {
 			continue // stale entry
 		}
 		if b.spec.TopSigma > 0 && b.rank(it.dist, it.field) >= b.spec.TopSigma {
 			continue // beyond the sigma nearest: do not forward
 		}
-		for _, a := range arcsFor(nd, b.spec.Dir) {
-			length := int64(1)
-			if b.spec.Length != nil {
-				l := b.spec.Length(a)
-				switch {
-				case b.spec.Stretch:
-					// Stretched simulation: traversal takes max(1, l) rounds
-					// and contributes the same to the distance.
-					if l > 1 {
-						length = l
-					}
-				case l >= 0:
-					// Plain weighted relaxation: weights are data; zero is a
-					// legal arc length.
-					length = l
-				}
-			}
+		for i, a := range b.arcs {
+			length := b.lens[i]
 			nd2 := it.dist + length
 			if b.spec.Bound > 0 && nd2 > b.spec.Bound {
 				continue
 			}
-			msg := congest.Msg{Tag: tagBFSPair, Words: []int64{int64(it.field), nd2}}
 			if length == 1 || !b.spec.Stretch {
-				nd.Send(a.To, msg)
+				nd.SendTag(a.To, tagBFSPair, int64(it.field), nd2)
 			} else {
 				fire := now + int(length) - 1
-				b.pends = append(b.pends, delayedSend{fire: fire, to: a.To, msg: msg})
+				b.pends = append(b.pends, delayedSend{fire: fire, dist: nd2, to: int32(a.To), field: it.field})
 				nd.WakeAt(fire)
 			}
 		}

@@ -125,9 +125,13 @@ func Broadcast(net *congest.Network, tree *Tree, values [][][]int64) ([][][]int6
 	for v := 0; v < n; v++ {
 		v := v
 		down := func(nd *congest.Node, rec []int64) {
-			out[v] = append(out[v], rec)
+			// rec may be a delivered payload, valid only inside this
+			// handler — copy before retaining it in the result.
+			cp := make([]int64, len(rec))
+			copy(cp, rec)
+			out[v] = append(out[v], cp)
 			for _, c := range tree.Children[v] {
-				nd.Send(c, congest.Msg{Tag: tagBroadcastVal, Words: rec})
+				nd.Send(c, congest.Msg{Tag: tagBroadcastVal, Words: cp})
 			}
 		}
 		progs[v] = congest.Funcs{

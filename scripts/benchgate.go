@@ -1,0 +1,205 @@
+// Command benchgate compares a `go test -bench ... -benchmem` run against a
+// committed baseline under bench/ and fails on regressions: more than
+// -tolerance (default 20%) on ns/op, or ANY increase in allocs/op — the
+// zero-allocation discipline of the transport hot path is a hard invariant,
+// not a budget (see docs/OBSERVABILITY.md).
+//
+// Benchmark output is read from stdin (or -input); baselines are the JSON
+// snapshots committed under bench/. A baseline case named "wmwc_msgbound"
+// matches the benchmark result "BenchmarkCSRHotPath/wmwc_msgbound-8":
+// the Benchmark prefix and -GOMAXPROCS suffix are stripped and the last
+// path segments are compared. Baseline cases with no ns figure, or with no
+// matching result in the run, are skipped with a note — a baseline file may
+// cover more benchmarks than one invocation runs.
+//
+// Usage:
+//
+//	go test -run xxx -bench BenchmarkCSRHotPath -benchmem -benchtime 3x . |
+//	  go run ./scripts/benchgate.go -baseline bench/csr_hotpath.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+type baselineFile struct {
+	Benchmark string         `json:"benchmark"`
+	Cases     []baselineCase `json:"cases"`
+}
+
+type baselineCase struct {
+	Name string `json:"name"`
+	// NsPerOp is the gated wall-time figure. EventNsPerOp is the name the
+	// pre-existing stretched_idle.json snapshot uses for the same quantity.
+	NsPerOp      float64  `json:"ns_per_op"`
+	EventNsPerOp float64  `json:"event_ns_per_op"`
+	AllocsPerOp  *float64 `json:"allocs_per_op"`
+}
+
+func (c baselineCase) ns() float64 {
+	if c.NsPerOp > 0 {
+		return c.NsPerOp
+	}
+	return c.EventNsPerOp
+}
+
+// result is one parsed benchmark output line.
+type result struct {
+	name   string // normalized: no Benchmark prefix, no -P suffix
+	ns     float64
+	allocs float64
+	has    map[string]float64 // other per-op metrics (B, messages, rounds)
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([\d.]+) ns/op(.*)$`)
+var metric = regexp.MustCompile(`([\d.]+) ([^\s/]+)/op`)
+
+func parseResults(r io.Reader) ([]result, error) {
+	var out []result
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad ns/op in %q: %w", sc.Text(), err)
+		}
+		res := result{name: normalize(m[1]), ns: ns, has: map[string]float64{}}
+		for _, mm := range metric.FindAllStringSubmatch(m[3], -1) {
+			v, err := strconv.ParseFloat(mm[1], 64)
+			if err != nil {
+				continue
+			}
+			res.has[mm[2]] = v
+		}
+		res.allocs = res.has["allocs"]
+		out = append(out, res)
+	}
+	return out, sc.Err()
+}
+
+// normalize strips the Benchmark prefix and the trailing -GOMAXPROCS of a
+// benchmark result name.
+func normalize(name string) string {
+	name = strings.TrimPrefix(name, "Benchmark")
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	return name
+}
+
+// match finds the result for a baseline case: exact normalized name, or a
+// result whose trailing path segments equal the case name.
+func match(results []result, caseName string) *result {
+	for i := range results {
+		r := &results[i]
+		if r.name == caseName || strings.HasSuffix(r.name, "/"+caseName) {
+			return r
+		}
+	}
+	return nil
+}
+
+func main() {
+	var (
+		baselines = flag.String("baseline", "", "comma-separated baseline JSON files (required)")
+		tolerance = flag.Float64("tolerance", 0.20, "allowed fractional ns/op regression")
+		input     = flag.String("input", "", "benchmark output file (default stdin)")
+	)
+	flag.Parse()
+	if err := run(*baselines, *tolerance, *input); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(baselines string, tolerance float64, input string) error {
+	if baselines == "" {
+		return fmt.Errorf("-baseline is required")
+	}
+	in := io.Reader(os.Stdin)
+	if input != "" {
+		f, err := os.Open(input)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	results, err := parseResults(in)
+	if err != nil {
+		return fmt.Errorf("parsing benchmark output: %w", err)
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("no benchmark result lines in input")
+	}
+	var failures []string
+	checked := 0
+	for _, path := range strings.Split(baselines, ",") {
+		path = strings.TrimSpace(path)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		var bf baselineFile
+		if err := json.Unmarshal(data, &bf); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		for _, c := range bf.Cases {
+			base := c.ns()
+			if base <= 0 && c.AllocsPerOp == nil {
+				fmt.Printf("skip  %s/%s: no gated figures\n", bf.Benchmark, c.Name)
+				continue
+			}
+			r := match(results, c.Name)
+			if r == nil {
+				fmt.Printf("skip  %s/%s: not in this run\n", bf.Benchmark, c.Name)
+				continue
+			}
+			checked++
+			if base > 0 {
+				ratio := r.ns / base
+				status := "ok   "
+				if ratio > 1+tolerance {
+					status = "FAIL "
+					failures = append(failures, fmt.Sprintf(
+						"%s: %.0f ns/op vs baseline %.0f (%.2fx > allowed %.2fx)",
+						r.name, r.ns, base, ratio, 1+tolerance))
+				}
+				fmt.Printf("%s %-40s %12.0f ns/op  baseline %12.0f  (%.2fx)\n",
+					status, r.name, r.ns, base, ratio)
+			}
+			if c.AllocsPerOp != nil {
+				aStatus := "ok   "
+				if r.allocs > *c.AllocsPerOp {
+					aStatus = "FAIL "
+					failures = append(failures, fmt.Sprintf(
+						"%s: %.0f allocs/op vs baseline %.0f (any allocation regression fails)",
+						r.name, r.allocs, *c.AllocsPerOp))
+				}
+				fmt.Printf("%s %-40s %12.0f allocs/op  baseline %12.0f\n",
+					aStatus, r.name, r.allocs, *c.AllocsPerOp)
+			}
+		}
+	}
+	if checked == 0 {
+		return fmt.Errorf("no baseline case matched any benchmark result")
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("%d regression(s):\n  %s", len(failures), strings.Join(failures, "\n  "))
+	}
+	fmt.Printf("benchgate: %d case(s) within tolerance %.0f%%\n", checked, tolerance*100)
+	return nil
+}
