@@ -9,6 +9,7 @@
 //	mwcd -addr 127.0.0.1:9000 -workers 8 -queue 128 -cache 512 -timeout 2m
 //	mwcd -data-dir /var/lib/mwcd -fsync always
 //	mwcd -observe -log-format json -pprof 127.0.0.1:6060
+//	mwcd -addr :8361 -shard s0 -data-dir /var/lib/mwcd-s0
 //
 // With -data-dir the daemon journals every job lifecycle event and
 // terminal result to disk (internal/store): on restart it re-enqueues the
@@ -26,6 +27,11 @@
 // latency. -pprof serves net/http/pprof on a separate loopback-only
 // listener.
 //
+// With -shard the daemon takes a cluster identity: job IDs carry the
+// shard prefix ("s0-j-00000001") and /readyz echoes it, so a mwcrouter
+// can route per-job requests back to the owning shard. See docs/SERVER.md
+// ("Cluster deployment").
+//
 // The daemon shuts down gracefully on SIGINT/SIGTERM: admission stops,
 // running jobs get -drain to finish, and only then does the process exit.
 package main
@@ -41,6 +47,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -168,11 +175,17 @@ func run(args []string) error {
 		dataDir   = fs.String("data-dir", "", "durable data directory (WAL + result store); empty = in-memory only")
 		fsync     = fs.String("fsync", "interval", "WAL fsync policy: always | interval | none (-data-dir only)")
 		walMax    = fs.Int64("walmax", 4<<20, "WAL bytes before snapshot + compaction (-data-dir only)")
+		shard     = fs.String("shard", "", "shard identity in a mwcrouter cluster: prefixes job IDs and is echoed by /readyz")
 		logFormat = fs.String("log-format", "text", "log output format: text | json")
 		pprofAddr = fs.String("pprof", "", "serve net/http/pprof on this loopback address (empty = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if strings.ContainsAny(*shard, "-/ ") {
+		// The router parses the shard back out of "<shard>-j-<seq>" job IDs;
+		// a "-" (or URL-hostile characters) would make that ambiguous.
+		return fmt.Errorf("-shard %q may not contain '-', '/' or spaces", *shard)
 	}
 	logger, err := newLogger(*logFormat)
 	if err != nil {
@@ -203,6 +216,9 @@ func run(args []string) error {
 		MaxN:           *maxN,
 		Observe:        *observe,
 	}
+	if *shard != "" {
+		cfg.IDPrefix = *shard + "-"
+	}
 	if st != nil {
 		cfg.Journal = st
 	}
@@ -220,7 +236,7 @@ func run(args []string) error {
 	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           accessLog(logger, jobs.NewHandler(svc, jobs.HandlerConfig{MaxBodyBytes: *maxBody})),
+		Handler:           accessLog(logger, jobs.NewHandler(svc, jobs.HandlerConfig{MaxBodyBytes: *maxBody, ShardID: *shard})),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

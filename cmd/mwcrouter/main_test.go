@@ -1,0 +1,75 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWorkerFlagParsing(t *testing.T) {
+	var wf workerFlags
+	for _, v := range []string{
+		"s0=http://127.0.0.1:8356",
+		"s1=http://10.0.0.2:8356;/var/lib/mwcd-s1",
+	} {
+		if err := wf.Set(v); err != nil {
+			t.Fatalf("Set(%q): %v", v, err)
+		}
+	}
+	if len(wf) != 2 {
+		t.Fatalf("parsed %d workers, want 2", len(wf))
+	}
+	if wf[0].Name != "s0" || wf[0].URL != "http://127.0.0.1:8356" || wf[0].DataDir != "" {
+		t.Errorf("worker 0 = %+v", wf[0])
+	}
+	if wf[1].Name != "s1" || wf[1].DataDir != "/var/lib/mwcd-s1" {
+		t.Errorf("worker 1 = %+v", wf[1])
+	}
+	for _, bad := range []string{"", "justaname", "=http://x", "s2="} {
+		if err := wf.Set(bad); err == nil {
+			t.Errorf("Set(%q) accepted, want an error", bad)
+		}
+	}
+}
+
+func TestTenantFlagParsing(t *testing.T) {
+	tf := tenantFlags{}
+	if err := tf.Set("interactive=4"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tf.Set("batch=1:2e6"); err != nil {
+		t.Fatal(err)
+	}
+	if got := tf["interactive"]; got.Weight != 4 || got.MaxOutstandingCost != 0 {
+		t.Errorf("interactive = %+v", got)
+	}
+	if got := tf["batch"]; got.Weight != 1 || got.MaxOutstandingCost != 2e6 {
+		t.Errorf("batch = %+v", got)
+	}
+	for _, bad := range []string{"", "noequals", "t=", "t=zero", "t=-1", "t=1:x", "t=1:-5", "batch=2"} {
+		if err := tf.Set(bad); err == nil {
+			t.Errorf("Set(%q) accepted, want an error", bad)
+		}
+	}
+}
+
+// TestRunValidation: run() fails fast, before binding a socket, on a
+// missing topology or a malformed one.
+func TestRunValidation(t *testing.T) {
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{}, "at least one -worker"},
+		{[]string{"-worker", "bad"}, "name=url"},
+		{[]string{"-worker", "a-b=http://x"}, "may not contain"},
+		{[]string{"-worker", "s0=http://x", "-worker", "s0=http://y"}, "duplicate"},
+		{[]string{"-worker", "s0=http://x", "-log-format", "yaml"}, "log-format"},
+		{[]string{"-worker", "s0=http://x", "-tenant", "t=0"}, "positive"},
+	}
+	for _, tc := range cases {
+		err := run(tc.args)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("run(%v) = %v, want an error containing %q", tc.args, err, tc.want)
+		}
+	}
+}

@@ -1,20 +1,26 @@
 // Command mwctail follows a job's live event stream from a running mwcd
-// (started with -observe): it subscribes to GET /v1/jobs/{id}/events and
-// renders state transitions, phase spans and per-round simulation
-// progress as they happen, exiting when the job reaches a terminal state
-// and the daemon closes the stream.
+// (started with -observe) or through an mwcrouter: it subscribes to
+// GET /v1/jobs/{id}/events and renders state transitions, phase spans and
+// per-round simulation progress as they happen, exiting when the job
+// reaches a terminal state and the daemon closes the stream.
 //
 // Examples:
 //
 //	mwctail j-000042
 //	mwctail -addr http://127.0.0.1:9000 -json j-000042
+//	mwctail -addr http://127.0.0.1:8355 s1-j-00000007   # via the router
 //
 // With -json each event's JSON payload is passed through one object per
 // line, suitable for piping into jq.
+//
+// If the stream breaks before the job is terminal — a router failover, a
+// shard hand-off, a dropped connection — mwctail reconnects with the SSE
+// Last-Event-ID header set to the last event it saw, so the server resumes
+// the stream instead of replaying it from seq 0. -retries bounds the
+// reconnect attempts (linear backoff between them).
 package main
 
 import (
-	"bufio"
 	"context"
 	"encoding/json"
 	"flag"
@@ -40,8 +46,10 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("mwctail", flag.ContinueOnError)
 	var (
-		addr    = fs.String("addr", "http://127.0.0.1:8356", "base URL of the mwcd daemon")
-		rawJSON = fs.Bool("json", false, "pass event payloads through as JSON lines instead of rendering")
+		addr      = fs.String("addr", "http://127.0.0.1:8356", "base URL of the mwcd daemon or mwcrouter")
+		rawJSON   = fs.Bool("json", false, "pass event payloads through as JSON lines instead of rendering")
+		retries   = fs.Int("retries", 8, "reconnect attempts after a broken stream (0 = fail on the first break)")
+		retryWait = fs.Duration("retry-wait", 500*time.Millisecond, "base backoff between reconnects (grows linearly)")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: mwctail [flags] <job-id>\n")
@@ -60,11 +68,66 @@ func run(args []string, out io.Writer) error {
 	defer stop()
 
 	url := strings.TrimRight(*addr, "/") + "/v1/jobs/" + id + "/events"
+	tl := &tailer{out: out, rawJSON: *rawJSON}
+	var lastErr error
+	for attempt := 0; attempt <= *retries; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-time.After(time.Duration(attempt) * *retryWait):
+			case <-ctx.Done():
+				return nil // interrupted by the user: the partial tail is the output
+			}
+			if !*rawJSON {
+				fmt.Fprintf(out, "# reconnecting (attempt %d, last event id %q)\n", attempt, tl.lastID)
+			}
+		}
+		err := tl.follow(ctx, url)
+		switch {
+		case ctx.Err() != nil:
+			return nil // interrupted by the user
+		case tl.finished:
+			return nil // terminal state or clean server close: done
+		case err != nil && !tl.retryable(err):
+			return err // 4xx-class: the job or endpoint is simply wrong
+		case err != nil:
+			lastErr = err
+		default:
+			lastErr = fmt.Errorf("stream ended before the job finished")
+		}
+	}
+	return lastErr
+}
+
+// notRetryable marks errors where reconnecting cannot help (client-side
+// 4xx responses, malformed payloads).
+type notRetryable struct{ error }
+
+func (t *tailer) retryable(err error) bool {
+	_, fatal := err.(notRetryable)
+	return !fatal
+}
+
+// tailer renders one job's event stream across reconnects: it remembers
+// the last SSE id seen (the resume point) and whether the stream reached a
+// clean end — a terminal job state or the server's "stream closed" notice.
+type tailer struct {
+	out      io.Writer
+	rawJSON  bool
+	lastID   string
+	finished bool
+}
+
+// follow opens the stream (resuming from lastID when set) and tails it
+// until the server closes it or the connection breaks.
+func (t *tailer) follow(ctx context.Context, url string) error {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
-		return err
+		return notRetryable{err}
 	}
 	req.Header.Set("Accept", "text/event-stream")
+	if t.lastID != "" {
+		req.Header.Set("Last-Event-ID", t.lastID)
+	}
 	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
 		return err
@@ -72,87 +135,56 @@ func run(args []string, out io.Writer) error {
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		return fmt.Errorf("%s: %s: %s", url, resp.Status, strings.TrimSpace(string(body)))
-	}
-
-	err = tail(resp.Body, out, *rawJSON)
-	if ctx.Err() != nil {
-		return nil // interrupted by the user: the partial tail is the output
-	}
-	return err
-}
-
-// frame is one parsed SSE frame: the dispatched field values of one
-// id/event/data block, or a comment line.
-type frame struct {
-	id      string
-	event   string
-	data    string
-	comment string // ": ..." keep-alive or notice, without the colon
-}
-
-// parseSSE reads Server-Sent Events frames from r, invoking fn for each
-// dispatched event and each comment line, until EOF (a clean end of
-// stream, returning nil) or a read error.
-func parseSSE(r io.Reader, fn func(frame) error) error {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 64<<10), 1<<20)
-	var cur frame
-	for sc.Scan() {
-		line := sc.Text()
-		switch {
-		case line == "":
-			if cur.event != "" || cur.data != "" {
-				if err := fn(cur); err != nil {
-					return err
-				}
-			}
-			cur = frame{}
-		case strings.HasPrefix(line, ":"):
-			if err := fn(frame{comment: strings.TrimPrefix(strings.TrimPrefix(line, ":"), " ")}); err != nil {
-				return err
-			}
-		default:
-			field, val, _ := strings.Cut(line, ":")
-			val = strings.TrimPrefix(val, " ")
-			switch field {
-			case "id":
-				cur.id = val
-			case "event":
-				cur.event = val
-			case "data":
-				if cur.data != "" {
-					cur.data += "\n"
-				}
-				cur.data += val
-			}
+		err := fmt.Errorf("%s: %s: %s", url, resp.Status, strings.TrimSpace(string(body)))
+		if resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests {
+			return err // the shard may be failing over: worth a reconnect
 		}
+		return notRetryable{err}
 	}
-	return sc.Err()
+	return t.tail(resp.Body)
 }
 
-// tail renders the SSE stream from body onto out until the server closes
-// it. Comments (heartbeats, drain and close notices) go to out prefixed
-// with "#" so they are distinguishable from events but visible.
-func tail(body io.Reader, out io.Writer, rawJSON bool) error {
-	return parseSSE(body, func(f frame) error {
-		if f.comment != "" {
-			if f.comment != "heartbeat" {
-				fmt.Fprintf(out, "# %s\n", f.comment)
+// tail renders the SSE stream from body onto out until it ends. Comments
+// (drain and close notices) go to out prefixed with "#" so they are
+// distinguishable from events but visible; heartbeats are suppressed.
+func (t *tailer) tail(body io.Reader) error {
+	return obs.ParseSSE(body, func(f obs.SSEFrame) error {
+		if f.Comment != "" {
+			if strings.HasPrefix(f.Comment, "stream closed") {
+				t.finished = true
+			}
+			if f.Comment != "heartbeat" {
+				fmt.Fprintf(t.out, "# %s\n", f.Comment)
 			}
 			return nil
 		}
-		if rawJSON {
-			_, err := fmt.Fprintln(out, f.data)
-			return err
+		if f.ID != "" {
+			t.lastID = f.ID
 		}
 		var ev obs.Event
-		if err := json.Unmarshal([]byte(f.data), &ev); err != nil {
-			return fmt.Errorf("event %s: bad payload %q: %w", f.id, f.data, err)
+		if err := json.Unmarshal([]byte(f.Data), &ev); err != nil {
+			return notRetryable{fmt.Errorf("event %s: bad payload %q: %w", f.ID, f.Data, err)}
 		}
-		_, err := fmt.Fprintln(out, render(ev))
+		if ev.Type == obs.EventState && terminalState(ev.State) {
+			t.finished = true
+		}
+		if t.rawJSON {
+			_, err := fmt.Fprintln(t.out, f.Data)
+			return err
+		}
+		_, err := fmt.Fprintln(t.out, render(ev))
 		return err
 	})
+}
+
+// terminalState mirrors jobs.State.Terminal without importing the jobs
+// package into the client binary.
+func terminalState(s string) bool {
+	switch s {
+	case "done", "failed", "cancelled", "expired":
+		return true
+	}
+	return false
 }
 
 // render formats one event as a human-readable progress line.

@@ -5,54 +5,11 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 
 	"congestmwc/internal/obs"
 )
-
-// TestParseSSE covers the frame grammar: multi-field frames, comments,
-// multi-line data joining, and clean EOF.
-func TestParseSSE(t *testing.T) {
-	stream := "id: 1\nevent: state\ndata: {\"a\":1}\n\n" +
-		": heartbeat\n" +
-		"id: 2\nevent: round\ndata: {\"b\":\ndata: 2}\n\n" +
-		": stream closed (dropped 0 events)\n"
-	var frames []frame
-	err := parseSSE(strings.NewReader(stream), func(f frame) error {
-		frames = append(frames, f)
-		return nil
-	})
-	if err != nil {
-		t.Fatalf("parseSSE: %v", err)
-	}
-	want := []frame{
-		{id: "1", event: "state", data: `{"a":1}`},
-		{comment: "heartbeat"},
-		{id: "2", event: "round", data: "{\"b\":\n2}"},
-		{comment: "stream closed (dropped 0 events)"},
-	}
-	if len(frames) != len(want) {
-		t.Fatalf("got %d frames, want %d: %+v", len(frames), len(want), frames)
-	}
-	for i, f := range frames {
-		if f != want[i] {
-			t.Errorf("frame %d = %+v, want %+v", i, f, want[i])
-		}
-	}
-}
-
-// TestParseSSEIncompleteFrame: a trailing frame without its blank-line
-// dispatch is not delivered (matches the browser EventSource contract).
-func TestParseSSEIncompleteFrame(t *testing.T) {
-	n := 0
-	err := parseSSE(strings.NewReader("id: 9\nevent: state\ndata: {}\n"), func(frame) error {
-		n++
-		return nil
-	})
-	if err != nil || n != 0 {
-		t.Fatalf("got %d frames, err %v; want 0 frames, nil", n, err)
-	}
-}
 
 // TestRender pins the plain-text rendering of each event type.
 func TestRender(t *testing.T) {
@@ -87,14 +44,16 @@ func TestRender(t *testing.T) {
 }
 
 // TestTail drives the full client loop against a fake SSE body: rendered
-// lines in order, heartbeats suppressed, other comments surfaced.
+// lines in order, heartbeats suppressed, other comments surfaced, and the
+// tailer tracking the last event id and the clean-close marker.
 func TestTail(t *testing.T) {
 	stream := "id: 1\nevent: state\ndata: {\"seq\":1,\"type\":\"state\",\"round\":0,\"state\":\"queued\"}\n\n" +
 		": heartbeat\n" +
 		"id: 2\nevent: round\ndata: {\"seq\":2,\"type\":\"round\",\"round\":3,\"sample\":{\"round\":3,\"span\":1,\"messages\":4,\"words\":8,\"cutWords\":0,\"active\":2,\"maxLinkWords\":1,\"maxQueueLen\":1}}\n\n" +
 		": stream closed (dropped 0 events)\n"
 	var out strings.Builder
-	if err := tail(strings.NewReader(stream), &out, false); err != nil {
+	tl := &tailer{out: &out}
+	if err := tl.tail(strings.NewReader(stream)); err != nil {
 		t.Fatalf("tail: %v", err)
 	}
 	want := "[     1] state: queued\n" +
@@ -103,6 +62,12 @@ func TestTail(t *testing.T) {
 	if out.String() != want {
 		t.Errorf("tail output:\n%q\nwant:\n%q", out.String(), want)
 	}
+	if tl.lastID != "2" {
+		t.Errorf("lastID = %q, want 2", tl.lastID)
+	}
+	if !tl.finished {
+		t.Error("the stream-closed notice should mark the tail finished")
+	}
 }
 
 // TestTailJSON: -json passes data payloads through verbatim, one per line.
@@ -110,11 +75,15 @@ func TestTailJSON(t *testing.T) {
 	stream := "id: 1\nevent: state\ndata: {\"seq\":1,\"type\":\"state\"}\n\n" +
 		": heartbeat\n"
 	var out strings.Builder
-	if err := tail(strings.NewReader(stream), &out, true); err != nil {
+	tl := &tailer{out: &out, rawJSON: true}
+	if err := tl.tail(strings.NewReader(stream)); err != nil {
 		t.Fatalf("tail: %v", err)
 	}
 	if out.String() != "{\"seq\":1,\"type\":\"state\"}\n" {
 		t.Errorf("json output = %q", out.String())
+	}
+	if tl.finished {
+		t.Error("no terminal state or close notice: tail must not be finished")
 	}
 }
 
@@ -139,10 +108,81 @@ func TestRunAgainstServer(t *testing.T) {
 		t.Errorf("output %q lacks the terminal state line", out.String())
 	}
 
-	if err := run([]string{"-addr", srv.URL, "j-missing"}, &out); err == nil {
+	if err := run([]string{"-addr", srv.URL, "-retries", "0", "j-missing"}, &out); err == nil {
 		t.Error("run against an unknown job should fail")
 	}
 	if err := run([]string{"-addr", srv.URL}, &out); err == nil {
 		t.Error("run without a job ID should fail")
+	}
+}
+
+// TestRunReconnect: when the stream breaks mid-job, run reconnects with
+// Last-Event-ID set to the last event it saw, and the resumed stream
+// carries the tail to completion without replaying from seq 0.
+func TestRunReconnect(t *testing.T) {
+	var (
+		mu      sync.Mutex
+		resumes []string
+	)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/jobs/j-7/events" {
+			http.NotFound(w, r)
+			return
+		}
+		mu.Lock()
+		resumes = append(resumes, r.Header.Get("Last-Event-ID"))
+		n := len(resumes)
+		mu.Unlock()
+		w.Header().Set("Content-Type", "text/event-stream")
+		if n == 1 {
+			// First attempt: three events, then the connection just drops
+			// (no close notice, no terminal state).
+			fmt.Fprint(w, "id: 1\nevent: state\ndata: {\"seq\":1,\"type\":\"state\",\"state\":\"queued\"}\n\n"+
+				"id: 2\nevent: state\ndata: {\"seq\":2,\"type\":\"state\",\"state\":\"running\"}\n\n"+
+				"id: 3\nevent: round\ndata: {\"seq\":3,\"type\":\"round\",\"round\":1}\n\n")
+			return
+		}
+		// Resumed attempt: continue past the resume point to the end.
+		fmt.Fprint(w, "id: 4\nevent: state\ndata: {\"seq\":4,\"type\":\"state\",\"state\":\"done\"}\n\n"+
+			": stream closed (dropped 0 events)\n")
+	}))
+	defer srv.Close()
+
+	var out strings.Builder
+	if err := run([]string{"-addr", srv.URL, "-retry-wait", "1ms", "j-7"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(resumes) != 2 {
+		t.Fatalf("server saw %d connects (%q), want 2", len(resumes), resumes)
+	}
+	if resumes[0] != "" {
+		t.Errorf("first connect sent Last-Event-ID %q, want none", resumes[0])
+	}
+	if resumes[1] != "3" {
+		t.Errorf("reconnect sent Last-Event-ID %q, want \"3\"", resumes[1])
+	}
+	if !strings.Contains(out.String(), "state: done") {
+		t.Errorf("output %q lacks the terminal state line", out.String())
+	}
+	if strings.Count(out.String(), "state: queued") != 1 {
+		t.Errorf("output %q replays from seq 0 after reconnect", out.String())
+	}
+}
+
+// TestRunRetriesExhausted: a stream that always breaks before the job is
+// terminal fails once the retry budget is spent.
+func TestRunRetriesExhausted(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/event-stream")
+		fmt.Fprint(w, "id: 1\nevent: state\ndata: {\"seq\":1,\"type\":\"state\",\"state\":\"running\"}\n\n")
+	}))
+	defer srv.Close()
+
+	var out strings.Builder
+	err := run([]string{"-addr", srv.URL, "-retries", "2", "-retry-wait", "1ms", "j-1"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "before the job finished") {
+		t.Fatalf("err = %v, want stream-ended error after retries", err)
 	}
 }

@@ -1,0 +1,114 @@
+package cluster
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"congestmwc"
+	"congestmwc/internal/jobs"
+)
+
+// benchCases loads the repo's committed hot-path measurements — the data
+// the model's constants were fitted against.
+func benchCases(t *testing.T) map[string]struct{ Rounds, Messages float64 } {
+	t.Helper()
+	raw, err := os.ReadFile("../../bench/csr_hotpath.json")
+	if err != nil {
+		t.Fatalf("read bench data: %v", err)
+	}
+	var file struct {
+		Cases []struct {
+			Name     string  `json:"name"`
+			Rounds   float64 `json:"rounds_per_op"`
+			Messages float64 `json:"messages_per_op"`
+		} `json:"cases"`
+	}
+	if err := json.Unmarshal(raw, &file); err != nil {
+		t.Fatalf("parse bench data: %v", err)
+	}
+	out := make(map[string]struct{ Rounds, Messages float64 })
+	for _, c := range file.Cases {
+		out[c.Name] = struct{ Rounds, Messages float64 }{c.Rounds, c.Messages}
+	}
+	return out
+}
+
+func within(t *testing.T, what string, got, measured, factor float64) {
+	t.Helper()
+	if got < measured/factor || got > measured*factor {
+		t.Errorf("%s: model %.0f vs measured %.0f (outside %.1fx)", what, got, measured, factor)
+	}
+}
+
+// TestModelCalibration pins the estimator to the repo's own measurements:
+// predictions for the benched instances stay within 1.5x of what those
+// instances actually simulated. If the algorithms change enough to break
+// this, the constants in Model need refitting — that is the point.
+func TestModelCalibration(t *testing.T) {
+	bench := benchCases(t)
+
+	apsp, ok := bench["dense_apsp"]
+	if !ok {
+		t.Fatal("bench data lost the dense_apsp case")
+	}
+	// exact.MWC, random n=64 p=0.4 -> m ~ 0.4*64*63/2 = 806.
+	got := Model{}.Estimate(jobs.Info{Algo: jobs.AlgoExact, Class: congestmwc.Undirected, N: 64, M: 806, MaxW: 1})
+	within(t, "dense_apsp rounds", got.Rounds, apsp.Rounds, 1.5)
+	within(t, "dense_apsp messages", got.Messages, apsp.Messages, 1.5)
+
+	wmwc, ok := bench["wmwc_msgbound"]
+	if !ok {
+		t.Fatal("bench data lost the wmwc_msgbound case")
+	}
+	// wmwc.Run, random n=40 maxW=1024; the workload's m is 78.
+	got = Model{}.Estimate(jobs.Info{Algo: jobs.AlgoApprox, Class: congestmwc.UndirectedWeighted, N: 40, M: 78, MaxW: 1024})
+	within(t, "wmwc rounds", got.Rounds, wmwc.Rounds, 1.5)
+	within(t, "wmwc messages", got.Messages, wmwc.Messages, 1.5)
+}
+
+// TestModelMonotone: cost must grow with every size parameter — the
+// property fair queueing actually depends on (a bigger job may never price
+// below a smaller one).
+func TestModelMonotone(t *testing.T) {
+	base := jobs.Info{Algo: jobs.AlgoApprox, Class: congestmwc.UndirectedWeighted, N: 64, M: 256, MaxW: 64}
+	cost := func(in jobs.Info) float64 { return Model{}.Estimate(in).Cost }
+
+	bigger := base
+	bigger.N = 128
+	if cost(bigger) <= cost(base) {
+		t.Error("cost did not grow with n")
+	}
+	bigger = base
+	bigger.M = 512
+	if cost(bigger) <= cost(base) {
+		t.Error("cost did not grow with m")
+	}
+	bigger = base
+	bigger.MaxW = 4096
+	if cost(bigger) <= cost(base) {
+		t.Error("cost did not grow with the weight range")
+	}
+
+	for _, algo := range []jobs.Algo{jobs.AlgoExact, jobs.AlgoApprox} {
+		for _, class := range []congestmwc.Class{congestmwc.Undirected, congestmwc.UndirectedWeighted} {
+			in := base
+			in.Algo, in.Class = algo, class
+			est := Model{}.Estimate(in)
+			if est.Rounds <= 0 || est.Messages <= 0 || est.Cost <= 0 {
+				t.Errorf("%s/%v: non-positive estimate %+v", algo, class, est)
+			}
+			if est.Cost != est.Rounds+est.Messages {
+				t.Errorf("%s/%v: Cost %.0f != Rounds+Messages %.0f", algo, class, est.Cost, est.Rounds+est.Messages)
+			}
+		}
+	}
+
+	// The weighted approximation pays a log W binary-search factor the
+	// unweighted run does not.
+	uw := base
+	uw.Class, uw.MaxW = congestmwc.Undirected, 1
+	if cost(uw) >= cost(base) {
+		t.Error("unweighted approx priced above weighted approx of the same size")
+	}
+}

@@ -1,0 +1,191 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestFairQueueImmediate: under capacity, Acquire admits without waiting;
+// over it, TryAcquire bounces and Acquire queues until a release.
+func TestFairQueueImmediate(t *testing.T) {
+	q := NewFairQueue(100, nil)
+	rel1, err := q.Acquire(context.Background(), "", 60)
+	if err != nil {
+		t.Fatalf("Acquire 60/100: %v", err)
+	}
+	rel2, err := q.Acquire(context.Background(), "", 40)
+	if err != nil {
+		t.Fatalf("Acquire 40 with 60 in flight: %v", err)
+	}
+	if _, err := q.TryAcquire("", 1); !errors.Is(err, ErrCapacity) {
+		t.Fatalf("TryAcquire over budget: err = %v, want ErrCapacity", err)
+	}
+	admitted := make(chan struct{})
+	go func() {
+		rel, err := q.Acquire(context.Background(), "", 30)
+		if err != nil {
+			t.Error(err)
+			close(admitted)
+			return
+		}
+		close(admitted)
+		rel()
+	}()
+	waitFor(t, "waiter to queue", func() bool { return q.Metrics().Waiting == 1 })
+	select {
+	case <-admitted:
+		t.Fatal("waiter admitted while the budget was full")
+	default:
+	}
+	rel1()
+	<-admitted
+	rel2()
+	waitFor(t, "budget to drain", func() bool { return q.Metrics().Inflight == 0 })
+}
+
+// TestFairQueueWFQOrder: contended capacity is granted in virtual-finish
+// order — a weight-2 tenant's job finishes (virtually) before an equal-cost
+// weight-1 job that queued first, so it is admitted first.
+func TestFairQueueWFQOrder(t *testing.T) {
+	q := NewFairQueue(10, map[string]TenantConfig{
+		"slow": {Weight: 1},
+		"fast": {Weight: 2},
+	})
+	blocker, err := q.Acquire(context.Background(), "slow", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := make(chan string, 2)
+	enqueue := func(tenant string) {
+		go func() {
+			rel, err := q.Acquire(context.Background(), tenant, 10)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			order <- tenant
+			rel()
+		}()
+	}
+	enqueue("slow") // queues first...
+	waitFor(t, "first waiter", func() bool { return q.Metrics().Waiting == 1 })
+	enqueue("fast") // ...but the heavier tenant's virtual finish is earlier
+	waitFor(t, "second waiter", func() bool { return q.Metrics().Waiting == 2 })
+
+	blocker()
+	if got := <-order; got != "fast" {
+		t.Fatalf("first admission went to %q, want the weight-2 tenant", got)
+	}
+	if got := <-order; got != "slow" {
+		t.Fatalf("second admission went to %q, want slow", got)
+	}
+}
+
+// TestTenantQuota: a tenant's outstanding cost is capped regardless of
+// cluster capacity, and releases restore headroom.
+func TestTenantQuota(t *testing.T) {
+	q := NewFairQueue(0, map[string]TenantConfig{ // unbounded capacity
+		"t": {MaxOutstandingCost: 100},
+	})
+	rel, err := q.Acquire(context.Background(), "t", 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Acquire(context.Background(), "t", 50); !errors.Is(err, ErrTenantQuota) {
+		t.Fatalf("over-quota Acquire: err = %v, want ErrTenantQuota", err)
+	}
+	if _, err := q.TryAcquire("t", 50); !errors.Is(err, ErrTenantQuota) {
+		t.Fatalf("over-quota TryAcquire: err = %v, want ErrTenantQuota", err)
+	}
+	// Another tenant is unaffected.
+	rel2, err := q.Acquire(context.Background(), "other", 1000)
+	if err != nil {
+		t.Fatalf("other tenant: %v", err)
+	}
+	rel2()
+	rel()
+	rel3, err := q.Acquire(context.Background(), "t", 50)
+	if err != nil {
+		t.Fatalf("post-release Acquire: %v", err)
+	}
+	rel3()
+	if m := q.Metrics(); m.QuotaRejected != 2 {
+		t.Errorf("QuotaRejected = %d, want 2", m.QuotaRejected)
+	}
+}
+
+// TestAcquireCancel: a cancelled waiter leaves no residue — its cost is
+// rolled out of the tenant's outstanding total and later admissions work.
+func TestAcquireCancel(t *testing.T) {
+	q := NewFairQueue(10, map[string]TenantConfig{"t": {MaxOutstandingCost: 15}})
+	blocker, err := q.Acquire(context.Background(), "t", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := q.Acquire(ctx, "t", 5)
+		errc <- err
+	}()
+	waitFor(t, "waiter", func() bool { return q.Metrics().Waiting == 1 })
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled Acquire: err = %v", err)
+	}
+	// The cancelled 5 must not still count against the 15 quota.
+	blocker()
+	rel, err := q.Acquire(context.Background(), "t", 15)
+	if err != nil {
+		t.Fatalf("post-cancel Acquire at full quota: %v", err)
+	}
+	rel()
+	waitFor(t, "budget to drain", func() bool { return q.Metrics().Inflight == 0 })
+}
+
+// TestOversizedJobRunsAlone: a job pricier than the whole capacity is
+// admitted when the queue is idle — oversized work runs serialized, it is
+// not starved forever.
+func TestOversizedJobRunsAlone(t *testing.T) {
+	q := NewFairQueue(10, nil)
+	rel, err := q.Acquire(context.Background(), "", 25)
+	if err != nil {
+		t.Fatalf("oversized Acquire on idle queue: %v", err)
+	}
+	if _, err := q.TryAcquire("", 1); !errors.Is(err, ErrCapacity) {
+		t.Fatalf("budget should be saturated, err = %v", err)
+	}
+	rel()
+	rel2, err := q.Acquire(context.Background(), "", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel2()
+}
+
+// TestReleaseIdempotent: double release must not mint budget.
+func TestReleaseIdempotent(t *testing.T) {
+	q := NewFairQueue(10, nil)
+	rel, err := q.Acquire(context.Background(), "", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel()
+	rel()
+	if m := q.Metrics(); m.Inflight != 0 {
+		t.Fatalf("Inflight = %v after double release, want 0", m.Inflight)
+	}
+}

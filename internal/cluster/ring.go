@@ -1,0 +1,129 @@
+// Package cluster implements the sharded mwcd deployment: a router that
+// places jobs on stock mwcd workers by consistent hashing over the
+// canonical graph hash, so identical specs land on the same shard and the
+// worker's in-flight dedup and result cache coalesce them cluster-wide.
+// The router tracks worker health, replays a dead shard's journal onto the
+// ring successor, proxies the single-job and batch submission APIs, and
+// fans live SSE event streams in across the split.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Ring is an immutable consistent-hash ring over named shard members. Each
+// member is projected onto the ring at Vnodes pseudo-random points; a key
+// is owned by the member of the first point at or clockwise after the
+// key's hash. The properties the cluster rests on, pinned by tests:
+//
+//   - deterministic: equal keys map to equal members, across processes, so
+//     every router instance agrees on placement without coordination;
+//   - balanced: with enough vnodes the key space splits near-uniformly
+//     across 2–16 shards;
+//   - stable: adding or removing one member moves only the keys that land
+//     on that member's arcs (~1/members of the space), not a wholesale
+//     reshuffle.
+type Ring struct {
+	points  []ringPoint
+	members []string
+}
+
+type ringPoint struct {
+	hash   uint64
+	member string
+}
+
+// DefaultVnodes is the vnode count used when NewRing is given zero: enough
+// for <5% imbalance at 16 shards without making lookups noticeably slower.
+const DefaultVnodes = 128
+
+// NewRing builds a ring over the given member names. Names must be
+// non-empty and unique; order does not matter (the ring is a pure function
+// of the name set and vnode count).
+func NewRing(members []string, vnodes int) (*Ring, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one member")
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	seen := make(map[string]bool, len(members))
+	r := &Ring{
+		points:  make([]ringPoint, 0, len(members)*vnodes),
+		members: append([]string(nil), members...),
+	}
+	sort.Strings(r.members)
+	for _, m := range r.members {
+		if m == "" {
+			return nil, fmt.Errorf("cluster: empty ring member name")
+		}
+		if seen[m] {
+			return nil, fmt.Errorf("cluster: duplicate ring member %q", m)
+		}
+		seen[m] = true
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, ringPoint{
+				hash:   hash64(fmt.Sprintf("%s#%d", m, i)),
+				member: m,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, k int) bool {
+		if r.points[i].hash != r.points[k].hash {
+			return r.points[i].hash < r.points[k].hash
+		}
+		// Equal 64-bit point hashes are vanishingly rare; break the tie by
+		// name so placement stays deterministic regardless of input order.
+		return r.points[i].member < r.points[k].member
+	})
+	return r, nil
+}
+
+// Members returns the member names, sorted.
+func (r *Ring) Members() []string {
+	return append([]string(nil), r.members...)
+}
+
+// Lookup returns the member that owns key.
+func (r *Ring) Lookup(key string) string {
+	m, _ := r.LookupHealthy(key, nil)
+	return m
+}
+
+// LookupHealthy returns the first member at or clockwise after key's hash
+// for which healthy reports true (nil means every member qualifies) — the
+// owner when the owner is up, the ring successor when it is not. The walk
+// visits each distinct member at most once; it reports false when no
+// member qualifies.
+func (r *Ring) LookupHealthy(key string, healthy func(string) bool) (string, bool) {
+	h := hash64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	tried := make(map[string]bool, len(r.members))
+	for i := 0; i < len(r.points); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if tried[p.member] {
+			continue
+		}
+		tried[p.member] = true
+		if healthy == nil || healthy(p.member) {
+			return p.member, true
+		}
+		if len(tried) == len(r.members) {
+			break
+		}
+	}
+	return "", false
+}
+
+// hash64 is the ring's point and key hash: the first 8 bytes of a sha256.
+// Vnode labels ("s3#17") are short and highly similar, and weaker mixers
+// (FNV, maphash with a fixed seed) leave their points lumpy enough to
+// skew shard shares by >2x at 16 shards; sha256's avalanche keeps the
+// balance bounds the tests pin, and ring construction is cold path.
+func hash64(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}

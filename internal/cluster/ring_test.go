@@ -1,0 +1,144 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func names(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("s%d", i)
+	}
+	return out
+}
+
+// testKeys mimics the placement keys the router actually hashes: sha256ish
+// hex strings. Deterministic (no rand) so failures reproduce.
+func testKeys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("sha256:%064x", i*2654435761)
+	}
+	return out
+}
+
+// TestRingBalance: across 2–16 shards the key space splits near-uniformly —
+// every shard gets between half and 1.5x the fair share of 20k keys.
+func TestRingBalance(t *testing.T) {
+	keys := testKeys(20000)
+	for shards := 2; shards <= 16; shards++ {
+		r, err := NewRing(names(shards), 0)
+		if err != nil {
+			t.Fatalf("NewRing(%d): %v", shards, err)
+		}
+		counts := make(map[string]int)
+		for _, k := range keys {
+			counts[r.Lookup(k)]++
+		}
+		if len(counts) != shards {
+			t.Errorf("%d shards: only %d received keys", shards, len(counts))
+		}
+		fair := float64(len(keys)) / float64(shards)
+		for m, c := range counts {
+			if f := float64(c); f < 0.5*fair || f > 1.5*fair {
+				t.Errorf("%d shards: member %s owns %d keys, fair share %.0f (outside [0.5, 1.5]x)",
+					shards, m, c, fair)
+			}
+		}
+	}
+}
+
+// TestRingBoundedMovement: adding one shard moves only the keys that land
+// on the new shard (roughly 1/(n+1) of them); removing it moves only the
+// keys it owned, and moves nothing else.
+func TestRingBoundedMovement(t *testing.T) {
+	keys := testKeys(20000)
+	for shards := 2; shards <= 8; shards++ {
+		small, err := NewRing(names(shards), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		big, err := NewRing(names(shards+1), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		added := fmt.Sprintf("s%d", shards)
+		moved := 0
+		for _, k := range keys {
+			was, is := small.Lookup(k), big.Lookup(k)
+			if was != is {
+				moved++
+				if is != added {
+					t.Fatalf("%d shards: key moved %s -> %s, but only moves to the new member %s are allowed",
+						shards, was, is, added)
+				}
+			}
+		}
+		share := float64(len(keys)) / float64(shards+1)
+		if f := float64(moved); f == 0 || f > 2.5*share {
+			t.Errorf("%d+1 shards: %d keys moved, want (0, %.0f]", shards, moved, 2.5*share)
+		}
+		// Removal is the mirror image: big -> small moves exactly the keys
+		// the removed member owned, already covered by the equality above.
+	}
+}
+
+// TestRingDeterministic: placement is a pure function of the member set —
+// input order, process, and repeat calls do not matter — so independent
+// routers agree without coordination.
+func TestRingDeterministic(t *testing.T) {
+	a, err := NewRing([]string{"s0", "s1", "s2"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing([]string{"s2", "s0", "s1"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range testKeys(500) {
+		if a.Lookup(k) != b.Lookup(k) {
+			t.Fatalf("member order changed placement of %s: %s vs %s", k, a.Lookup(k), b.Lookup(k))
+		}
+		if a.Lookup(k) != a.Lookup(k) {
+			t.Fatalf("repeated lookup disagreed for %s", k)
+		}
+	}
+}
+
+// TestLookupHealthySkipsAndFallsBack: an unhealthy owner's keys land on
+// the ring successor; with nobody healthy the lookup reports failure; keys
+// whose owner is healthy do not move at all.
+func TestLookupHealthySkipsAndFallsBack(t *testing.T) {
+	r, err := NewRing([]string{"s0", "s1", "s2"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	downS1 := func(m string) bool { return m != "s1" }
+	for _, k := range testKeys(2000) {
+		owner := r.Lookup(k)
+		got, ok := r.LookupHealthy(k, downS1)
+		if !ok {
+			t.Fatalf("LookupHealthy found nobody with 2/3 healthy")
+		}
+		if got == "s1" {
+			t.Fatalf("key %s placed on the unhealthy member", k)
+		}
+		if owner != "s1" && got != owner {
+			t.Fatalf("key %s owned by healthy %s moved to %s", k, owner, got)
+		}
+	}
+	if _, ok := r.LookupHealthy("k", func(string) bool { return false }); ok {
+		t.Error("LookupHealthy reported success with no healthy members")
+	}
+}
+
+// TestNewRingRejectsBadMembers: empty sets, empty names and duplicates are
+// configuration errors, not silent misplacements.
+func TestNewRingRejectsBadMembers(t *testing.T) {
+	for _, members := range [][]string{nil, {""}, {"a", "a"}} {
+		if _, err := NewRing(members, 0); err == nil {
+			t.Errorf("NewRing(%q) should fail", members)
+		}
+	}
+}

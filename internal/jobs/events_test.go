@@ -107,7 +107,11 @@ func requireNoServiceGoroutines(t *testing.T) {
 // job, see at least one round-series event and one phase event arrive
 // live, then watch the stream end cleanly at the terminal state.
 func TestHTTPEventsStreamLifecycle(t *testing.T) {
-	s := New(Config{Workers: 1, Observe: true})
+	// A ring large enough that no event is ever evicted: the CSR engine
+	// finishes this job faster than the HTTP client can connect, so with
+	// the default 256-event ring the queued transition the test asserts on
+	// would already be gone.
+	s := New(Config{Workers: 1, Observe: true, EventBuffer: 1 << 14})
 	ts := httptest.NewServer(NewHandler(s, HandlerConfig{}))
 	defer func() {
 		ts.Close()

@@ -29,17 +29,63 @@ type HandlerConfig struct {
 	// endpoint (default 0 = the hub's ring size). A client slower than
 	// the event rate loses the oldest undelivered events first.
 	EventBuffer int
+	// MaxBatchItems caps the job count of one POST /v1/jobs:batch request
+	// (default 256). Larger batches are rejected whole with 413.
+	MaxBatchItems int
+	// ShardID is this process's cluster shard identity, echoed by
+	// /readyz so routers can verify their topology. Empty for a
+	// single-process deployment.
+	ShardID string
+}
+
+// BatchRequest is the body of POST /v1/jobs:batch: an ordered list of job
+// specs submitted in one round trip.
+type BatchRequest struct {
+	Jobs []Spec `json:"jobs"`
+}
+
+// BatchItem is the per-item outcome of a batch submission. Code mirrors
+// the single-submit endpoint: 202 accepted, 200 cache hit, 400 invalid
+// spec, 429 queue backpressure, 503 draining. Exactly one of Status and
+// Error is set.
+type BatchItem struct {
+	Index  int     `json:"index"`
+	Code   int     `json:"code"`
+	Status *Status `json:"status,omitempty"`
+	Error  string  `json:"error,omitempty"`
+}
+
+// BatchResponse is the body of a batch submission response: one item per
+// input spec, in input order, plus the acceptance tally. The HTTP status
+// is 200 whenever the batch itself was well-formed — partial acceptance
+// under backpressure is the normal case, reported per item.
+type BatchResponse struct {
+	Accepted int         `json:"accepted"`
+	Rejected int         `json:"rejected"`
+	Results  []BatchItem `json:"results"`
+}
+
+// HandOffRequest is the body of PUT /v1/jobs/{id}: a router replaying a
+// dead shard's unfinished job onto this worker under its original ID.
+type HandOffRequest struct {
+	Spec Spec `json:"spec"`
+	// Interrupted is the number of prior attempts cut short by the
+	// crash(es) being recovered from.
+	Interrupted int `json:"interrupted,omitempty"`
 }
 
 // NewHandler exposes the service over HTTP (the mwcd API, see
 // docs/SERVER.md):
 //
-//	POST   /v1/jobs             submit a job (202; 200 on a cache hit; 429 on backpressure)
+//	POST   /v1/jobs             submit a job (202; 200 on a cache hit; 429 on backpressure; 503 draining)
+//	POST   /v1/jobs:batch       bulk submission, per-item statuses, partial acceptance
 //	GET    /v1/jobs             list recent jobs (?limit=N)
 //	GET    /v1/jobs/{id}        job status (?wait=5s long-polls until terminal)
+//	PUT    /v1/jobs/{id}        admit a job under a given ID (cluster hand-off; idempotent)
 //	GET    /v1/jobs/{id}/events live event stream (Server-Sent Events; -observe only)
 //	DELETE /v1/jobs/{id}        cancel the job
 //	GET    /healthz             liveness
+//	GET    /readyz              readiness: 503 once draining, while /healthz stays 200
 //	GET    /metrics             Prometheus-style text metrics
 func NewHandler(s *Service, cfg HandlerConfig) http.Handler {
 	maxBody := cfg.MaxBodyBytes
@@ -53,6 +99,10 @@ func NewHandler(s *Service, cfg HandlerConfig) http.Handler {
 	heartbeat := cfg.Heartbeat
 	if heartbeat <= 0 {
 		heartbeat = 15 * time.Second
+	}
+	maxBatch := cfg.MaxBatchItems
+	if maxBatch <= 0 {
+		maxBatch = 256
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
@@ -75,24 +125,75 @@ func NewHandler(s *Service, cfg HandlerConfig) http.Handler {
 			return
 		}
 		j, err := s.Submit(spec)
-		switch {
-		case errors.Is(err, ErrQueueFull):
-			w.Header().Set("Retry-After", "1")
-			httpError(w, http.StatusTooManyRequests, err.Error())
-			return
-		case errors.Is(err, ErrClosed):
-			httpError(w, http.StatusServiceUnavailable, err.Error())
-			return
-		case err != nil:
-			httpError(w, http.StatusBadRequest, err.Error())
+		writeSubmitResult(w, j, err)
+	})
+	mux.HandleFunc("POST /v1/jobs:batch", func(w http.ResponseWriter, r *http.Request) {
+		r.Body = http.MaxBytesReader(w, r.Body, maxBody)
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		var req BatchRequest
+		if err := dec.Decode(&req); err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				httpError(w, http.StatusRequestEntityTooLarge,
+					fmt.Sprintf("request body exceeds the %d-byte limit", tooBig.Limit))
+				return
+			}
+			httpError(w, http.StatusBadRequest, "invalid batch: "+err.Error())
 			return
 		}
-		st := j.Status()
-		code := http.StatusAccepted
-		if st.State.Terminal() {
-			code = http.StatusOK // answered from the result cache
+		if dec.More() {
+			httpError(w, http.StatusBadRequest, "invalid batch: trailing data after the JSON object")
+			return
 		}
-		writeJSON(w, code, st)
+		if len(req.Jobs) == 0 {
+			httpError(w, http.StatusBadRequest, "empty batch: want {\"jobs\": [spec, ...]}")
+			return
+		}
+		if len(req.Jobs) > maxBatch {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("batch of %d jobs exceeds the %d-item limit", len(req.Jobs), maxBatch))
+			return
+		}
+		resp := BatchResponse{Results: make([]BatchItem, len(req.Jobs))}
+		for i, spec := range req.Jobs {
+			item := BatchItem{Index: i}
+			j, err := s.Submit(spec)
+			switch {
+			case errors.Is(err, ErrQueueFull):
+				item.Code, item.Error = http.StatusTooManyRequests, err.Error()
+			case errors.Is(err, ErrDraining), errors.Is(err, ErrClosed):
+				item.Code, item.Error = http.StatusServiceUnavailable, err.Error()
+			case err != nil:
+				item.Code, item.Error = http.StatusBadRequest, err.Error()
+			default:
+				st := j.Status()
+				item.Status = &st
+				item.Code = http.StatusAccepted
+				if st.State.Terminal() {
+					item.Code = http.StatusOK
+				}
+			}
+			if item.Error != "" {
+				resp.Rejected++
+			} else {
+				resp.Accepted++
+			}
+			resp.Results[i] = item
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("PUT /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		r.Body = http.MaxBytesReader(w, r.Body, maxBody)
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		var req HandOffRequest
+		if err := dec.Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, "invalid hand-off request: "+err.Error())
+			return
+		}
+		j, err := s.SubmitWithID(r.PathValue("id"), req.Spec, req.Interrupted)
+		writeSubmitResult(w, j, err)
 	})
 	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
 		var limit int
@@ -150,6 +251,19 @@ func NewHandler(s *Service, cfg HandlerConfig) http.Handler {
 			httpError(w, http.StatusInternalServerError, "response writer does not support streaming")
 			return
 		}
+		// A reconnecting client (mwctail after a router failover) sends the
+		// SSE Last-Event-ID header; events it already saw — by hub sequence
+		// number — are skipped instead of replayed. The resume point is
+		// per stream epoch: after a cluster hand-off the successor's hub
+		// renumbers from 1, so a stale high resume point suppresses the new
+		// attempt's early events (documented drop; the terminal close
+		// comment is never suppressed).
+		var after uint64
+		if raw := r.Header.Get("Last-Event-ID"); raw != "" {
+			if v, perr := strconv.ParseUint(raw, 10, 64); perr == nil {
+				after = v
+			}
+		}
 		h := w.Header()
 		h.Set("Content-Type", "text/event-stream")
 		h.Set("Cache-Control", "no-cache")
@@ -168,6 +282,9 @@ func NewHandler(s *Service, cfg HandlerConfig) http.Handler {
 					fmt.Fprintf(w, ": stream closed (dropped %d events)\n\n", sub.Dropped())
 					fl.Flush()
 					return
+				}
+				if ev.Seq <= after {
+					continue // already delivered before the reconnect
 				}
 				if err := writeSSE(w, ev); err != nil {
 					return // client gone mid-write
@@ -196,11 +313,52 @@ func NewHandler(s *Service, cfg HandlerConfig) http.Handler {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
 	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		// Readiness flips to 503 the moment SignalDrain fires — before the
+		// HTTP listener stops — so routers and external load balancers stop
+		// routing new work here while /healthz still answers 200 for the
+		// remaining drain window.
+		select {
+		case <-s.Draining():
+			w.Header().Set("Retry-After", "5")
+			writeJSON(w, http.StatusServiceUnavailable,
+				map[string]any{"ready": false, "draining": true, "shard": cfg.ShardID})
+		default:
+			writeJSON(w, http.StatusOK, map[string]any{"ready": true, "shard": cfg.ShardID})
+		}
+	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		WriteMetrics(w, s.Metrics())
 	})
 	return mux
+}
+
+// writeSubmitResult maps one Submit/SubmitWithID outcome onto the wire:
+// 202 accepted, 200 terminal at birth (cache hit or idempotent re-admit),
+// 429 + Retry-After on queue backpressure, 503 + Retry-After while
+// draining (distinct signals: 429 means "this shard is busy, retry here";
+// 503 means "this shard is going away, go elsewhere"), 400 otherwise.
+func writeSubmitResult(w http.ResponseWriter, j *Job, err error) {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, err.Error())
+	case errors.Is(err, ErrDraining):
+		w.Header().Set("Retry-After", "5")
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+	case errors.Is(err, ErrClosed):
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+	case err != nil:
+		httpError(w, http.StatusBadRequest, err.Error())
+	default:
+		st := j.Status()
+		code := http.StatusAccepted
+		if st.State.Terminal() {
+			code = http.StatusOK // answered from the result cache
+		}
+		writeJSON(w, code, st)
+	}
 }
 
 // writeSSE renders one event in the Server-Sent Events wire format: the

@@ -1,0 +1,78 @@
+package jobs
+
+import "congestmwc"
+
+// Info is the admission-time view of a job spec: everything a router or
+// admission controller needs to place, deduplicate and cost a job without
+// running it. It is produced by Spec.Inspect, which resolves the spec
+// exactly the way Submit does, so Key here and the key the owning worker
+// computes are identical — the property cluster-wide dedup rests on.
+type Info struct {
+	// Key is the canonical cache key (graph hash + options fingerprint).
+	// Identical work has an identical key, across processes.
+	Key string
+	// Algo, Class, N and M describe the resolved instance.
+	Algo  Algo
+	Class congestmwc.Class
+	N     int
+	M     int
+	// MaxW is the largest edge weight (1 for unweighted classes); the
+	// weighted algorithms' round counts scale with log(MaxW).
+	MaxW int64
+	// Tenant is the spec's tenant attribution (empty = default tenant).
+	Tenant string
+}
+
+// Weighted reports whether the instance is in a weighted class.
+func (i Info) Weighted() bool {
+	return i.Class == congestmwc.UndirectedWeighted || i.Class == congestmwc.DirectedWeighted
+}
+
+// Inspect validates and resolves the spec without admitting it, returning
+// the canonical key and the instance parameters that drive placement and
+// cost estimation. maxN caps the instance size exactly as Submit does
+// (<= 0 disables). The resolved graph is discarded: callers that also
+// Submit pay the build twice, which is the price of a shared-nothing
+// router/worker split.
+func (s Spec) Inspect(maxN int) (Info, error) {
+	g, opts, err := s.resolve(maxN)
+	if err != nil {
+		return Info{}, err
+	}
+	info := Info{
+		Key:    cacheKey(g, s.Algo, opts),
+		Algo:   s.Algo,
+		Class:  g.Class(),
+		N:      g.N(),
+		M:      g.M(),
+		MaxW:   1,
+		Tenant: s.Tenant,
+	}
+	if info.Weighted() {
+		for _, e := range g.Edges() {
+			if e.Weight > info.MaxW {
+				info.MaxW = e.Weight
+			}
+		}
+	}
+	return info, nil
+}
+
+// CostEstimate is a predicted per-job simulation cost: expected CONGEST
+// rounds and delivered messages, plus a scalar Cost combining them for
+// admission accounting (weighted fair queueing, tenant quotas).
+type CostEstimate struct {
+	Rounds   float64 `json:"rounds"`
+	Messages float64 `json:"messages"`
+	// Cost is the scalar admission weight of the job (rounds + messages:
+	// both cost simulation wall clock, messages dominate on dense
+	// instances and rounds on gap-heavy ones).
+	Cost float64 `json:"cost"`
+}
+
+// Estimator predicts a job's simulation cost from its admission-time Info.
+// internal/cluster's Model is the calibrated implementation; the seam
+// lives here so the jobs layer and tests can swap in their own.
+type Estimator interface {
+	Estimate(Info) CostEstimate
+}

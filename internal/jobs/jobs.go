@@ -19,6 +19,7 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -35,6 +36,12 @@ var (
 	ErrQueueFull = errors.New("jobs: queue full")
 	ErrClosed    = errors.New("jobs: service closed")
 	ErrNotFound  = errors.New("jobs: no such job")
+	// ErrDraining rejects submissions that land in the shutdown window
+	// between SignalDrain and Close: the worker pool is about to stop, so
+	// admitting the job would only race the closing queue. Distinct from
+	// ErrQueueFull — the right client response is to fail over to another
+	// shard (503 + Retry-After), not to retry the same one (429).
+	ErrDraining = errors.New("jobs: service draining")
 )
 
 // State is a job's lifecycle state: queued → running → one of the four
@@ -86,10 +93,19 @@ type Config struct {
 	// statuses carry the per-run summary (phase table, peak congestion,
 	// wall clock) and service metrics aggregate the peaks.
 	Observe bool
+	// EventBuffer sizes each job hub's replay ring (Observe only): a
+	// subscriber connecting mid-run replays up to this many retained
+	// events before going live. 0 keeps the obs.Streamer default.
+	EventBuffer int
 	// Journal persists job lifecycle events and terminal results
 	// (internal/store is the durable implementation). Nil keeps the
 	// service purely in-memory.
 	Journal Journal
+	// IDPrefix is the shard identity prefixed to every generated job ID
+	// (e.g. "s0-" yields "s0-j-00000001"). In a cluster it makes job IDs
+	// unique across shards, so a router can route status lookups by
+	// prefix alone. Empty keeps the single-process "j-%08d" shape.
+	IDPrefix string
 }
 
 func (c Config) withDefaults() Config {
@@ -178,7 +194,7 @@ func (s *Service) attachStream(j *Job, st State) {
 	if !s.cfg.Observe {
 		return
 	}
-	j.stream = obs.NewStreamer(0)
+	j.stream = obs.NewStreamer(s.cfg.EventBuffer)
 	j.publishState(st, j.errMsg)
 }
 
@@ -210,6 +226,7 @@ type Status struct {
 	State    State  `json:"state"`
 	Key      string `json:"key"`
 	Algo     Algo   `json:"algo"`
+	Tenant   string `json:"tenant,omitempty"`
 	N        int    `json:"n"`
 	M        int    `json:"m"`
 	CacheHit bool   `json:"cacheHit,omitempty"`
@@ -237,6 +254,7 @@ func (j *Job) Status() Status {
 		State:               j.state,
 		Key:                 j.key,
 		Algo:                j.spec.Algo,
+		Tenant:              j.spec.Tenant,
 		N:                   j.graph.N(),
 		M:                   j.graph.M(),
 		CacheHit:            j.cacheHit,
@@ -357,11 +375,17 @@ func (s *Service) Submit(spec Spec) (*Job, error) {
 	if s.closed {
 		return nil, ErrClosed
 	}
+	select {
+	case <-s.drainCh:
+		// SignalDrain has fired: the pool is about to stop, so nothing —
+		// not even a cache hit — is admitted in the shutdown window.
+		return nil, ErrDraining
+	default:
+	}
 	if res, ok := s.lookupLocked(key); ok {
-		s.nextID++
 		now := time.Now()
 		j := &Job{
-			id:       fmt.Sprintf("j-%08d", s.nextID),
+			id:       s.newIDLocked(),
 			key:      key,
 			spec:     spec,
 			graph:    g,
@@ -387,9 +411,8 @@ func (s *Service) Submit(spec Spec) (*Job, error) {
 		s.deduped.Add(1)
 		return prior, nil
 	}
-	s.nextID++
 	j := &Job{
-		id:      fmt.Sprintf("j-%08d", s.nextID),
+		id:      s.newIDLocked(),
 		key:     key,
 		spec:    spec,
 		graph:   g,
@@ -413,6 +436,96 @@ func (s *Service) Submit(spec Spec) (*Job, error) {
 	s.journalRecord(JournalEvent{
 		Type: EventAdmit, ID: j.id, Key: key, State: StateQueued,
 		Time: j.created, Spec: &spec,
+	})
+	return j, nil
+}
+
+// newIDLocked mints the next job ID (Config.IDPrefix + "j-%08d"). Caller
+// holds s.mu.
+func (s *Service) newIDLocked() string {
+	s.nextID++
+	return fmt.Sprintf("%sj-%08d", s.cfg.IDPrefix, s.nextID)
+}
+
+// SubmitWithID admits a job under a caller-chosen ID: the cluster hand-off
+// path, where a router replays a dead shard's unfinished jobs onto this
+// service and clients must keep polling the IDs they already hold. It is
+// idempotent per ID — re-admitting an existing ID returns that job
+// unchanged — and, like Submit, answers from the result cache when the
+// work is already done. Unlike Submit it does not coalesce with an
+// in-flight job under a different ID: the handed-off ID must resolve to a
+// job of its own. interrupted records how many prior attempts at this job
+// were cut short (surfaced as Status.InterruptedAttempts).
+func (s *Service) SubmitWithID(id string, spec Spec, interrupted int) (*Job, error) {
+	if id == "" {
+		return nil, fmt.Errorf("jobs: empty job ID")
+	}
+	g, opts, err := spec.resolve(s.cfg.MaxN)
+	if err != nil {
+		return nil, err
+	}
+	key := cacheKey(g, spec.Algo, opts)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	select {
+	case <-s.drainCh:
+		return nil, ErrDraining
+	default:
+	}
+	if prior, ok := s.jobs[id]; ok {
+		return prior, nil
+	}
+	// Keep the ID counter ahead of adopted IDs that carry our own prefix,
+	// so later Submit calls cannot mint a colliding ID. Foreign prefixes
+	// (another shard's handed-off jobs) can never collide with ours.
+	if n := idSuffix(id); n > s.nextID && (s.cfg.IDPrefix == "" || len(id) > len(s.cfg.IDPrefix) && id[:len(s.cfg.IDPrefix)] == s.cfg.IDPrefix) {
+		s.nextID = n
+	}
+	now := time.Now()
+	if res, ok := s.lookupLocked(key); ok {
+		j := &Job{
+			id: id, key: key, spec: spec, graph: g, opts: opts,
+			state: StateDone, result: res, cacheHit: true,
+			interrupted: interrupted,
+			created:     now, started: now, finished: now,
+			done: make(chan struct{}),
+		}
+		close(j.done)
+		s.attachStream(j, StateDone)
+		s.doneN.Add(1)
+		s.submitted.Add(1)
+		s.record(j)
+		// Mark the adopted job terminal in the journal (its result is
+		// already durable here) so a later recovery does not re-enqueue it.
+		s.journalRecord(JournalEvent{
+			Type: EventState, ID: id, Key: key, State: StateDone, Time: now,
+		})
+		return j, nil
+	}
+	j := &Job{
+		id: id, key: key, spec: spec, graph: g, opts: opts,
+		state: StateQueued, interrupted: interrupted,
+		created: now, done: make(chan struct{}),
+	}
+	s.attachStream(j, StateQueued)
+	select {
+	case s.queue <- j:
+	default:
+		s.rejected.Add(1)
+		return nil, fmt.Errorf("%w (capacity %d)", ErrQueueFull, s.cfg.QueueCap)
+	}
+	if s.inflight[key] == nil {
+		s.inflight[key] = j
+	}
+	s.submitted.Add(1)
+	s.record(j)
+	s.journalRecord(JournalEvent{
+		Type: EventAdmit, ID: id, Key: key, State: StateQueued,
+		Time: now, Interrupted: interrupted, Spec: &spec,
 	})
 	return j, nil
 }
@@ -800,8 +913,7 @@ func (s *Service) Restore(rec RecoveredState) (warmed, requeued int, err error) 
 			done:        make(chan struct{}),
 		}
 		if j.id == "" {
-			s.nextID++
-			j.id = fmt.Sprintf("j-%08d", s.nextID)
+			j.id = s.newIDLocked()
 		}
 		g, opts, rerr := rj.Spec.resolve(s.cfg.MaxN)
 		if rerr != nil {
@@ -862,11 +974,16 @@ func (s *Service) Restore(rec RecoveredState) (warmed, requeued int, err error) 
 	return warmed, requeued, nil
 }
 
-// idSuffix extracts the numeric suffix of a "j-%08d" job ID (0 if the ID
-// has another shape).
+// idSuffix extracts the numeric suffix of a job ID of shape
+// "[prefix-]j-%08d" (0 if the ID has another shape). Shard-prefixed
+// cluster IDs ("s0-j-00000042") parse the same as bare ones.
 func idSuffix(id string) int64 {
+	i := strings.LastIndex(id, "j-")
+	if i < 0 {
+		return 0
+	}
 	var n int64
-	if _, err := fmt.Sscanf(id, "j-%d", &n); err == nil {
+	if _, err := fmt.Sscanf(id[i:], "j-%d", &n); err == nil {
 		return n
 	}
 	return 0

@@ -94,7 +94,17 @@ type Spec struct {
 	// (0 = the service default). An exceeded deadline parks the job in
 	// StateExpired with its partial progress recorded.
 	TimeoutMS int64 `json:"timeoutMs,omitempty"`
+	// Tenant attributes the job to a client for quota and fair-queueing
+	// purposes (the router's QoS layer keys on it; empty = the default
+	// tenant). It does NOT participate in the cache key: two tenants
+	// submitting the same instance share one execution and one cached
+	// result.
+	Tenant string `json:"tenant,omitempty"`
 }
+
+// maxTenantLen bounds the tenant identifier: it is echoed into statuses,
+// logs and metrics labels, so it must stay small and printable.
+const maxTenantLen = 128
 
 func (s Spec) timeout() time.Duration { return time.Duration(s.TimeoutMS) * time.Millisecond }
 
@@ -131,6 +141,9 @@ func (s Spec) resolve(maxN int) (*congestmwc.Graph, congestmwc.Options, error) {
 	}
 	if s.TimeoutMS < 0 {
 		return nil, zero, fmt.Errorf("jobs: negative timeoutMs %d", s.TimeoutMS)
+	}
+	if len(s.Tenant) > maxTenantLen {
+		return nil, zero, fmt.Errorf("jobs: tenant identifier exceeds %d bytes", maxTenantLen)
 	}
 	opts := s.Opts.options()
 	if err := opts.Validate(); err != nil {

@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"strings"
+)
+
+// SSEFrame is one parsed Server-Sent Events frame: either the dispatched
+// field values of one id/event/data block, or a single comment line
+// (Comment set, the other fields empty). This is the client-side
+// counterpart of the daemon's /v1/jobs/{id}/events wire format; cmd/mwctail
+// and the cluster tests parse streams through it.
+type SSEFrame struct {
+	ID      string
+	Event   string
+	Data    string
+	Comment string // ": ..." keep-alive or notice, without the colon
+}
+
+// ParseSSE reads Server-Sent Events frames from r, invoking fn for each
+// dispatched event and each comment line, until EOF (a clean end of
+// stream, returning nil), a read error, or the first non-nil error from fn
+// (returned as-is, so callers can stop a tail early with a sentinel).
+func ParseSSE(r io.Reader, fn func(SSEFrame) error) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	var cur SSEFrame
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if cur.Event != "" || cur.Data != "" {
+				if err := fn(cur); err != nil {
+					return err
+				}
+			}
+			cur = SSEFrame{}
+		case strings.HasPrefix(line, ":"):
+			if err := fn(SSEFrame{Comment: strings.TrimPrefix(strings.TrimPrefix(line, ":"), " ")}); err != nil {
+				return err
+			}
+		default:
+			field, val, _ := strings.Cut(line, ":")
+			val = strings.TrimPrefix(val, " ")
+			switch field {
+			case "id":
+				cur.ID = val
+			case "event":
+				cur.Event = val
+			case "data":
+				if cur.Data != "" {
+					cur.Data += "\n"
+				}
+				cur.Data += val
+			}
+		}
+	}
+	return sc.Err()
+}

@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestParseSSE covers the frame grammar: multi-field frames, comments,
+// multi-line data joining, and clean EOF.
+func TestParseSSE(t *testing.T) {
+	stream := "id: 1\nevent: state\ndata: {\"a\":1}\n\n" +
+		": heartbeat\n" +
+		"id: 2\nevent: round\ndata: {\"b\":\ndata: 2}\n\n" +
+		": stream closed (dropped 0 events)\n"
+	var frames []SSEFrame
+	err := ParseSSE(strings.NewReader(stream), func(f SSEFrame) error {
+		frames = append(frames, f)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("ParseSSE: %v", err)
+	}
+	want := []SSEFrame{
+		{ID: "1", Event: "state", Data: `{"a":1}`},
+		{Comment: "heartbeat"},
+		{ID: "2", Event: "round", Data: "{\"b\":\n2}"},
+		{Comment: "stream closed (dropped 0 events)"},
+	}
+	if len(frames) != len(want) {
+		t.Fatalf("got %d frames, want %d: %+v", len(frames), len(want), frames)
+	}
+	for i, f := range frames {
+		if f != want[i] {
+			t.Errorf("frame %d = %+v, want %+v", i, f, want[i])
+		}
+	}
+}
+
+// TestParseSSEIncompleteFrame: a trailing frame without its blank-line
+// dispatch is not delivered (matches the browser EventSource contract).
+func TestParseSSEIncompleteFrame(t *testing.T) {
+	n := 0
+	err := ParseSSE(strings.NewReader("id: 9\nevent: state\ndata: {}\n"), func(SSEFrame) error {
+		n++
+		return nil
+	})
+	if err != nil || n != 0 {
+		t.Fatalf("got %d frames, err %v; want 0 frames, nil", n, err)
+	}
+}
+
+// TestParseSSECallbackError: the first non-nil error from fn stops the
+// parse and is returned as-is.
+func TestParseSSECallbackError(t *testing.T) {
+	sentinel := errors.New("stop")
+	n := 0
+	err := ParseSSE(strings.NewReader("id: 1\ndata: a\n\nid: 2\ndata: b\n\n"), func(SSEFrame) error {
+		n++
+		return sentinel
+	})
+	if !errors.Is(err, sentinel) || n != 1 {
+		t.Fatalf("err = %v after %d frames; want sentinel after 1", err, n)
+	}
+}

@@ -1,0 +1,78 @@
+package store
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"congestmwc"
+	"congestmwc/internal/jobs"
+)
+
+// TestReadPending: the cluster hand-off reader sees exactly the jobs that
+// were queued or running when the owning process last wrote — done jobs
+// excluded, Interrupted bumped, specs intact — without opening the dir for
+// writing.
+func TestReadPending(t *testing.T) {
+	dir := t.TempDir()
+	st := mustOpen(t, Options{Dir: dir, Fsync: FsyncNone})
+
+	res := &congestmwc.Result{Weight: 7, Found: true}
+	emitLifecycle(st, "s0-j-00000001", "sha256:aa", ringSpec(16, 1), jobs.StateDone, res)
+	emitLifecycle(st, "s0-j-00000002", "sha256:bb", ringSpec(24, 2), "", nil) // running
+	st.Record(jobs.JournalEvent{Type: jobs.EventAdmit, ID: "s0-j-00000003", Key: "sha256:cc",
+		State: jobs.StateQueued, Time: time.Now(), Spec: specPtr(ringSpec(32, 3))})
+	if err := st.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	pending, err := ReadPending(dir)
+	if err != nil {
+		t.Fatalf("ReadPending: %v", err)
+	}
+	if len(pending) != 2 {
+		t.Fatalf("ReadPending returned %d jobs, want 2 (running + queued): %+v", len(pending), pending)
+	}
+	if pending[0].ID != "s0-j-00000002" || pending[1].ID != "s0-j-00000003" {
+		t.Errorf("pending IDs = %s, %s; want s0-j-00000002, s0-j-00000003", pending[0].ID, pending[1].ID)
+	}
+	for _, p := range pending {
+		if p.Interrupted != 1 {
+			t.Errorf("job %s Interrupted = %d, want 1", p.ID, p.Interrupted)
+		}
+		if p.Spec.Graph.Gen == nil || p.Spec.Graph.Gen.N == 0 {
+			t.Errorf("job %s spec did not round-trip: %+v", p.ID, p.Spec)
+		}
+	}
+
+	// Reading must not have mutated the directory: a fresh full recovery
+	// still sees the same pending set plus the durable result.
+	st2 := mustOpen(t, Options{Dir: dir, Fsync: FsyncNone})
+	defer st2.Close()
+	rec := st2.Recovered()
+	if len(rec.Pending) != 2 {
+		t.Errorf("full recovery after ReadPending sees %d pending, want 2", len(rec.Pending))
+	}
+	if _, ok := rec.Results["sha256:aa"]; !ok {
+		t.Error("full recovery after ReadPending lost the durable result")
+	}
+}
+
+// TestReadPendingMissingDir: a shard that never wrote anything has no
+// pending jobs; an empty dir string is an error.
+func TestReadPendingMissingDir(t *testing.T) {
+	if _, err := ReadPending(""); err == nil {
+		t.Error("ReadPending(\"\") should fail")
+	}
+	dir := t.TempDir() + "/never-created"
+	pending, err := ReadPending(dir)
+	if err != nil {
+		t.Fatalf("ReadPending on a missing dir: %v", err)
+	}
+	if len(pending) != 0 {
+		t.Errorf("missing dir yielded %d pending jobs, want 0", len(pending))
+	}
+	if _, err := os.Stat(dir); err == nil {
+		t.Error("ReadPending created the directory; it must be read-only")
+	}
+}

@@ -30,13 +30,24 @@ func (st *Store) recover() error {
 		return err
 	}
 
+	st.recovered = jobs.RecoveredState{
+		Results: results,
+		Pending: st.pendingList(),
+		MaxID:   st.maxID,
+	}
+	return nil
+}
+
+// pendingList converts the replayed job table into the recovered-job list,
+// oldest ID first, dropping unrunnable records (a state record whose admit
+// — and therefore spec — was lost to a crash before any fsync).
+func (st *Store) pendingList() []jobs.RecoveredJob {
 	pending := make([]jobs.RecoveredJob, 0, len(st.pending))
 	for id, jr := range st.pending {
 		if jr.Spec == nil {
-			// A state record without its admit record (the admit was lost
-			// to a crash before any fsync): the spec is gone, so the job
-			// cannot be re-enqueued. Drop it from the table rather than
-			// carrying an unrunnable record forever.
+			// The spec is gone, so the job cannot be re-enqueued. Drop it
+			// from the table rather than carrying an unrunnable record
+			// forever.
 			delete(st.pending, id)
 			continue
 		}
@@ -48,13 +59,34 @@ func (st *Store) recover() error {
 		})
 	}
 	sort.Slice(pending, func(i, k int) bool { return pending[i].ID < pending[k].ID })
+	return pending
+}
 
-	st.recovered = jobs.RecoveredState{
-		Results: results,
-		Pending: pending,
-		MaxID:   st.maxID,
+// ReadPending replays a store directory read-only and returns the jobs
+// that were queued or running when its owning process last wrote — the
+// cluster hand-off path: a router reads a dead shard's journal to replay
+// its unfinished jobs onto the ring successor. Nothing is opened for
+// writing and no lock is taken on the directory, so it is safe to call on
+// a shard's data dir whether the shard is dead or merely unreachable; a
+// torn trailing WAL line (crash mid-append) is tolerated exactly as in
+// normal recovery. Durable results are NOT read: they stay on the dead
+// shard's disk, and a handed-off job whose work was already completed
+// elsewhere is still answered by the successor's own cache.
+func ReadPending(dir string) ([]jobs.RecoveredJob, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("store: empty data dir")
 	}
-	return nil
+	st := &Store{
+		opts:    Options{Dir: dir},
+		pending: make(map[string]*jobRec),
+	}
+	if err := st.loadSnapshot(); err != nil {
+		return nil, err
+	}
+	if err := st.replayWAL(); err != nil {
+		return nil, err
+	}
+	return st.pendingList(), nil
 }
 
 // loadSnapshot seeds the job table from the last compaction snapshot.

@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -497,10 +498,15 @@ func (st *Store) StoreMetrics() jobs.StoreMetrics {
 	}
 }
 
-// idSuffix extracts the numeric suffix of a "j-%08d" job ID.
+// idSuffix extracts the numeric suffix of a job ID of shape
+// "[prefix-]j-%08d" (shard-prefixed cluster IDs parse like bare ones).
 func idSuffix(id string) int64 {
+	i := strings.LastIndex(id, "j-")
+	if i < 0 {
+		return 0
+	}
 	var n int64
-	if _, err := fmt.Sscanf(id, "j-%d", &n); err == nil {
+	if _, err := fmt.Sscanf(id[i:], "j-%d", &n); err == nil {
 		return n
 	}
 	return 0

@@ -1,0 +1,193 @@
+#!/bin/bash
+# End-to-end smoke test for the sharded mwcd cluster: build mwcd, mwcrouter
+# and mwctail; start two durable -shard workers and a router fronting them;
+# push a ≥50-item mixed batch (valid, duplicate and invalid specs) through
+# the router and check the per-item tally; verify cluster-wide dedup via a
+# router resubmission; then SIGKILL the worker that owns a running job and
+# assert that the router declares it dead, replays its journal onto the
+# surviving shard, and the job finishes under its ORIGINAL ID — while an
+# mwctail following the job through the router survives the failover.
+# Finally, diff a terminal job's SSE replay fetched via the router against
+# the same stream fetched from the worker directly.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+S0_ADDR="127.0.0.1:${MWC_S0_PORT:-8361}"
+S1_ADDR="127.0.0.1:${MWC_S1_PORT:-8362}"
+ROUTER_ADDR="127.0.0.1:${MWC_ROUTER_PORT:-8360}"
+BASE="http://$ROUTER_ADDR"
+S0_PID="" S1_PID="" ROUTER_PID=""
+WORK_DIR=$(mktemp -d)
+
+go build -o /tmp/mwcd ./cmd/mwcd
+go build -o /tmp/mwcrouter ./cmd/mwcrouter
+go build -o /tmp/mwctail ./cmd/mwctail
+
+cleanup() {
+  for pid in "$ROUTER_PID" "$S0_PID" "$S1_PID"; do
+    if [ -n "$pid" ] && kill -0 "$pid" 2>/dev/null; then
+      kill "$pid" 2>/dev/null || true
+      wait "$pid" 2>/dev/null || true
+    fi
+  done
+  rm -rf "$WORK_DIR"
+}
+trap cleanup EXIT
+
+wait_http() { # wait_http <url> <pid>
+  local url=$1 pid=$2
+  for _ in $(seq 1 100); do
+    if curl -fsS "$url" >/dev/null 2>&1; then return 0; fi
+    if ! kill -0 "$pid" 2>/dev/null; then
+      echo "process behind $url exited during startup" >&2
+      return 1
+    fi
+    sleep 0.1
+  done
+  curl -fsS "$url" >/dev/null
+}
+
+json_field() { # json_field <field>  (first string occurrence on stdin)
+  sed -n 's/.*"'"$1"'": *"\([^"]*\)".*/\1/p' | head -1
+}
+
+# poll_done <id>: block until the job is done, via the router's ?wait=
+# long-poll; bounded at ~120s total. Transient proxy errors (502s while a
+# dead shard's journal is being replayed) are tolerated, not fatal.
+poll_done() {
+  local id=$1 status state
+  for _ in $(seq 1 60); do
+    if ! status=$(curl -fsS "$BASE/v1/jobs/$id?wait=2s" 2>/dev/null); then
+      sleep 0.5
+      continue
+    fi
+    state=$(echo "$status" | json_field state)
+    case "$state" in
+      done) echo "$status"; return 0 ;;
+      failed|cancelled|expired) echo "job $id ended in $state:" >&2; echo "$status" >&2; return 1 ;;
+    esac
+  done
+  echo "job $id never finished" >&2
+  return 1
+}
+
+poll_state() { # poll_state <id> <state>
+  local id=$1 want=$2 status state=""
+  for _ in $(seq 1 200); do
+    status=$(curl -fsS "$BASE/v1/jobs/$id")
+    state=$(echo "$status" | json_field state)
+    if [ "$state" = "$want" ]; then return 0; fi
+    case "$state" in
+      done|failed|cancelled|expired)
+        echo "job $id reached terminal $state while waiting for $want" >&2
+        return 1 ;;
+    esac
+    sleep 0.05
+  done
+  echo "job $id never reached $want (last: $state)" >&2
+  return 1
+}
+
+echo "== start 2 durable workers + router"
+mkdir -p "$WORK_DIR/s0" "$WORK_DIR/s1"
+/tmp/mwcd -addr "$S0_ADDR" -shard s0 -workers 1 -queue 64 -observe \
+  -data-dir "$WORK_DIR/s0" -fsync always &
+S0_PID=$!
+/tmp/mwcd -addr "$S1_ADDR" -shard s1 -workers 2 -queue 64 -observe \
+  -data-dir "$WORK_DIR/s1" -fsync always &
+S1_PID=$!
+wait_http "http://$S0_ADDR/healthz" "$S0_PID"
+wait_http "http://$S1_ADDR/healthz" "$S1_PID"
+
+/tmp/mwcrouter -addr "$ROUTER_ADDR" -check-interval 200ms -fail-after 2 \
+  -worker "s0=http://$S0_ADDR;$WORK_DIR/s0" \
+  -worker "s1=http://$S1_ADDR;$WORK_DIR/s1" &
+ROUTER_PID=$!
+wait_http "$BASE/readyz" "$ROUTER_PID"
+curl -fsS "$BASE/v1/cluster" | grep -q '"name": *"s0"'
+
+echo "== batch of 52 mixed specs through the router"
+# 48 distinct valid specs, 2 duplicates of the first, 2 invalid classes.
+ITEMS=""
+for i in $(seq 1 48); do
+  ITEMS+='{"graph":{"class":"uw","gen":{"kind":"ring","n":24,"maxW":7,"seed":'"$i"'}},"algo":"exact","options":{"seed":'"$i"'}},'
+done
+ITEMS+='{"graph":{"class":"uw","gen":{"kind":"ring","n":24,"maxW":7,"seed":1}},"algo":"exact","options":{"seed":1}},'
+ITEMS+='{"graph":{"class":"uw","gen":{"kind":"ring","n":24,"maxW":7,"seed":2}},"algo":"exact","options":{"seed":2}},'
+ITEMS+='{"graph":{"class":"zz","gen":{"kind":"ring","n":8}},"algo":"exact"},'
+ITEMS+='{"graph":{"class":"zz","gen":{"kind":"ring","n":8}},"algo":"exact"}'
+BATCH_OUT="$WORK_DIR/batch.json"
+curl -fsS -X POST "$BASE/v1/jobs:batch" -d '{"jobs":['"$ITEMS"']}' > "$BATCH_OUT"
+grep -q '"accepted": *50' "$BATCH_OUT"
+grep -q '"rejected": *2' "$BATCH_OUT"
+test "$(grep -o '"code": *400' "$BATCH_OUT" | wc -l)" = 2
+
+# Every accepted job completes, reachable through the router; the batch
+# spread across BOTH shards (the IDs carry the owning shard's prefix).
+BATCH_IDS=$(grep -o '"id": *"[^"]*"' "$BATCH_OUT" | sed 's/.*"\([^"]*\)"$/\1/' | sort -u)
+echo "$BATCH_IDS" | grep -q '^s0-' || { echo "no batch job landed on s0" >&2; exit 1; }
+echo "$BATCH_IDS" | grep -q '^s1-' || { echo "no batch job landed on s1" >&2; exit 1; }
+for id in $BATCH_IDS; do
+  poll_done "$id" >/dev/null
+done
+
+echo "== cluster-wide dedup: resubmission is a cache hit on the owning shard"
+DEDUP='{"graph":{"class":"uw","gen":{"kind":"ring","n":24,"maxW":7,"seed":1}},"algo":"exact","options":{"seed":1}}'
+RESP=$(curl -fsS -X POST "$BASE/v1/jobs" -d "$DEDUP")
+echo "$RESP" | grep -q '"cacheHit": *true'
+echo "$RESP" | grep -q '"state": *"done"'
+
+echo "== kill the worker that owns a running job"
+SLOW='{"graph":{"class":"uw","gen":{"kind":"ring","n":2048,"maxW":7}},"algo":"exact"}'
+SLOW_ID=$(curl -fsS -X POST "$BASE/v1/jobs" -d "$SLOW" | json_field id)
+test -n "$SLOW_ID"
+poll_state "$SLOW_ID" running
+
+# Follow the job through the router; the tail must survive the failover.
+TAIL_OUT="$WORK_DIR/tail.txt"
+/tmp/mwctail -addr "$BASE" -retries 40 -retry-wait 250ms "$SLOW_ID" > "$TAIL_OUT" &
+TAIL_PID=$!
+
+case "$SLOW_ID" in
+  s0-*) VICTIM_PID=$S0_PID; VICTIM=s0 ;;
+  s1-*) VICTIM_PID=$S1_PID; VICTIM=s1 ;;
+  *) echo "job ID $SLOW_ID names no shard" >&2; exit 1 ;;
+esac
+echo "   victim: $VICTIM (job $SLOW_ID)"
+kill -9 "$VICTIM_PID"
+wait "$VICTIM_PID" 2>/dev/null || true
+if [ "$VICTIM" = s0 ]; then S0_PID=""; else S1_PID=""; fi
+
+echo "== hand-off: original ID finishes on the survivor"
+STATUS=$(poll_done "$SLOW_ID")
+echo "$STATUS" | grep -q '"id": *"'"$SLOW_ID"'"'
+echo "$STATUS" | grep -q '"interruptedAttempts": *1'
+curl -fsS "$BASE/v1/cluster" > "$WORK_DIR/topo.json"
+grep -q '"relocations": *[1-9]' "$WORK_DIR/topo.json"
+
+echo "== the SSE tail survived the failover"
+wait "$TAIL_PID"
+grep -q "state: done" "$TAIL_OUT"
+
+echo "== router metrics"
+curl -fsS "$BASE/metrics" | grep -E '^mwcrouter_handoffs_total [1-9]'
+curl -fsS "$BASE/metrics" | grep -E '^mwcrouter_handoff_jobs_total [1-9]'
+curl -fsS "$BASE/metrics" | grep -E '^mwcrouter_batch_jobs_total 5[0-9]'
+curl -fsS "$BASE/metrics" | grep -E '^mwcrouter_workers_ready 1'
+
+echo "== SSE equivalence: router replay == direct worker replay"
+# The survivor owns the handed-off job; its replay must read the same
+# through the router as straight from the worker (heartbeats aside).
+if [ "$VICTIM" = s0 ]; then DIRECT="http://$S1_ADDR"; else DIRECT="http://$S0_ADDR"; fi
+curl -fsS -N -m 30 "$BASE/v1/jobs/$SLOW_ID/events"   | grep -v '^: heartbeat' > "$WORK_DIR/via_router.sse"
+curl -fsS -N -m 30 "$DIRECT/v1/jobs/$SLOW_ID/events" | grep -v '^: heartbeat' > "$WORK_DIR/direct.sse"
+grep -q '"state":"done"' "$WORK_DIR/via_router.sse"
+diff "$WORK_DIR/via_router.sse" "$WORK_DIR/direct.sse"
+
+echo "== graceful shutdown"
+kill -TERM "$ROUTER_PID"; wait "$ROUTER_PID"; ROUTER_PID=""
+for pid in "$S0_PID" "$S1_PID"; do
+  if [ -n "$pid" ]; then kill -TERM "$pid"; wait "$pid"; fi
+done
+S0_PID="" S1_PID=""
+echo SMOKE-OK
