@@ -22,6 +22,15 @@
 // progress as Server-Sent Events (cmd/mwctail renders them), and job
 // statuses include the per-run observability summary.
 //
+// Besides one-shot jobs the daemon serves dynamic graph sessions
+// (/v1/graphs): long-lived mutable graphs whose MWC answer is kept warm
+// across batched edge edits, with witness-scoped invalidation deciding
+// whether an edit can be absorbed with zero simulation or needs a
+// recompute through the same worker pool. Sessions persist under
+// -data-dir and hand off through a mwcrouter cluster like jobs do. See
+// docs/SERVER.md ("Dynamic sessions") and cmd/mwcreplay for a trace-replay
+// load harness.
+//
 // Logs are structured (log/slog): -log-format selects text or JSON, and
 // every HTTP request is access-logged with a request ID, status and
 // latency. -pprof serves net/http/pprof on a separate loopback-only
@@ -53,6 +62,7 @@ import (
 	"time"
 
 	"congestmwc/internal/jobs"
+	"congestmwc/internal/session"
 	"congestmwc/internal/store"
 )
 
@@ -234,9 +244,50 @@ func run(args []string) error {
 			slog.Int("requeued", requeued),
 		)
 	}
+	sessCfg := session.Config{
+		Jobs:    svc,
+		MaxN:    *maxN,
+		Observe: *observe,
+	}
+	if *shard != "" {
+		sessCfg.IDPrefix = *shard + "-"
+	}
+	if st != nil {
+		sessCfg.Store = st
+	}
+	mgr, err := session.NewManager(sessCfg)
+	if err != nil {
+		return err
+	}
+	if st != nil {
+		restored, err := mgr.Restore()
+		if err != nil {
+			return fmt.Errorf("restore sessions from %s: %w", *dataDir, err)
+		}
+		if restored > 0 {
+			logger.Info("recovered sessions",
+				slog.String("dataDir", *dataDir),
+				slog.Int("sessions", restored),
+			)
+		}
+	}
+
+	// The dynamic-session API mounts next to the jobs API; /metrics serves
+	// both series from one scrape.
+	jobsAPI := jobs.NewHandler(svc, jobs.HandlerConfig{MaxBodyBytes: *maxBody, ShardID: *shard})
+	sessAPI := session.NewHandler(mgr, session.HandlerConfig{MaxBodyBytes: *maxBody})
+	mux := http.NewServeMux()
+	mux.Handle("/v1/graphs", sessAPI)
+	mux.Handle("/v1/graphs/", sessAPI)
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		jobs.WriteMetrics(w, svc.Metrics())
+		session.WriteMetrics(w, mgr.Metrics())
+	})
+	mux.Handle("/", jobsAPI)
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           accessLog(logger, jobs.NewHandler(svc, jobs.HandlerConfig{MaxBodyBytes: *maxBody, ShardID: *shard})),
+		Handler:           accessLog(logger, mux),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -277,6 +328,7 @@ func run(args []string) error {
 
 	select {
 	case err := <-errc:
+		mgr.Close()
 		_ = svc.Close(context.Background())
 		_ = closeStore()
 		return err
@@ -297,6 +349,11 @@ func run(args []string) error {
 	// closes.
 	svc.SignalDrain()
 	serr := srv.Shutdown(drainCtx)
+	// Sessions close before the job service: open sessions stay durable on
+	// disk (their records restore on the next start or hand off through the
+	// cluster), and closing the manager first stops recompute loops from
+	// resubmitting into a draining pool.
+	mgr.Close()
 	jerr := svc.Close(drainCtx)
 	// The service is drained (its Close fsynced the journal after the last
 	// transitions); now the store itself can close.

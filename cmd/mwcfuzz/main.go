@@ -52,6 +52,7 @@ type config struct {
 	exact    bool
 	parallel bool
 	cancel   bool
+	session  bool
 	verbose  bool
 }
 
@@ -83,6 +84,7 @@ func run(args []string) error {
 	fs.BoolVar(&cfg.exact, "exact", true, "also run the exact baseline on every instance")
 	fs.BoolVar(&cfg.parallel, "parallel", true, "also run the parallel engine and check agreement")
 	fs.BoolVar(&cfg.cancel, "cancel", true, "probe Init-phase cancellation on every instance")
+	fs.BoolVar(&cfg.session, "session", true, "interleave dynamic-session PATCH-vs-rebuild differential traces into the soak")
 	fs.BoolVar(&cfg.verbose, "v", false, "log every instance, not just violations")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -185,10 +187,16 @@ func (f *fuzzer) replayCorpus() error {
 }
 
 // soak fuzzes round-robin over the classes until the duration elapses.
+// With -session the dynamic-session differential rides along as one extra
+// slot in the rotation, cycling through the same classes.
 func (f *fuzzer) soak(classes []congestmwc.Class) {
 	f.perClass = make(map[string]int)
 	deadline := time.Now().Add(f.cfg.duration)
 	for i := 0; time.Now().Before(deadline); i++ {
+		if f.cfg.session && i%(len(classes)+1) == len(classes) {
+			f.soakSessionTrace(classes[(i/(len(classes)+1))%len(classes)])
+			continue
+		}
 		class := classes[i%len(classes)]
 		seed := f.rng.Int63n(1 << 32)
 		inst := check.RandomInstance(f.rng, class, f.cfg.maxN)
@@ -209,6 +217,37 @@ func (f *fuzzer) soak(classes []congestmwc.Class) {
 			f.failures++
 			f.handleViolation(inst, v, seed)
 		}
+	}
+}
+
+// soakSessionTrace runs one dynamic-session differential: a seeded trace
+// of valid PATCH batches replayed through a live session manager, with
+// every intermediate answer diffed against a from-scratch build + solve of
+// the same edge set. Reproduce with the printed seed: the trace generator
+// is deterministic in it.
+func (f *fuzzer) soakSessionTrace(class congestmwc.Class) {
+	seed := f.rng.Int63n(1 << 32)
+	maxN := f.cfg.maxN
+	if maxN > 16 {
+		maxN = 16 // a reference solve runs after every batch; keep instances small
+	}
+	tr := check.RandomSessionTrace(rand.New(rand.NewSource(seed)), class, maxN, 5)
+	vs, err := check.CheckSessionTrace(tr, seed)
+	if err != nil {
+		f.failures++
+		fmt.Printf("FAIL session/%v: trace unusable: %v\n", class, err)
+		return
+	}
+	f.runs++
+	f.perClass["session"]++
+	if f.cfg.verbose && len(vs) == 0 {
+		fmt.Printf("ok session/%v n=%d m=%d batches=%d\n", class, tr.Inst.N, len(tr.Inst.Edges), len(tr.Batches))
+	}
+	for _, v := range vs {
+		f.failures++
+		fmt.Printf("FAIL session/%v/%s n=%d m=%d batches=%d seed=%d: %s\n",
+			class, tr.Inst.Label, tr.Inst.N, len(tr.Inst.Edges), len(tr.Batches), seed, v)
+		f.logFailure(tr.Inst, tr.Inst, v, seed, "", false)
 	}
 }
 

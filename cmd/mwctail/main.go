@@ -16,7 +16,10 @@
 // If the stream breaks before the job is terminal — a router failover, a
 // shard hand-off, a dropped connection — mwctail reconnects with the SSE
 // Last-Event-ID header set to the last event it saw, so the server resumes
-// the stream instead of replaying it from seq 0. -retries bounds the
+// the stream instead of replaying it from the start. Event IDs are
+// epoch-tagged ("<epoch>-<seq>"): after a journal hand-off the successor
+// serves a higher epoch and answers a stale resume point with a full
+// replay, so no events are lost across the failover. -retries bounds the
 // reconnect attempts (linear backoff between them).
 package main
 

@@ -1,0 +1,343 @@
+package check
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"congestmwc"
+	"congestmwc/internal/jobs"
+	"congestmwc/internal/session"
+)
+
+// SessionTrace is one differential test of the dynamic-session layer: a
+// base instance plus a sequence of PATCH batches that are valid by
+// construction (no duplicate inserts, no deletes of absent edges, the
+// communication network stays connected throughout).
+type SessionTrace struct {
+	Inst    Instance
+	Batches [][]session.Op
+}
+
+// sessionMirror tracks the edge set a trace's ops evolve, with the same
+// key normalization the session manager uses (unordered pairs on
+// undirected classes).
+type sessionMirror struct {
+	n        int
+	directed bool
+	weighted bool
+	edges    map[[2]int]int64
+}
+
+func newSessionMirror(inst Instance) *sessionMirror {
+	m := &sessionMirror{
+		n:        inst.N,
+		directed: inst.Directed(),
+		weighted: inst.Weighted(),
+		edges:    make(map[[2]int]int64, len(inst.Edges)),
+	}
+	for _, e := range inst.Edges {
+		w := e.Weight
+		if !m.weighted {
+			w = 1
+		}
+		m.edges[m.key(e.From, e.To)] = w
+	}
+	return m
+}
+
+func (m *sessionMirror) key(u, v int) [2]int {
+	if !m.directed && u > v {
+		u, v = v, u
+	}
+	return [2]int{u, v}
+}
+
+// sortedKeys renders the edge set in a deterministic order — map
+// iteration order must never leak into a seeded generator.
+func (m *sessionMirror) sortedKeys() [][2]int {
+	keys := make([][2]int, 0, len(m.edges))
+	for k := range m.edges {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	return keys
+}
+
+// connectedWithout reports whether the communication network (the
+// underlying undirected graph) stays connected after removing one edge.
+func (m *sessionMirror) connectedWithout(skip [2]int) bool {
+	adj := make([][]int, m.n)
+	for k := range m.edges {
+		if k == skip {
+			continue
+		}
+		adj[k[0]] = append(adj[k[0]], k[1])
+		adj[k[1]] = append(adj[k[1]], k[0])
+	}
+	seen := make([]bool, m.n)
+	queue := []int{0}
+	seen[0] = true
+	count := 1
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range adj[u] {
+			if !seen[v] {
+				seen[v] = true
+				count++
+				queue = append(queue, v)
+			}
+		}
+	}
+	return count == m.n
+}
+
+// apply folds one op into the mirror. Ops come from the generator, so
+// they are valid by construction.
+func (m *sessionMirror) apply(op session.Op) {
+	key := m.key(op.From, op.To)
+	switch op.Op {
+	case session.OpInsert, session.OpReweight:
+		w := op.Weight
+		if !m.weighted {
+			w = 1
+		}
+		m.edges[key] = w
+	case session.OpDelete:
+		delete(m.edges, key)
+	}
+}
+
+// instance snapshots the mirror as a buildable Instance.
+func (m *sessionMirror) instance(class congestmwc.Class) Instance {
+	keys := m.sortedKeys()
+	edges := make([]congestmwc.Edge, len(keys))
+	for i, k := range keys {
+		edges[i] = congestmwc.Edge{From: k[0], To: k[1], Weight: m.edges[k]}
+	}
+	return Instance{Class: class, N: m.n, Edges: edges, Label: "session-trace"}
+}
+
+// RandomSessionTrace generates a deterministic trace for the class: a
+// valid base instance (connected, weights >= 1 so both engines accept it)
+// and `batches` PATCH batches of 1-3 ops each, mixing inserts, deletes
+// that provably keep the network connected, and (on weighted classes)
+// reweights.
+func RandomSessionTrace(rng *rand.Rand, class congestmwc.Class, maxN, batches int) SessionTrace {
+	var inst Instance
+	for try := 0; ; try++ {
+		inst = RandomInstance(rng, class, maxN)
+		if inst.Valid() && !inst.HasZeroWeight() {
+			break
+		}
+		if try >= 64 {
+			// A ring is always valid; an arbitrary rng state cannot starve
+			// the generator forever.
+			inst = ShapeInstance(rng, class, ShapeRing, maxN)
+			break
+		}
+	}
+	m := newSessionMirror(inst)
+	tr := SessionTrace{Inst: inst}
+
+	weight := func() int64 {
+		if !m.weighted {
+			return 1
+		}
+		return 1 + rng.Int63n(16)
+	}
+	makeInsert := func() (session.Op, bool) {
+		for try := 0; try < 32; try++ {
+			u, v := rng.Intn(m.n), rng.Intn(m.n)
+			if u == v {
+				continue
+			}
+			if _, exists := m.edges[m.key(u, v)]; exists {
+				continue
+			}
+			return session.Op{Op: session.OpInsert, From: u, To: v, Weight: weight()}, true
+		}
+		return session.Op{}, false
+	}
+	makeDelete := func() (session.Op, bool) {
+		keys := m.sortedKeys()
+		rng.Shuffle(len(keys), func(i, j int) { keys[i], keys[j] = keys[j], keys[i] })
+		for _, k := range keys {
+			if m.connectedWithout(k) {
+				return session.Op{Op: session.OpDelete, From: k[0], To: k[1]}, true
+			}
+		}
+		return session.Op{}, false
+	}
+	makeReweight := func() (session.Op, bool) {
+		if !m.weighted || len(m.edges) == 0 {
+			return session.Op{}, false
+		}
+		keys := m.sortedKeys()
+		k := keys[rng.Intn(len(keys))]
+		return session.Op{Op: session.OpReweight, From: k[0], To: k[1], Weight: weight()}, true
+	}
+
+	for b := 0; b < batches; b++ {
+		nOps := 1 + rng.Intn(3)
+		var batch []session.Op
+		for len(batch) < nOps {
+			var op session.Op
+			var ok bool
+			switch rng.Intn(3) {
+			case 0:
+				op, ok = makeInsert()
+			case 1:
+				op, ok = makeDelete()
+			default:
+				if op, ok = makeReweight(); !ok {
+					op, ok = makeInsert()
+				}
+			}
+			if !ok {
+				break
+			}
+			m.apply(op)
+			batch = append(batch, op)
+		}
+		if len(batch) > 0 {
+			tr.Batches = append(tr.Batches, batch)
+		}
+	}
+	return tr
+}
+
+// CheckSessionTrace is the PATCH-vs-rebuild differential oracle: it
+// replays the trace through a real session.Manager (exact recomputes over
+// a private jobs.Service) and, after every batch, compares the session's
+// answer against a from-scratch build + sequential reference solve of the
+// same edge set. Any divergence — a rejected batch the generator believes
+// valid, a session that never comes clean, a wrong weight, a witness cycle
+// that does not verify — is a violation.
+func CheckSessionTrace(tr SessionTrace, seed int64) ([]Violation, error) {
+	svc := jobs.New(jobs.Config{Workers: 2, QueueCap: 256, DefaultTimeout: time.Minute})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		_ = svc.Close(ctx)
+	}()
+	mgr, err := session.NewManager(session.Config{Jobs: svc})
+	if err != nil {
+		return nil, err
+	}
+	defer mgr.Close()
+
+	spec := jobs.Spec{
+		Graph: jobs.GraphSpec{Class: classToken(tr.Inst.Class), N: tr.Inst.N, Edges: jobEdges(tr.Inst.Edges)},
+		Algo:  jobs.AlgoExact,
+		Opts:  jobs.OptionsSpec{Seed: seed},
+	}
+	s, err := mgr.Create(spec)
+	if err != nil {
+		return nil, fmt.Errorf("check: session create: %w", err)
+	}
+
+	m := newSessionMirror(tr.Inst)
+	var vs []Violation
+	if v := compareSessionAnswer(s, m, tr.Inst.Class, -1); v != nil {
+		return append(vs, *v), nil
+	}
+	for i, batch := range tr.Batches {
+		if _, err := s.Patch(batch); err != nil {
+			vs = append(vs, Violation{
+				Oracle: "session-patch",
+				Detail: fmt.Sprintf("batch %d rejected though valid by construction: %v (ops %+v)", i, err, batch),
+			})
+			return vs, nil // the mirror and the session have diverged
+		}
+		for _, op := range batch {
+			m.apply(op)
+		}
+		if v := compareSessionAnswer(s, m, tr.Inst.Class, i); v != nil {
+			vs = append(vs, *v)
+			return vs, nil
+		}
+	}
+	return vs, nil
+}
+
+// compareSessionAnswer queries the session until clean and diffs the
+// answer against the sequential reference on the mirror's edge set.
+// batch is -1 for the pre-mutation check.
+func compareSessionAnswer(s *session.Session, m *sessionMirror, class congestmwc.Class, batch int) *Violation {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	st, _ := s.Query(ctx, 2*time.Minute)
+	if st.State != session.StateClean {
+		return &Violation{
+			Oracle: "session-state",
+			Detail: fmt.Sprintf("after batch %d: session %s in state %q (error %q), never clean", batch, st.ID, st.State, st.Error),
+		}
+	}
+	inst := m.instance(class)
+	g, err := inst.Graph()
+	if err != nil {
+		return &Violation{
+			Oracle: "session-state",
+			Detail: fmt.Sprintf("after batch %d: mirror edge set does not build: %v", batch, err),
+		}
+	}
+	ref, err := congestmwc.ReferenceMWC(g)
+	refFound := err == nil
+	if st.Result == nil {
+		return &Violation{
+			Oracle: "session-diff",
+			Detail: fmt.Sprintf("after batch %d: clean session without a result", batch),
+		}
+	}
+	if st.Result.Found != refFound {
+		return &Violation{
+			Oracle: "session-diff",
+			Detail: fmt.Sprintf("after batch %d: session found=%v, reference found=%v (n=%d m=%d)",
+				batch, st.Result.Found, refFound, m.n, len(m.edges)),
+		}
+	}
+	if !refFound {
+		return nil
+	}
+	if st.Result.Weight != ref {
+		return &Violation{
+			Oracle: "session-diff",
+			Detail: fmt.Sprintf("after batch %d: session weight %d != reference %d (n=%d m=%d)",
+				batch, st.Result.Weight, ref, m.n, len(m.edges)),
+		}
+	}
+	if len(st.Result.Cycle) > 0 {
+		w, err := g.VerifyCycle(st.Result.Cycle)
+		if err != nil {
+			return &Violation{
+				Oracle: "session-witness",
+				Detail: fmt.Sprintf("after batch %d: witness %v does not verify: %v", batch, st.Result.Cycle, err),
+			}
+		}
+		if w != st.Result.Weight {
+			return &Violation{
+				Oracle: "session-witness",
+				Detail: fmt.Sprintf("after batch %d: witness %v weighs %d, session reports %d", batch, st.Result.Cycle, w, st.Result.Weight),
+			}
+		}
+	}
+	return nil
+}
+
+// jobEdges converts facade edges to job-spec edges.
+func jobEdges(edges []congestmwc.Edge) []jobs.Edge {
+	out := make([]jobs.Edge, len(edges))
+	for i, e := range edges {
+		out[i] = jobs.Edge{From: e.From, To: e.To, Weight: e.Weight}
+	}
+	return out
+}

@@ -1,0 +1,86 @@
+package check
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"congestmwc"
+)
+
+// TestRandomSessionTraceDeterministic: same seed, same trace.
+func TestRandomSessionTraceDeterministic(t *testing.T) {
+	for _, class := range []congestmwc.Class{congestmwc.Undirected, congestmwc.DirectedWeighted} {
+		a := RandomSessionTrace(rand.New(rand.NewSource(42)), class, 16, 5)
+		b := RandomSessionTrace(rand.New(rand.NewSource(42)), class, 16, 5)
+		if fmt.Sprintf("%+v", a) != fmt.Sprintf("%+v", b) {
+			t.Errorf("%v: same seed produced different traces", class)
+		}
+	}
+}
+
+// TestRandomSessionTraceValid: every generated batch replays cleanly onto
+// a mirror — connected throughout, no duplicate inserts, no absent
+// deletes — and the final edge set builds.
+func TestRandomSessionTraceValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	classes := []congestmwc.Class{
+		congestmwc.Undirected, congestmwc.Directed,
+		congestmwc.UndirectedWeighted, congestmwc.DirectedWeighted,
+	}
+	for i := 0; i < 20; i++ {
+		class := classes[i%len(classes)]
+		tr := RandomSessionTrace(rng, class, 14, 6)
+		if !tr.Inst.Valid() {
+			t.Fatalf("trace %d (%v): invalid base instance", i, class)
+		}
+		m := newSessionMirror(tr.Inst)
+		for bi, batch := range tr.Batches {
+			for oi, op := range batch {
+				key := m.key(op.From, op.To)
+				_, exists := m.edges[key]
+				switch op.Op {
+				case "insert":
+					if exists {
+						t.Fatalf("trace %d batch %d op %d: duplicate insert %+v", i, bi, oi, op)
+					}
+				case "delete", "reweight":
+					if !exists {
+						t.Fatalf("trace %d batch %d op %d: %s of absent edge %+v", i, bi, oi, op.Op, op)
+					}
+				default:
+					t.Fatalf("trace %d batch %d op %d: unknown op %q", i, bi, oi, op.Op)
+				}
+				m.apply(op)
+			}
+			if !m.instance(class).Valid() {
+				t.Fatalf("trace %d (%v): edge set invalid after batch %d", i, class, bi)
+			}
+		}
+	}
+}
+
+// TestCheckSessionTrace is the differential oracle smoke: seeded traces
+// over every class must replay through a live session manager with zero
+// violations (the 60s soak in CI runs many more through cmd/mwcfuzz).
+func TestCheckSessionTrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live session manager per trace")
+	}
+	rng := rand.New(rand.NewSource(11))
+	classes := []congestmwc.Class{
+		congestmwc.Undirected, congestmwc.Directed,
+		congestmwc.UndirectedWeighted, congestmwc.DirectedWeighted,
+	}
+	for i := 0; i < 8; i++ {
+		class := classes[i%len(classes)]
+		tr := RandomSessionTrace(rng, class, 12, 5)
+		vs, err := CheckSessionTrace(tr, int64(i+1))
+		if err != nil {
+			t.Fatalf("trace %d (%v): %v", i, class, err)
+		}
+		for _, v := range vs {
+			t.Errorf("trace %d (%v, n=%d m=%d): %s", i, class, tr.Inst.N, len(tr.Inst.Edges), v)
+		}
+	}
+}

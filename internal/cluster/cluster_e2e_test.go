@@ -22,6 +22,7 @@ import (
 	"congestmwc/internal/cluster"
 	"congestmwc/internal/jobs"
 	"congestmwc/internal/obs"
+	"congestmwc/internal/session"
 	"congestmwc/internal/store"
 )
 
@@ -41,6 +42,7 @@ type shard struct {
 	name string
 	dir  string
 	svc  *jobs.Service
+	mgr  *session.Manager
 	st   *store.Store
 	srv  *httptest.Server
 }
@@ -70,7 +72,28 @@ func startShard(t *testing.T, name string, workers int, durable bool) *shard {
 			t.Fatalf("restore %s: %v", name, err)
 		}
 	}
-	sh.srv = httptest.NewServer(jobs.NewHandler(sh.svc, jobs.HandlerConfig{ShardID: name}))
+	// Mount the dynamic-session API next to the jobs API, exactly as
+	// cmd/mwcd composes them.
+	scfg := session.Config{Jobs: sh.svc, IDPrefix: name + "-", Observe: true}
+	if sh.st != nil {
+		scfg.Store = sh.st
+	}
+	mgr, err := session.NewManager(scfg)
+	if err != nil {
+		t.Fatalf("session manager for %s: %v", name, err)
+	}
+	sh.mgr = mgr
+	if sh.st != nil {
+		if _, err := sh.mgr.Restore(); err != nil {
+			t.Fatalf("restore sessions %s: %v", name, err)
+		}
+	}
+	mux := http.NewServeMux()
+	sessAPI := session.NewHandler(sh.mgr, session.HandlerConfig{})
+	mux.Handle("/v1/graphs", sessAPI)
+	mux.Handle("/v1/graphs/", sessAPI)
+	mux.Handle("/", jobs.NewHandler(sh.svc, jobs.HandlerConfig{ShardID: name}))
+	sh.srv = httptest.NewServer(mux)
 	t.Cleanup(func() { sh.stop() })
 	return sh
 }
@@ -78,6 +101,7 @@ func startShard(t *testing.T, name string, workers int, durable bool) *shard {
 // stop shuts the shard down gracefully. Safe after kill.
 func (sh *shard) stop() {
 	sh.srv.Close()
+	sh.mgr.Close()
 	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
 	defer cancel()
 	_ = sh.svc.Close(ctx)
@@ -101,6 +125,7 @@ func (sh *shard) kill() {
 	// rather than a clean close.
 	sh.srv.CloseClientConnections()
 	sh.srv.Close()
+	sh.mgr.Close()
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	_ = sh.svc.Close(ctx)
@@ -774,6 +799,110 @@ func TestClusterQoS(t *testing.T) {
 	}
 }
 
+// TestClusterQoSCancelQueuedReleasesCost: a job cancelled while still
+// queued on its shard — it never started running — must release its QoS
+// cost reservation. A leak here is permanent: the cancelled job can never
+// reach a terminal state "naturally", so the tenant's outstanding quota
+// would stay consumed until exhaustion.
+func TestClusterQoSCancelQueuedReleasesCost(t *testing.T) {
+	s0 := startShard(t, "s0", 1, false) // one worker: the blocker pins it
+
+	costOf := func(spec jobs.Spec) float64 {
+		info, err := spec.Inspect(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cluster.Model{}.Estimate(info).Cost
+	}
+	blocker := ringSpec(2048, 11)
+	blockerCost := costOf(blocker)
+
+	// carol's quota fits two blockers but not three.
+	_, base := startRouter(t, []*shard{s0}, func(cfg *cluster.Config) {
+		cfg.Tenants = map[string]cluster.TenantConfig{
+			"carol": {MaxOutstandingCost: 2.5 * blockerCost},
+		}
+	})
+	asCarol := func(seed int64) jobs.Spec {
+		spec := blocker
+		gen := *spec.Graph.Gen
+		gen.Seed = seed
+		spec.Graph.Gen = &gen
+		spec.Tenant = "carol"
+		spec.Opts.Seed = seed
+		return spec
+	}
+
+	resp, runningSt := submit(t, base, asCarol(11))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("blocker: HTTP %d", resp.StatusCode)
+	}
+	resp, queuedSt := submit(t, base, asCarol(12))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("second job: HTTP %d", resp.StatusCode)
+	}
+	// Quota check: two blockers outstanding, a third bounces.
+	resp, _ = submit(t, base, asCarol(13))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("third job over quota: HTTP %d, want 429", resp.StatusCode)
+	}
+
+	// Cancel the queued job — the single worker is still busy with the
+	// blocker, so it cannot have started.
+	req, _ := http.NewRequest(http.MethodDelete, base+"/v1/jobs/"+queuedSt.ID, nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	st := waitTerminal(t, base, queuedSt.ID, time.Minute)
+	if st.State != jobs.StateCancelled {
+		t.Fatalf("queued job ended %s, want cancelled", st.State)
+	}
+	if st.Started != nil {
+		t.Fatalf("job %s ran before cancellation; this test needs a queued cancel", queuedSt.ID)
+	}
+
+	// The reservation must come back: the bounced job is admittable now.
+	var thirdSt jobs.Status
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, st := submit(t, base, asCarol(13))
+		if resp.StatusCode == http.StatusAccepted {
+			thirdSt = st
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("quota never freed after queued cancel: HTTP %d", resp.StatusCode)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// Cancel everything and confirm the whole budget drains to zero.
+	for _, id := range []string{runningSt.ID, thirdSt.ID} {
+		req, _ := http.NewRequest(http.MethodDelete, base+"/v1/jobs/"+id, nil)
+		if resp, err := http.DefaultClient.Do(req); err == nil {
+			resp.Body.Close()
+		}
+	}
+	deadline = time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(base + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if strings.Contains(string(raw), "mwcrouter_qos_inflight_cost 0\n") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("QoS budget never drained after cancels; metrics:\n%s", raw)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
 func getCode(t *testing.T, url string) int {
 	t.Helper()
 	resp, err := http.Get(url)
@@ -782,4 +911,166 @@ func getCode(t *testing.T, url string) int {
 	}
 	resp.Body.Close()
 	return resp.StatusCode
+}
+
+// sessionSpec is the session workhorse: a unit triangle (MWC 3) with a
+// heavy path hanging off it, so off-witness edits exist.
+func sessionSpec() jobs.Spec {
+	return jobs.Spec{
+		Graph: jobs.GraphSpec{Class: "uw", N: 6, Edges: []jobs.Edge{
+			{From: 0, To: 1, Weight: 1}, {From: 1, To: 2, Weight: 1}, {From: 2, To: 0, Weight: 1},
+			{From: 2, To: 3, Weight: 10}, {From: 3, To: 4, Weight: 10},
+			{From: 4, To: 5, Weight: 10}, {From: 5, To: 0, Weight: 10},
+		}},
+		Algo: jobs.AlgoExact,
+	}
+}
+
+// sessionStatus GETs one session through the router.
+func sessionStatus(t *testing.T, base, id, query string) (int, session.Status) {
+	t.Helper()
+	url := base + "/v1/graphs/" + id
+	if query != "" {
+		url += "?" + query
+	}
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st session.Status
+	if resp.StatusCode < 300 {
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode, st
+}
+
+// waitSessionClean long-polls a session's answer through the router until
+// it is clean.
+func waitSessionClean(t *testing.T, base, id string, timeout time.Duration) session.Status {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		code, st := sessionStatus(t, base, id+"/mwc", "wait=2s")
+		if code == http.StatusOK && st.State == session.StateClean {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("session %s never clean through the router: HTTP %d %+v", id, code, st)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// patchSession applies one batch through the router.
+func patchSession(t *testing.T, base, id string, ops []session.Op) (int, session.PatchResult) {
+	t.Helper()
+	body, err := json.Marshal(session.PatchRequest{Ops: ops})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPatch, base+"/v1/graphs/"+id, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var pr session.PatchResult
+	if resp.StatusCode < 300 {
+		if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode, pr
+}
+
+// TestClusterSessionHandOff: a dynamic graph session opened through the
+// router keeps answering after its shard dies — the router adopts the
+// durable session record onto the survivor (PUT /v1/graphs/{id}), the
+// generation bumps (fencing any stale SSE resume points), and both cached
+// answers and post-hand-off PATCHes flow through the original session ID.
+func TestClusterSessionHandOff(t *testing.T) {
+	s0 := startShard(t, "s0", 2, true)
+	s1 := startShard(t, "s1", 2, true)
+	shards := []*shard{s0, s1}
+	r, base := startRouter(t, shards, nil)
+
+	body, err := json.Marshal(sessionSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/graphs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var created session.Status
+	if err := json.NewDecoder(resp.Body).Decode(&created); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated || created.ID == "" {
+		t.Fatalf("create via router: HTTP %d %+v", resp.StatusCode, created)
+	}
+	st := waitSessionClean(t, base, created.ID, time.Minute)
+	if st.Result.Weight != 3 {
+		t.Fatalf("initial answer %+v, want weight 3", st.Result)
+	}
+
+	// An off-witness edit through the router is absorbed without recompute.
+	code, pr := patchSession(t, base, created.ID, []session.Op{
+		{Op: session.OpReweight, From: 3, To: 4, Weight: 30},
+	})
+	if code != http.StatusOK || !pr.WitnessKept {
+		t.Fatalf("off-witness patch via router: HTTP %d %+v", code, pr)
+	}
+
+	owner, survivor := s0, s1
+	if strings.HasPrefix(created.ID, "s1-") {
+		owner, survivor = s1, s0
+	}
+	owner.kill()
+
+	// Sweep until the dead shard crosses FailAfter and its sessions are
+	// adopted; the session must resolve through the router again.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		r.CheckAll(context.Background())
+		code, st = sessionStatus(t, base, created.ID, "")
+		if code == http.StatusOK && st.Generation > created.Generation {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("session %s never adopted: HTTP %d %+v", created.ID, code, st)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if st.Version != 2 || st.ResultVersion != 2 {
+		t.Fatalf("adopted session lost the patched state: %+v", st)
+	}
+	if _, err := survivor.mgr.Get(created.ID); err != nil {
+		t.Fatalf("survivor %s does not own the session: %v", survivor.name, err)
+	}
+	st = waitSessionClean(t, base, created.ID, time.Minute)
+	if st.Result.Weight != 3 {
+		t.Fatalf("answer after hand-off %+v, want weight 3", st.Result)
+	}
+
+	// The survivor recomputes on an invalidating edit, still via the
+	// original ID through the router.
+	code, pr = patchSession(t, base, created.ID, []session.Op{
+		{Op: session.OpReweight, From: 0, To: 1, Weight: 4},
+	})
+	if code != http.StatusOK || pr.WitnessKept {
+		t.Fatalf("on-witness patch after hand-off: HTTP %d %+v", code, pr)
+	}
+	st = waitSessionClean(t, base, created.ID, time.Minute)
+	if st.Result.Weight != 6 {
+		t.Fatalf("recomputed answer after hand-off %+v, want weight 6", st.Result)
+	}
 }

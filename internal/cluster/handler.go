@@ -22,10 +22,17 @@ import (
 //	GET    /v1/jobs/{id}        proxy to the owning shard (?wait= passes through)
 //	GET    /v1/jobs/{id}/events SSE fan-in: proxied byte-for-byte from the shard
 //	DELETE /v1/jobs/{id}        proxy to the owning shard
+//	POST   /v1/graphs           open a dynamic session: place by initial-graph key, forward
+//	GET    /v1/graphs           union of every live shard's session list
+//	*      /v1/graphs/{id}...   proxy to the owning shard (status, PATCH, mwc, events, DELETE)
 //	GET    /v1/cluster          topology and health view
 //	GET    /healthz             router liveness
 //	GET    /readyz              200 while at least one shard accepts work
 //	GET    /metrics             router + QoS metrics
+//
+// Session IDs carry the shard prefix like job IDs ("s0-g-00000001"), so
+// per-session requests route the same way; after a dead shard's sessions
+// are adopted by successors the relocation table takes precedence.
 func (r *Router) Handler() http.Handler {
 	maxBody := r.cfg.MaxBodyBytes
 	if maxBody <= 0 {
@@ -117,7 +124,97 @@ func (r *Router) Handler() http.Handler {
 		r.proxyJob(w, req, req.PathValue("id"))
 	})
 	mux.HandleFunc("GET /v1/jobs/{id}/events", func(w http.ResponseWriter, req *http.Request) {
-		r.proxyEvents(w, req, req.PathValue("id"))
+		id := req.PathValue("id")
+		r.proxyEvents(w, req, id, "/v1/jobs/"+id+"/events")
+	})
+	mux.HandleFunc("POST /v1/graphs", func(w http.ResponseWriter, req *http.Request) {
+		req.Body = http.MaxBytesReader(w, req.Body, maxBody)
+		dec := json.NewDecoder(req.Body)
+		dec.DisallowUnknownFields()
+		var spec jobs.Spec
+		if err := dec.Decode(&spec); err != nil {
+			httpError(w, http.StatusBadRequest, "invalid session spec: "+err.Error())
+			return
+		}
+		// Sessions place like jobs: by the canonical key of the initial
+		// graph. Unlike jobs there is no QoS hold — a session's cost is its
+		// stream of recomputes, each of which runs on the owning shard's own
+		// worker pool and admission queue.
+		info, err := spec.Inspect(r.cfg.MaxN)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		target, ok := r.ring.LookupHealthy(info.Key, r.isReady)
+		if !ok {
+			w.Header().Set("Retry-After", "5")
+			httpError(w, http.StatusServiceUnavailable, "no ready workers")
+			return
+		}
+		r.sessions.Add(1)
+		wk := r.workers[target]
+		body, err := json.Marshal(spec)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		out, err := http.NewRequestWithContext(req.Context(), http.MethodPost,
+			wk.cfg.URL+"/v1/graphs", bytes.NewReader(body))
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		out.Header.Set("Content-Type", "application/json")
+		resp, err := r.client.Do(out)
+		if err != nil {
+			httpError(w, http.StatusBadGateway, fmt.Sprintf("worker %s: %v", wk.cfg.Name, err))
+			return
+		}
+		defer resp.Body.Close()
+		r.proxied.Add(1)
+		wk.placed.Add(1)
+		copyHeader(w, resp, "Content-Type", "Retry-After")
+		w.WriteHeader(resp.StatusCode)
+		io.Copy(w, resp.Body)
+	})
+	mux.HandleFunc("GET /v1/graphs", func(w http.ResponseWriter, req *http.Request) {
+		all := make([]json.RawMessage, 0, 16)
+		for _, name := range r.ring.Members() {
+			wk := r.workers[name]
+			wk.mu.Lock()
+			dead := wk.dead
+			wk.mu.Unlock()
+			if dead {
+				continue
+			}
+			var page struct {
+				Graphs []json.RawMessage `json:"graphs"`
+			}
+			if err := r.getJSON(req, wk.cfg.URL+"/v1/graphs?"+req.URL.RawQuery, &page); err != nil {
+				continue // a flapping shard costs visibility, not availability
+			}
+			all = append(all, page.Graphs...)
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"graphs": all})
+	})
+	proxyGraph := func(w http.ResponseWriter, req *http.Request, suffix string) {
+		r.proxySession(w, req, req.PathValue("id"), suffix, maxBody)
+	}
+	mux.HandleFunc("GET /v1/graphs/{id}", func(w http.ResponseWriter, req *http.Request) {
+		proxyGraph(w, req, "")
+	})
+	mux.HandleFunc("PATCH /v1/graphs/{id}", func(w http.ResponseWriter, req *http.Request) {
+		proxyGraph(w, req, "")
+	})
+	mux.HandleFunc("DELETE /v1/graphs/{id}", func(w http.ResponseWriter, req *http.Request) {
+		proxyGraph(w, req, "")
+	})
+	mux.HandleFunc("GET /v1/graphs/{id}/mwc", func(w http.ResponseWriter, req *http.Request) {
+		proxyGraph(w, req, "/mwc")
+	})
+	mux.HandleFunc("GET /v1/graphs/{id}/events", func(w http.ResponseWriter, req *http.Request) {
+		id := req.PathValue("id")
+		r.proxyEvents(w, req, id, "/v1/graphs/"+id+"/events")
 	})
 	mux.HandleFunc("GET /v1/cluster", func(w http.ResponseWriter, req *http.Request) {
 		writeJSON(w, http.StatusOK, r.topology())
@@ -293,17 +390,57 @@ func (r *Router) proxyJob(w http.ResponseWriter, req *http.Request, id string) {
 	io.Copy(w, resp.Body)
 }
 
-// proxyEvents relays a shard's SSE stream byte-for-byte, flushing per
-// read, so sequence numbers, replay and the close notice survive the
-// router unchanged. The client's Last-Event-ID travels upstream, which is
-// what lets mwctail resume after a failover. If the shard connection
-// breaks mid-stream the client gets a comment, then EOF — the signal to
-// reconnect (by then the job may have been handed off and the router will
-// route the retry to the successor).
-func (r *Router) proxyEvents(w http.ResponseWriter, req *http.Request, id string) {
+// proxySession relays one per-session request (status, PATCH, mwc,
+// DELETE) to the owning shard, body, query string and all.
+func (r *Router) proxySession(w http.ResponseWriter, req *http.Request, id, suffix string, maxBody int64) {
 	wk := r.ownerOf(id)
 	if wk == nil {
-		httpError(w, http.StatusNotFound, fmt.Sprintf("job %q: ID names no known shard", id))
+		httpError(w, http.StatusNotFound,
+			fmt.Sprintf("session %q: ID names no known shard (known: %v)", id, r.ring.Members()))
+		return
+	}
+	url := wk.cfg.URL + "/v1/graphs/" + id + suffix
+	if req.URL.RawQuery != "" {
+		url += "?" + req.URL.RawQuery
+	}
+	var body io.Reader
+	if req.Method == http.MethodPatch {
+		body = http.MaxBytesReader(w, req.Body, maxBody)
+	}
+	out, err := http.NewRequestWithContext(req.Context(), req.Method, url, body)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	if ct := req.Header.Get("Content-Type"); ct != "" {
+		out.Header.Set("Content-Type", ct)
+	}
+	resp, err := r.client.Do(out)
+	if err != nil {
+		httpError(w, http.StatusBadGateway, fmt.Sprintf("worker %s: %v", wk.cfg.Name, err))
+		return
+	}
+	defer resp.Body.Close()
+	r.proxied.Add(1)
+	copyHeader(w, resp, "Content-Type", "Retry-After")
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+}
+
+// proxyEvents relays a shard's SSE stream byte-for-byte, flushing per
+// read, so epoch-tagged sequence IDs, replay and the close notice survive
+// the router unchanged. The client's Last-Event-ID travels upstream, which
+// is what lets mwctail resume after a failover — the upstream's epoch
+// fence decides whether the resume point is honored or the stream replays
+// in full. If the shard connection breaks mid-stream the client gets a
+// comment, then EOF — the signal to reconnect (by then the job or session
+// may have been handed off and the router will route the retry to the
+// successor). path is the upstream events path: /v1/jobs/{id}/events or
+// /v1/graphs/{id}/events.
+func (r *Router) proxyEvents(w http.ResponseWriter, req *http.Request, id, path string) {
+	wk := r.ownerOf(id)
+	if wk == nil {
+		httpError(w, http.StatusNotFound, fmt.Sprintf("%q: ID names no known shard", id))
 		return
 	}
 	fl, ok := w.(http.Flusher)
@@ -312,7 +449,7 @@ func (r *Router) proxyEvents(w http.ResponseWriter, req *http.Request, id string
 		return
 	}
 	out, err := http.NewRequestWithContext(req.Context(), http.MethodGet,
-		wk.cfg.URL+"/v1/jobs/"+id+"/events", nil)
+		wk.cfg.URL+path, nil)
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, err.Error())
 		return
@@ -448,11 +585,13 @@ func (r *Router) writeMetrics(w io.Writer) {
 		fmt.Fprintf(w, "mwcrouter_placed_total{worker=%q} %d\n", name, r.workers[name].placed.Load())
 	}
 	c("mwcrouter_submissions_total", "Single-job submissions received.", r.submissions.Load())
+	c("mwcrouter_sessions_total", "Dynamic graph sessions opened through the router.", r.sessions.Load())
 	c("mwcrouter_batch_jobs_total", "Jobs received inside batch submissions.", r.batchJobs.Load())
 	c("mwcrouter_proxied_requests_total", "Requests forwarded to workers.", r.proxied.Load())
 	c("mwcrouter_sse_streams_total", "Event streams proxied.", r.sseStreams.Load())
 	c("mwcrouter_handoffs_total", "Dead-shard journal replays started.", r.handoffs.Load())
 	c("mwcrouter_handoff_jobs_total", "Jobs re-admitted on a ring successor.", r.handoffJobs.Load())
+	c("mwcrouter_handoff_sessions_total", "Sessions adopted by a ring successor.", r.handoffSessions.Load())
 	c("mwcrouter_handoff_failures_total", "Hand-off attempts that failed.", r.handoffFailures.Load())
 	r.mu.RLock()
 	relocated := len(r.relocated)

@@ -87,11 +87,13 @@ type Router struct {
 	relocated map[string]string // job ID -> shard now owning it
 
 	submissions     atomic.Uint64
+	sessions        atomic.Uint64
 	batchJobs       atomic.Uint64
 	proxied         atomic.Uint64
 	sseStreams      atomic.Uint64
 	handoffs        atomic.Uint64
 	handoffJobs     atomic.Uint64
+	handoffSessions atomic.Uint64
 	handoffFailures atomic.Uint64
 }
 
@@ -289,15 +291,19 @@ func (r *Router) anyReady() bool {
 	return false
 }
 
-// ownerOf resolves a job ID to the shard that owns it now: the relocation
-// table first (a handed-off job lives on its successor), then the ID's
-// shard prefix. Nil for IDs naming no known shard.
+// ownerOf resolves a job or session ID to the shard that owns it now: the
+// relocation table first (a handed-off ID lives on its successor), then
+// the ID's shard prefix — "<shard>-j-<seq>" for jobs, "<shard>-g-<seq>"
+// for dynamic graph sessions. Nil for IDs naming no known shard.
 func (r *Router) ownerOf(id string) *worker {
 	r.mu.RLock()
 	name, relocated := r.relocated[id]
 	r.mu.RUnlock()
 	if !relocated {
 		i := strings.LastIndex(id, "j-")
+		if j := strings.LastIndex(id, "g-"); j > i {
+			i = j
+		}
 		if i <= 0 {
 			return nil
 		}
@@ -306,11 +312,15 @@ func (r *Router) ownerOf(id string) *worker {
 	return r.workers[name]
 }
 
-// handOff replays a dead shard's journal: every job that was queued or
-// running on it is re-admitted, under its original ID, on the ring
-// successor among the ready workers. Placement is by the job's canonical
-// key, so a handed-off job still dedups against identical work on its new
-// shard. Requires the shard's DataDir on a filesystem the router can read.
+// handOff replays a dead shard's durable state: every job that was queued
+// or running on it is re-admitted, under its original ID, on the ring
+// successor among the ready workers, and every open dynamic graph session
+// is adopted (PUT /v1/graphs/{id}) by a successor, which bumps the
+// session's generation and recomputes any in-flight answer. Job placement
+// is by the job's canonical key, so a handed-off job still dedups against
+// identical work on its new shard; session placement is by the session ID,
+// which is stable across any number of hand-offs. Requires the shard's
+// DataDir on a filesystem the router can read.
 func (r *Router) handOff(dead *worker) {
 	r.handoffs.Add(1)
 	pending, err := store.ReadPending(dead.cfg.DataDir)
@@ -327,6 +337,57 @@ func (r *Router) handOff(dead *worker) {
 			r.log.Error("cluster: hand-off failed", "job", rec.ID, "err", err)
 		}
 	}
+	sessions, err := store.ReadSessionsDir(dead.cfg.DataDir)
+	if err != nil {
+		r.handoffFailures.Add(1)
+		r.log.Error("cluster: hand-off session read failed",
+			"worker", dead.cfg.Name, "dir", dead.cfg.DataDir, "err", err)
+		return
+	}
+	if len(sessions) > 0 {
+		r.log.Info("cluster: relocating sessions", "worker", dead.cfg.Name, "sessions", len(sessions))
+	}
+	for _, rec := range sessions {
+		if err := r.handOffSession(rec); err != nil {
+			r.handoffFailures.Add(1)
+			r.log.Error("cluster: session hand-off failed", "session", rec.ID, "err", err)
+		}
+	}
+}
+
+// handOffSession adopts one durable session record onto a ready successor.
+func (r *Router) handOffSession(rec *store.SessionRecord) error {
+	target, ok := r.ring.LookupHealthy(rec.ID, r.isReady)
+	if !ok {
+		return fmt.Errorf("no ready worker to take session %s", rec.ID)
+	}
+	wk := r.workers[target]
+	body, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	ctx, cancelPut := context.WithTimeout(r.ctx, 10*time.Second)
+	defer cancelPut()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut,
+		wk.cfg.URL+"/v1/graphs/"+rec.ID, strings.NewReader(string(body)))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusCreated {
+		return fmt.Errorf("worker %s: %s", target, resp.Status)
+	}
+	r.mu.Lock()
+	r.relocated[rec.ID] = target
+	r.mu.Unlock()
+	r.handoffSessions.Add(1)
+	r.log.Info("cluster: session handed off", "session", rec.ID, "to", target, "version", rec.Version)
+	return nil
 }
 
 func (r *Router) handOffJob(rec jobs.RecoveredJob) error {

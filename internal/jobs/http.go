@@ -253,15 +253,18 @@ func NewHandler(s *Service, cfg HandlerConfig) http.Handler {
 		}
 		// A reconnecting client (mwctail after a router failover) sends the
 		// SSE Last-Event-ID header; events it already saw — by hub sequence
-		// number — are skipped instead of replayed. The resume point is
-		// per stream epoch: after a cluster hand-off the successor's hub
-		// renumbers from 1, so a stale high resume point suppresses the new
-		// attempt's early events (documented drop; the terminal close
-		// comment is never suppressed).
+		// number — are skipped instead of replayed. Stream IDs are
+		// epoch-tagged ("<epoch>-<seq>", epoch = attempt number): after a
+		// cluster hand-off the successor's hub renumbers from 1 under a
+		// higher epoch, so a resume point from a previous attempt triggers a
+		// full replay instead of silently suppressing the new attempt's
+		// early events. A bare numeric ID (pre-epoch client) counts as
+		// epoch 1.
+		epoch := j.Epoch()
 		var after uint64
 		if raw := r.Header.Get("Last-Event-ID"); raw != "" {
-			if v, perr := strconv.ParseUint(raw, 10, 64); perr == nil {
-				after = v
+			if ce, cs, ok := obs.ParseSSEID(raw); ok && ce == epoch {
+				after = cs
 			}
 		}
 		h := w.Header()
@@ -286,7 +289,7 @@ func NewHandler(s *Service, cfg HandlerConfig) http.Handler {
 				if ev.Seq <= after {
 					continue // already delivered before the reconnect
 				}
-				if err := writeSSE(w, ev); err != nil {
+				if err := writeSSE(w, epoch, ev); err != nil {
 					return // client gone mid-write
 				}
 				fl.Flush()
@@ -362,14 +365,14 @@ func writeSubmitResult(w http.ResponseWriter, j *Job, err error) {
 }
 
 // writeSSE renders one event in the Server-Sent Events wire format: the
-// hub sequence number as the SSE id, the event type, and the obs.Event as
-// a single-line JSON data payload.
-func writeSSE(w io.Writer, ev obs.Event) error {
+// epoch-tagged hub sequence number ("<epoch>-<seq>") as the SSE id, the
+// event type, and the obs.Event as a single-line JSON data payload.
+func writeSSE(w io.Writer, epoch uint64, ev obs.Event) error {
 	data, err := json.Marshal(ev)
 	if err != nil {
 		return err
 	}
-	_, err = fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, data)
+	_, err = fmt.Fprintf(w, "id: %s\nevent: %s\ndata: %s\n\n", obs.FormatSSEID(epoch, ev.Seq), ev.Type, data)
 	return err
 }
 

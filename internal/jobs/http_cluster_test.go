@@ -10,9 +10,10 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
-	"strconv"
 	"testing"
 	"time"
+
+	"congestmwc/internal/obs"
 )
 
 // TestHTTPReadyzDrainAware: /readyz answers 200 (with the shard identity)
@@ -258,8 +259,11 @@ func TestHTTPEventsLastEventID(t *testing.T) {
 	var last uint64
 	total := 0
 	clean, _ := readSSE(t, resp, 30*time.Second, func(ev sseEvent) bool {
-		n, _ := strconv.ParseUint(ev.id, 10, 64)
-		last = n
+		epoch, seq, ok := obs.ParseSSEID(ev.id)
+		if !ok || epoch != 1 {
+			t.Errorf("fresh job event id %q, want epoch 1", ev.id)
+		}
+		last = seq
 		total++
 		return true
 	})
@@ -273,15 +277,15 @@ func TestHTTPEventsLastEventID(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	req.Header.Set("Last-Event-ID", strconv.FormatUint(resume, 10))
+	req.Header.Set("Last-Event-ID", obs.FormatSSEID(1, resume))
 	resp, err = http.DefaultClient.Do(req)
 	if err != nil {
 		t.Fatal(err)
 	}
 	var got []uint64
 	clean, comments := readSSE(t, resp, 30*time.Second, func(ev sseEvent) bool {
-		n, _ := strconv.ParseUint(ev.id, 10, 64)
-		got = append(got, n)
+		_, seq, _ := obs.ParseSSEID(ev.id)
+		got = append(got, seq)
 		return true
 	})
 	resp.Body.Close()
@@ -293,5 +297,82 @@ func TestHTTPEventsLastEventID(t *testing.T) {
 	}
 	if len(comments) == 0 {
 		t.Error("resumed stream lost the close notice")
+	}
+}
+
+// TestHTTPEventsEpochFencing: after a journal hand-off the successor's hub
+// renumbers from 1 under a higher epoch. A client resuming with a
+// Last-Event-ID from the previous attempt (stale epoch, high sequence) must
+// get a full replay — not have the new attempt's early events silently
+// suppressed — while a same-epoch resume still skips what it already saw.
+func TestHTTPEventsEpochFencing(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, Observe: true})
+
+	// Admit like a router replaying a dead shard's job: one prior attempt,
+	// so this stream runs under epoch 2.
+	body, _ := json.Marshal(HandOffRequest{Spec: exactRingSpec(48, 4), Interrupted: 1})
+	req, err := http.NewRequest(http.MethodPut, ts.URL+"/v1/jobs/dead-j-00000001", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		t.Fatalf("hand-off PUT: HTTP %d", resp.StatusCode)
+	}
+	pollTerminal(t, ts, "dead-j-00000001", time.Minute)
+
+	stream := func(lastID string) (ids []string) {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodGet, ts.URL+"/v1/jobs/dead-j-00000001/events", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lastID != "" {
+			req.Header.Set("Last-Event-ID", lastID)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clean, _ := readSSE(t, resp, 30*time.Second, func(ev sseEvent) bool {
+			ids = append(ids, ev.id)
+			return true
+		})
+		resp.Body.Close()
+		if !clean {
+			t.Fatal("stream did not close cleanly")
+		}
+		return ids
+	}
+
+	full := stream("")
+	if len(full) < 3 {
+		t.Fatalf("full replay too short to fence: %d events", len(full))
+	}
+	for _, id := range full {
+		epoch, _, ok := obs.ParseSSEID(id)
+		if !ok || epoch != 2 {
+			t.Fatalf("handed-off job event id %q, want epoch 2", id)
+		}
+	}
+
+	// Stale epoch, high sequence — the bug scenario: before fencing this
+	// suppressed every replayed event. Now it must replay everything.
+	if got := stream(obs.FormatSSEID(1, 1_000_000)); len(got) != len(full) {
+		t.Errorf("stale-epoch resume replayed %d events, want the full %d", len(got), len(full))
+	}
+	// A bare numeric ID (pre-epoch client) counts as epoch 1 — also stale
+	// against this epoch-2 stream, so it too gets the full replay.
+	if got := stream("1000000"); len(got) != len(full) {
+		t.Errorf("bare-ID resume replayed %d events, want the full %d", len(got), len(full))
+	}
+	// Same epoch: normal skip semantics, only the missing suffix arrives.
+	if got := stream(full[len(full)-3]); len(got) != 2 ||
+		got[0] != full[len(full)-2] || got[1] != full[len(full)-1] {
+		t.Errorf("same-epoch resume got %v, want the last two of %v", got, full)
 	}
 }

@@ -174,6 +174,18 @@ func (j *Job) Subscribe(buf int) *obs.Subscription {
 	return j.stream.Subscribe(buf)
 }
 
+// Epoch is this job's SSE stream epoch: the attempt number, 1 on a fresh
+// submission and interrupted+1 on a job re-admitted after a crash or
+// cluster hand-off. Each hand-off attempt runs a fresh event hub whose
+// sequence numbers restart at 1; tagging stream IDs with the epoch lets a
+// resuming client's Last-Event-ID fence per attempt instead of silently
+// suppressing the successor's early events.
+func (j *Job) Epoch() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return uint64(j.interrupted) + 1
+}
+
 // publishState broadcasts a state transition on the job's event hub (a
 // no-op without one) and closes the hub on terminal states, ending every
 // subscriber's stream.

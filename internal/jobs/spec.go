@@ -163,6 +163,14 @@ func (s Spec) resolve(maxN int) (*congestmwc.Graph, congestmwc.Options, error) {
 	return g, opts, nil
 }
 
+// Resolve validates the spec and materialises its graph and options — the
+// admission-time check, exported for layers that build on job specs (the
+// dynamic-session manager resolves a creation spec once to seed its
+// mutable edge set, then submits recomputes as inline-edge specs).
+func (s Spec) Resolve(maxN int) (*congestmwc.Graph, congestmwc.Options, error) {
+	return s.resolve(maxN)
+}
+
 // checkSize rejects instances whose declared vertex count exceeds maxN
 // (<= 0 disables the cap). It runs before build, so an oversized generator
 // spec costs nothing.

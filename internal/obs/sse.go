@@ -2,9 +2,44 @@ package obs
 
 import (
 	"bufio"
+	"fmt"
 	"io"
+	"strconv"
 	"strings"
 )
+
+// FormatSSEID renders an epoch-tagged SSE event ID. Stream epochs fence
+// Last-Event-ID resumption across hub restarts: each hand-off attempt (and
+// each session recompute generation) publishes under a fresh epoch whose
+// sequence numbers restart at 1, so a client resuming with a high sequence
+// from a previous epoch must not have the new epoch's early events
+// suppressed. The wire form is "<epoch>-<seq>".
+func FormatSSEID(epoch, seq uint64) string {
+	return fmt.Sprintf("%d-%d", epoch, seq)
+}
+
+// ParseSSEID parses an SSE event ID produced by FormatSSEID. A bare
+// sequence number — the pre-epoch wire format, or an ID minted by an older
+// peer — is accepted as epoch 1, keeping old clients resumable against new
+// servers and vice versa.
+func ParseSSEID(s string) (epoch, seq uint64, ok bool) {
+	if e, rest, found := strings.Cut(s, "-"); found {
+		epoch, err := strconv.ParseUint(e, 10, 64)
+		if err != nil {
+			return 0, 0, false
+		}
+		seq, err := strconv.ParseUint(rest, 10, 64)
+		if err != nil {
+			return 0, 0, false
+		}
+		return epoch, seq, true
+	}
+	seq, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return 0, 0, false
+	}
+	return 1, seq, true
+}
 
 // SSEFrame is one parsed Server-Sent Events frame: either the dispatched
 // field values of one id/event/data block, or a single comment line

@@ -1,0 +1,293 @@
+package session
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"congestmwc/internal/jobs"
+	"congestmwc/internal/obs"
+)
+
+func newTestServer(t *testing.T, observe bool) (*Manager, *jobs.Service, *httptest.Server) {
+	t.Helper()
+	svc := jobs.New(jobs.Config{Workers: 2, QueueCap: 64, DefaultTimeout: time.Minute, Observe: observe})
+	m, err := NewManager(Config{Jobs: svc, Observe: observe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewHandler(m, HandlerConfig{}))
+	t.Cleanup(func() {
+		ts.Close()
+		m.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		_ = svc.Close(ctx)
+	})
+	return m, svc, ts
+}
+
+func doJSON(t *testing.T, method, url string, body any, out any) int {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		raw, _ := io.ReadAll(resp.Body)
+		if len(raw) > 0 {
+			if err := json.Unmarshal(raw, out); err != nil {
+				t.Fatalf("%s %s: bad body %q: %v", method, url, raw, err)
+			}
+		}
+	}
+	return resp.StatusCode
+}
+
+func queryClean(t *testing.T, base, id string) Status {
+	t.Helper()
+	deadline := time.Now().Add(time.Minute)
+	for {
+		var st Status
+		code := doJSON(t, http.MethodGet, base+"/v1/graphs/"+id+"/mwc?wait=2s", nil, &st)
+		if code == http.StatusOK && st.State == StateClean {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("session %s never clean: HTTP %d %+v", id, code, st)
+		}
+	}
+}
+
+// TestHTTPSessionLifecycle is the dynamic-sessions e2e: create, query,
+// patch off-witness (answered with ZERO simulation — pinned by the job
+// service's round counter), patch on-witness (recompute), delete — with
+// the mwcd_session_* metrics tracking every step.
+func TestHTTPSessionLifecycle(t *testing.T) {
+	m, svc, ts := newTestServer(t, false)
+
+	var created Status
+	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/graphs", testSpec(), &created); code != http.StatusCreated {
+		t.Fatalf("create: HTTP %d", code)
+	}
+	if created.ID == "" || created.Version != 1 {
+		t.Fatalf("created session %+v", created)
+	}
+	st := queryClean(t, ts.URL, created.ID)
+	if st.Result.Weight != 3 {
+		t.Fatalf("initial answer %+v, want weight 3", st.Result)
+	}
+
+	// Off-witness mutations: the cached answer must carry over without a
+	// single additional simulated round.
+	roundsBefore := svc.Metrics().RoundsSimulated
+	var pr PatchResult
+	code := doJSON(t, http.MethodPatch, ts.URL+"/v1/graphs/"+created.ID, PatchRequest{Ops: []Op{
+		{Op: OpInsert, From: 1, To: 4, Weight: 50},
+		{Op: OpReweight, From: 3, To: 4, Weight: 30},
+		{Op: OpDelete, From: 1, To: 4},
+	}}, &pr)
+	if code != http.StatusOK {
+		t.Fatalf("patch: HTTP %d", code)
+	}
+	if !pr.WitnessKept {
+		t.Fatalf("off-witness batch not absorbed: %+v", pr)
+	}
+	st = queryClean(t, ts.URL, created.ID)
+	if st.Result.Weight != 3 || st.Version != 2 || st.ResultVersion != 2 {
+		t.Fatalf("after absorbed batch: %+v", st)
+	}
+	if rounds := svc.Metrics().RoundsSimulated; rounds != roundsBefore {
+		t.Fatalf("witness-kept patch simulated %d rounds, want 0", rounds-roundsBefore)
+	}
+
+	// On-witness mutation: recompute through the worker pool.
+	code = doJSON(t, http.MethodPatch, ts.URL+"/v1/graphs/"+created.ID, PatchRequest{Ops: []Op{
+		{Op: OpReweight, From: 0, To: 1, Weight: 4},
+	}}, &pr)
+	if code != http.StatusOK || pr.WitnessKept {
+		t.Fatalf("on-witness patch: HTTP %d %+v", code, pr)
+	}
+	st = queryClean(t, ts.URL, created.ID)
+	if st.Result.Weight != 6 { // triangle is now 4+1+1
+		t.Fatalf("after on-witness reweight: %+v, want weight 6", st.Result)
+	}
+	if rounds := svc.Metrics().RoundsSimulated; rounds == roundsBefore {
+		t.Fatal("invalidating patch never simulated")
+	}
+
+	// List and metrics.
+	var list struct {
+		Graphs []Status `json:"graphs"`
+	}
+	if code := doJSON(t, http.MethodGet, ts.URL+"/v1/graphs", nil, &list); code != http.StatusOK || len(list.Graphs) != 1 {
+		t.Fatalf("list: HTTP %d %+v", code, list)
+	}
+	mm := m.Metrics()
+	if mm.WitnessKept != 1 || mm.Invalidations != 1 || mm.Open != 1 || mm.CachedAnswers == 0 {
+		t.Fatalf("metrics %+v", mm)
+	}
+	var sink bytes.Buffer
+	WriteMetrics(&sink, mm)
+	for _, want := range []string{
+		"mwcd_session_open 1",
+		"mwcd_session_witness_kept_total 1",
+		"mwcd_session_invalidations_total 1",
+	} {
+		if !strings.Contains(sink.String(), want) {
+			t.Errorf("metrics text missing %q", want)
+		}
+	}
+
+	if code := doJSON(t, http.MethodDelete, ts.URL+"/v1/graphs/"+created.ID, nil, nil); code != http.StatusOK {
+		t.Fatalf("delete: HTTP %d", code)
+	}
+	if code := doJSON(t, http.MethodGet, ts.URL+"/v1/graphs/"+created.ID, nil, nil); code != http.StatusNotFound {
+		t.Fatalf("get after delete: HTTP %d, want 404", code)
+	}
+	if code := doJSON(t, http.MethodDelete, ts.URL+"/v1/graphs/"+created.ID, nil, nil); code != http.StatusNotFound {
+		t.Fatalf("double delete: HTTP %d, want 404", code)
+	}
+}
+
+// TestHTTPSessionBadRequests pins the error surface.
+func TestHTTPSessionBadRequests(t *testing.T) {
+	_, _, ts := newTestServer(t, false)
+
+	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/graphs", jobs.Spec{Algo: "nope"}, nil); code != http.StatusBadRequest {
+		t.Errorf("bad spec: HTTP %d, want 400", code)
+	}
+	if code := doJSON(t, http.MethodPatch, ts.URL+"/v1/graphs/g-00000077", PatchRequest{Ops: []Op{{Op: OpDelete}}}, nil); code != http.StatusNotFound {
+		t.Errorf("patch unknown session: HTTP %d, want 404", code)
+	}
+
+	var created Status
+	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/graphs", testSpec(), &created); code != http.StatusCreated {
+		t.Fatalf("create: HTTP %d", code)
+	}
+	if code := doJSON(t, http.MethodPatch, ts.URL+"/v1/graphs/"+created.ID,
+		PatchRequest{Ops: []Op{{Op: OpInsert, From: 0, To: 1, Weight: 2}}}, nil); code != http.StatusBadRequest {
+		t.Errorf("duplicate insert: HTTP %d, want 400", code)
+	}
+	resp, err := http.Get(ts.URL + "/v1/graphs/" + created.ID + "/mwc?wait=bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad wait: HTTP %d, want 400", resp.StatusCode)
+	}
+	// Events without observability: explicit conflict, like the jobs API.
+	resp, err = http.Get(ts.URL + "/v1/graphs/" + created.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("events without observe: HTTP %d, want 409", resp.StatusCode)
+	}
+}
+
+// TestHTTPSessionEvents: the session stream publishes computing/clean
+// transitions under generation-epoched IDs, and a stale-epoch resume gets
+// a full replay.
+func TestHTTPSessionEvents(t *testing.T) {
+	_, _, ts := newTestServer(t, true)
+
+	var created Status
+	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/graphs", testSpec(), &created); code != http.StatusCreated {
+		t.Fatalf("create: HTTP %d", code)
+	}
+	queryClean(t, ts.URL, created.ID)
+	// Trigger one more computing → clean cycle.
+	var pr PatchResult
+	if code := doJSON(t, http.MethodPatch, ts.URL+"/v1/graphs/"+created.ID, PatchRequest{Ops: []Op{
+		{Op: OpReweight, From: 2, To: 3, Weight: 5},
+	}}, &pr); code != http.StatusOK {
+		t.Fatalf("patch: HTTP %d", code)
+	}
+	queryClean(t, ts.URL, created.ID)
+
+	collect := func(lastID string) (ids, states []string) {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodGet, ts.URL+"/v1/graphs/"+created.ID+"/events", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lastID != "" {
+			req.Header.Set("Last-Event-ID", lastID)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		timer := time.AfterFunc(5*time.Second, func() { resp.Body.Close() })
+		defer timer.Stop()
+		sc := bufio.NewScanner(resp.Body)
+		var curID string
+		for sc.Scan() {
+			line := sc.Text()
+			switch {
+			case strings.HasPrefix(line, "id: "):
+				curID = line[len("id: "):]
+			case strings.HasPrefix(line, "data: "):
+				var ev obs.Event
+				if err := json.Unmarshal([]byte(line[len("data: "):]), &ev); err != nil {
+					t.Fatalf("bad event %q: %v", line, err)
+				}
+				ids = append(ids, curID)
+				states = append(states, ev.State)
+				// The stream stays open while the session lives; stop once
+				// the replay has delivered both compute cycles.
+				if len(states) >= 4 {
+					return ids, states
+				}
+			}
+		}
+		return ids, states
+	}
+
+	ids, states := collect("")
+	want := []string{"computing", "clean", "computing", "clean"}
+	if strings.Join(states, ",") != strings.Join(want, ",") {
+		t.Fatalf("state events %v, want %v", states, want)
+	}
+	for _, id := range ids {
+		epoch, _, ok := obs.ParseSSEID(id)
+		if !ok || epoch != 1 {
+			t.Fatalf("session event id %q, want generation-1 epoch", id)
+		}
+	}
+
+	// Same-epoch resume skips what the client saw; a stale epoch replays
+	// everything.
+	resumedIDs, _ := collect(ids[1])
+	if len(resumedIDs) != 2 || resumedIDs[0] != ids[2] {
+		t.Errorf("same-epoch resume ids %v, want the suffix of %v", resumedIDs, ids)
+	}
+	staleIDs, _ := collect(obs.FormatSSEID(99, 1000))
+	if len(staleIDs) != 4 {
+		t.Errorf("stale-epoch resume replayed %d events, want 4", len(staleIDs))
+	}
+}

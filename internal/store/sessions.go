@@ -1,0 +1,149 @@
+package store
+
+// Session persistence: dynamic-graph sessions (internal/session) are
+// long-lived mutable state, a poor fit for the append-only job WAL — every
+// PATCH would grow the log with a full edge set. Instead each session
+// lives in its own JSON file under sessions/, atomically rewritten
+// (tmp + fsync + rename) on every mutation, exactly the idiom results/
+// uses. Recovery is a directory scan; the cluster hand-off path reads a
+// dead shard's sessions the same way it reads its pending jobs.
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"congestmwc"
+	"congestmwc/internal/jobs"
+)
+
+// SessionRecord is the durable form of one dynamic-graph session: the
+// current edge set (not the creation-time one — PATCHes fold in before the
+// write), the cached result with the mutation version it answers for, and
+// the generation counter that epochs the session's SSE stream across
+// restarts and hand-offs.
+type SessionRecord struct {
+	ID   string    `json:"id"`
+	Spec jobs.Spec `json:"spec"` // Graph holds the *current* edges, explicitly (no Gen)
+	// Version counts applied mutations; it starts at 1 on creation and
+	// increments per PATCH op batch.
+	Version uint64 `json:"version"`
+	// Generation counts the processes that have owned this session
+	// (restarts and hand-offs each increment it); it epochs the SSE
+	// stream so resuming clients fence correctly.
+	Generation uint64 `json:"generation"`
+	// Result is the last computed (or witness-revalidated) answer, valid
+	// for the graph as of ResultVersion. Nil while the first compute is
+	// in flight.
+	Result        *congestmwc.Result `json:"result,omitempty"`
+	ResultVersion uint64             `json:"resultVersion,omitempty"`
+	Updated       time.Time          `json:"updated"`
+}
+
+func sessionsDir(dir string) string { return filepath.Join(dir, "sessions") }
+
+// sessionPath maps a session ID to its file. IDs are hashed into the
+// filename (like results/) so arbitrary ID strings cannot escape the
+// sessions directory.
+func sessionPath(dir, id string) string {
+	sum := sha256.Sum256([]byte(id))
+	return filepath.Join(sessionsDir(dir), fmt.Sprintf("%x.json", sum))
+}
+
+// WriteSession persists one session atomically, replacing any previous
+// state for the same ID. Safe to call concurrently for different sessions;
+// calls for the same session must be serialized by the caller (the session
+// manager holds the per-session lock across mutate+persist).
+func (st *Store) WriteSession(rec *SessionRecord) error {
+	if rec == nil || rec.ID == "" {
+		return fmt.Errorf("store: session record without an ID")
+	}
+	data, err := json.MarshalIndent(rec, "", " ")
+	if err != nil {
+		return fmt.Errorf("store: marshal session: %w", err)
+	}
+	path := sessionPath(st.opts.Dir, rec.ID)
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: write session: %w", err)
+	}
+	_, werr := f.Write(data)
+	serr := f.Sync()
+	cerr := f.Close()
+	if werr != nil || serr != nil || cerr != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: write session: write=%v sync=%v close=%v", werr, serr, cerr)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: publish session: %w", err)
+	}
+	st.fsyncs.Add(1)
+	return nil
+}
+
+// DeleteSession removes one session's durable state. Deleting a session
+// that was never persisted (or is already gone) is not an error — DELETE
+// is idempotent all the way down.
+func (st *Store) DeleteSession(id string) error {
+	err := os.Remove(sessionPath(st.opts.Dir, id))
+	if err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("store: delete session: %w", err)
+	}
+	return nil
+}
+
+// ReadSessions scans the sessions directory and returns every durable
+// session, sorted by ID. Unreadable or torn files (a crash can leave a
+// stray .tmp; a concurrent writer is mid-rename) are skipped, not fatal:
+// recovery restores what it can prove.
+func (st *Store) ReadSessions() ([]*SessionRecord, error) {
+	return readSessionsDir(st.opts.Dir)
+}
+
+// ReadSessionsDir reads a store directory's sessions read-only, without
+// opening the store — the cluster hand-off path, mirroring ReadPending: a
+// router reads a dead shard's sessions to re-home them on the ring
+// successor.
+func ReadSessionsDir(dir string) ([]*SessionRecord, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("store: empty data dir")
+	}
+	return readSessionsDir(dir)
+}
+
+func readSessionsDir(dir string) ([]*SessionRecord, error) {
+	entries, err := os.ReadDir(sessionsDir(dir))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil // pre-sessions data dir: nothing to restore
+		}
+		return nil, fmt.Errorf("store: read sessions: %w", err)
+	}
+	var recs []*SessionRecord
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".json" {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(sessionsDir(dir), e.Name()))
+		if err != nil {
+			if _, ok := err.(*fs.PathError); ok {
+				continue // raced a delete
+			}
+			return nil, fmt.Errorf("store: read session %s: %w", e.Name(), err)
+		}
+		var rec SessionRecord
+		if err := json.Unmarshal(data, &rec); err != nil || rec.ID == "" {
+			continue // torn or foreign file: skip, don't fail recovery
+		}
+		recs = append(recs, &rec)
+	}
+	sort.Slice(recs, func(i, k int) bool { return recs[i].ID < recs[k].ID })
+	return recs, nil
+}

@@ -1,0 +1,125 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"congestmwc"
+	"congestmwc/internal/jobs"
+)
+
+func sessionRec(id string, version uint64) *SessionRecord {
+	return &SessionRecord{
+		ID: id,
+		Spec: jobs.Spec{
+			Graph: jobs.GraphSpec{Class: "uw", N: 3, Edges: []jobs.Edge{
+				{From: 0, To: 1, Weight: 1},
+				{From: 1, To: 2, Weight: 1},
+				{From: 2, To: 0, Weight: 1},
+			}},
+			Algo: jobs.AlgoExact,
+		},
+		Version:       version,
+		Generation:    1,
+		Result:        &congestmwc.Result{Weight: 3, Found: true, Cycle: []int{0, 1, 2}},
+		ResultVersion: version,
+		Updated:       time.Now().UTC(),
+	}
+}
+
+// TestSessionRoundTrip: write, overwrite, scan, delete — the full life of
+// one durable session, including idempotent deletes.
+func TestSessionRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	if err := st.WriteSession(sessionRec("s0-g-00000001", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.WriteSession(sessionRec("s0-g-00000002", 1)); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite: a PATCH bumped the first session's version.
+	if err := st.WriteSession(sessionRec("s0-g-00000001", 7)); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, err := st.ReadSessions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("ReadSessions returned %d records, want 2", len(recs))
+	}
+	if recs[0].ID != "s0-g-00000001" || recs[1].ID != "s0-g-00000002" {
+		t.Fatalf("sessions out of order: %q, %q", recs[0].ID, recs[1].ID)
+	}
+	if recs[0].Version != 7 {
+		t.Errorf("overwritten session version = %d, want 7", recs[0].Version)
+	}
+	if recs[0].Result == nil || recs[0].Result.Weight != 3 || len(recs[0].Result.Cycle) != 3 {
+		t.Errorf("session result did not round-trip: %+v", recs[0].Result)
+	}
+	if got := len(recs[0].Spec.Graph.Edges); got != 3 {
+		t.Errorf("session edges did not round-trip: %d", got)
+	}
+
+	if err := st.DeleteSession("s0-g-00000001"); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.DeleteSession("s0-g-00000001"); err != nil {
+		t.Errorf("second delete of the same session: %v, want nil", err)
+	}
+	recs, err = st.ReadSessions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].ID != "s0-g-00000002" {
+		t.Fatalf("after delete: %d records, want just s0-g-00000002", len(recs))
+	}
+}
+
+// TestSessionReadDirHandOff: ReadSessionsDir reads another store's
+// directory without opening it — the router's hand-off path — surviving a
+// reopened store and ignoring torn files and stray tmp leftovers.
+func TestSessionReadDirHandOff(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.WriteSession(sessionRec("dead-g-00000009", 4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash debris: a torn JSON file and a stale .tmp must both be skipped.
+	if err := os.WriteFile(filepath.Join(sessionsDir(dir), "torn.json"), []byte(`{"id": "x`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(sessionsDir(dir), "stale.json.tmp"), []byte(`{}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, err := ReadSessionsDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].ID != "dead-g-00000009" || recs[0].Version != 4 {
+		t.Fatalf("hand-off read: %+v, want the one durable session", recs)
+	}
+
+	// A pre-sessions data dir (no sessions/ subdirectory) reads as empty.
+	old := t.TempDir()
+	if recs, err := ReadSessionsDir(old); err != nil || len(recs) != 0 {
+		t.Fatalf("pre-sessions dir: recs=%v err=%v, want empty, nil", recs, err)
+	}
+}

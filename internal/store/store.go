@@ -167,6 +167,9 @@ func Open(opts Options) (*Store, error) {
 	if err := os.MkdirAll(filepath.Join(opts.Dir, "results"), 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
+	if err := os.MkdirAll(sessionsDir(opts.Dir), 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
 	st := &Store{
 		opts:    opts,
 		pending: make(map[string]*jobRec),
