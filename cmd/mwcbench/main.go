@@ -50,10 +50,17 @@ func run(args []string) error {
 		seed     = fs.Int64("seed", 1, "base seed")
 		list     = fs.Bool("list", false, "list experiment IDs and exit")
 		factor   = fs.Float64("factor", 0, "sampling constant override (0 = algorithm default)")
-		jsonOut  = fs.Bool("json", false, "emit the bench/ baseline JSON schema instead of tables")
+		jsonOut   = fs.Bool("json", false, "emit the bench/ baseline JSON schema instead of tables")
+		portfolio = fs.Bool("portfolio", false, "run the algorithm-portfolio profile (one case per registered algorithm) instead of Table-1 experiments; requires -json")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *portfolio {
+		if !*jsonOut {
+			return fmt.Errorf("-portfolio requires -json (it emits the bench/ baseline schema)")
+		}
+		return writePortfolioJSON(os.Stdout, args, *reps)
 	}
 	if *list {
 		for _, id := range harness.IDs() {

@@ -1,7 +1,8 @@
 // Command mwcfuzz runs timed differential-fuzzing soaks over the
 // internal/check oracle harness: it generates random instances of every
 // graph class (round-robin, so slow classes cannot starve the others),
-// runs the approximation and exact algorithms against the sequential
+// runs the full algorithm portfolio (approximation, both exact engines and
+// the girth approximation where it applies) against the sequential
 // reference, and evaluates the full oracle registry on each outcome.
 //
 // On a violation the offending instance is delta-debugged down to a small
@@ -50,6 +51,8 @@ type config struct {
 	corpus   string
 	failDir  string
 	exact    bool
+	agarwal  bool
+	girthapx bool
 	parallel bool
 	cancel   bool
 	session  bool
@@ -82,6 +85,8 @@ func run(args []string) error {
 	fs.StringVar(&cfg.corpus, "corpus", "testdata/corpus", "seed-corpus directory replayed before the soak")
 	fs.StringVar(&cfg.failDir, "faildir", "mwcfuzz-failures", "directory for minimized reproducers and the failures.jsonl log")
 	fs.BoolVar(&cfg.exact, "exact", true, "also run the exact baseline on every instance")
+	fs.BoolVar(&cfg.agarwal, "agarwal", true, "also run the batched exact algorithm (agarwal) on every instance")
+	fs.BoolVar(&cfg.girthapx, "girthapx", true, "also run the girth approximation on every in-range undirected instance")
 	fs.BoolVar(&cfg.parallel, "parallel", true, "also run the parallel engine and check agreement")
 	fs.BoolVar(&cfg.cancel, "cancel", true, "probe Init-phase cancellation on every instance")
 	fs.BoolVar(&cfg.session, "session", true, "interleave dynamic-session PATCH-vs-rebuild differential traces into the soak")
@@ -144,6 +149,8 @@ func (f *fuzzer) opts(seed int64) check.RunOptions {
 	return check.RunOptions{
 		Seed:     seed,
 		Exact:    f.cfg.exact,
+		Agarwal:  f.cfg.agarwal,
+		GirthApx: f.cfg.girthapx,
 		Parallel: f.cfg.parallel,
 		Cancel:   f.cfg.cancel,
 	}

@@ -29,8 +29,11 @@ import (
 	"syscall"
 	"time"
 
+	"congestmwc"
+	"congestmwc/internal/agarwal"
 	"congestmwc/internal/congest"
 	"congestmwc/internal/dirmwc"
+	"congestmwc/internal/girthapx"
 	"congestmwc/internal/dot"
 	"congestmwc/internal/exact"
 	"congestmwc/internal/gen"
@@ -66,6 +69,7 @@ type config struct {
 	cycleLen  int
 	cycleW    int64
 	algo      string
+	guarantee string
 	k         int
 	eps       float64
 	seed      int64
@@ -96,7 +100,8 @@ func run(args []string) error {
 	fs.Int64Var(&cfg.maxW, "maxw", 16, "maximum edge weight for weighted classes")
 	fs.IntVar(&cfg.cycleLen, "cyclelen", 5, "planted cycle length")
 	fs.Int64Var(&cfg.cycleW, "cyclew", 0, "planted cycle weight (0 = cyclelen*maxw/2)")
-	fs.StringVar(&cfg.algo, "algo", "approx", "algorithm: approx | exact | ksssp")
+	fs.StringVar(&cfg.algo, "algo", "approx", "algorithm: approx | exact | agarwal | girthapx | ksssp")
+	fs.StringVar(&cfg.guarantee, "guarantee", "", "let the planner pick the algorithm for this guarantee (exact | girth | 2 | 2+eps | a ratio >= 1); mutually exclusive with -algo")
 	fs.IntVar(&cfg.k, "k", 0, "number of sources for ksssp (0 = ceil(sqrt(n)))")
 	fs.Float64Var(&cfg.eps, "eps", 0.25, "accuracy for weighted approximations")
 	fs.Int64Var(&cfg.seed, "seed", 1, "random seed")
@@ -121,6 +126,26 @@ func run(args []string) error {
 		return err
 	}
 	fmt.Printf("graph: n=%d m=%d directed=%v weighted=%v\n", g.N(), g.M(), g.Directed(), g.Weighted())
+
+	if cfg.guarantee != "" {
+		algoSet := false
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "algo" {
+				algoSet = true
+			}
+		})
+		if algoSet {
+			return fmt.Errorf("-algo and -guarantee are mutually exclusive: name one")
+		}
+		dec, err := congestmwc.PlanFeatures(featuresOf(g), congestmwc.Guarantee(cfg.guarantee),
+			congestmwc.Options{Eps: cfg.eps})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("planner: %s (ratio %.3g, est %.0f rounds) — %s\n",
+			dec.Algorithm, dec.Ratio, dec.EstRounds, dec.Reason)
+		cfg.algo = dec.Algorithm
+	}
 
 	net, err := congest.NewNetwork(g, congest.Options{
 		Seed: cfg.seed, Bandwidth: cfg.bandwidth, Parallel: cfg.parallel,
@@ -184,6 +209,10 @@ func run(args []string) error {
 		err = runApprox(cfg, g, net)
 	case "exact":
 		err = runExact(cfg, g, net)
+	case "agarwal":
+		err = runAgarwal(cfg, g, net)
+	case "girthapx":
+		err = runGirthApx(cfg, g, net)
 	case "ksssp":
 		err = runKSSSP(cfg, g, net)
 	default:
@@ -326,6 +355,55 @@ func runApprox(cfg config, g *graph.Graph, net *congest.Network) error {
 		fmt.Printf("witness cycle: %v\n", witness)
 	}
 	return writeDot(cfg, g, witness)
+}
+
+// featuresOf maps an internal graph onto the planner's feature vector.
+func featuresOf(g *graph.Graph) congestmwc.Features {
+	class := congestmwc.Undirected
+	switch {
+	case g.Directed() && g.Weighted():
+		class = congestmwc.DirectedWeighted
+	case g.Directed():
+		class = congestmwc.Directed
+	case g.Weighted():
+		class = congestmwc.UndirectedWeighted
+	}
+	f := congestmwc.Features{Class: class, N: g.N(), M: g.M(), MaxWeight: g.MaxWeight()}
+	if g.Weighted() {
+		for v := 0; v < g.N() && !f.HasZeroWeight; v++ {
+			for _, a := range g.Out(v) {
+				if a.Weight == 0 {
+					f.HasZeroWeight = true
+					break
+				}
+			}
+		}
+	}
+	return f
+}
+
+func runAgarwal(cfg config, g *graph.Graph, net *congest.Network) error {
+	res, err := agarwal.MWC(net, agarwal.Spec{})
+	if err != nil {
+		return err
+	}
+	printMWC(cfg, g, net, fmt.Sprintf("exact MWC via batched k-source SSSP (%d batches)", res.Batches), res.Weight, res.Found)
+	if res.Found && len(res.Cycle) > 0 {
+		fmt.Printf("witness cycle: %v\n", res.Cycle)
+	}
+	return writeDot(cfg, g, res.Cycle)
+}
+
+func runGirthApx(cfg config, g *graph.Graph, net *congest.Network) error {
+	res, err := girthapx.Run(net, girthapx.Spec{})
+	if err != nil {
+		return err
+	}
+	printMWC(cfg, g, net, "(2 - 1/g)-approximate girth, O~(sqrt(n) + D)", res.Weight, res.Found)
+	if res.Found && len(res.Cycle) > 0 {
+		fmt.Printf("witness cycle: %v\n", res.Cycle)
+	}
+	return writeDot(cfg, g, res.Cycle)
 }
 
 func runExact(cfg config, g *graph.Graph, net *congest.Network) error {

@@ -68,3 +68,48 @@ func FuzzExactVsReference(f *testing.F) {
 		}
 	})
 }
+
+// FuzzAgarwalVsReference differentially checks the batched exact algorithm
+// (bit-for-bit weight agreement with the sequential reference and the
+// monolithic APSP baseline, witness validity, theorem-shaped round
+// ceiling) on fuzzer-shaped instances of all four classes.
+func FuzzAgarwalVsReference(f *testing.F) {
+	f.Add(byte(0), byte(4), int64(1), []byte{1, 3, 0, 2})
+	f.Add(byte(1), byte(8), int64(5), []byte{4, 0, 6, 2})
+	f.Add(byte(2), byte(10), int64(2), []byte{0, 5, 7, 3, 1, 0})
+	f.Add(byte(3), byte(6), int64(9), []byte{2, 0, 3, 4, 1, 15})
+	f.Fuzz(func(t *testing.T, classSel, sizeSel byte, seed int64, data []byte) {
+		inst := check.DecodeInstance(classSel, sizeSel, data)
+		opts := check.RunOptions{Seed: fuzzOptions(seed).Seed, Agarwal: true}
+		out, err := check.Run(inst, opts)
+		if err != nil {
+			t.Fatalf("decoded instance unusable: %v", err)
+		}
+		for _, v := range check.Check(out) {
+			t.Errorf("n=%d m=%d class=%v: %s", inst.N, len(inst.Edges), inst.Class, v)
+		}
+	})
+}
+
+// FuzzPortfolio is the portfolio cross-check: every registered algorithm
+// that serves the instance runs on it, exact engines must agree bit-for-bit
+// with the sequential reference and with each other, approximations must
+// respect their registered ratio bounds, and the planner-soundness oracle
+// checks every canonical guarantee plans to an algorithm at least as strong.
+func FuzzPortfolio(f *testing.F) {
+	f.Add(byte(0), byte(5), int64(1), []byte{0, 3, 1, 4})
+	f.Add(byte(1), byte(9), int64(7), []byte{2, 0, 5, 1, 0, 6})
+	f.Add(byte(2), byte(12), int64(3), []byte{0, 4, 0, 1, 5, 9, 2, 6, 16})
+	f.Add(byte(3), byte(7), int64(11), []byte{3, 0, 2, 1, 4, 0})
+	f.Fuzz(func(t *testing.T, classSel, sizeSel byte, seed int64, data []byte) {
+		inst := check.DecodeInstance(classSel, sizeSel, data)
+		opts := check.RunOptions{Seed: fuzzOptions(seed).Seed, Exact: true, Agarwal: true, GirthApx: true}
+		out, err := check.Run(inst, opts)
+		if err != nil {
+			t.Fatalf("decoded instance unusable: %v", err)
+		}
+		for _, v := range check.Check(out) {
+			t.Errorf("n=%d m=%d class=%v: %s", inst.N, len(inst.Edges), inst.Class, v)
+		}
+	})
+}

@@ -1,0 +1,323 @@
+// Package agarwal implements a deterministic exact MWC in the spirit of
+// Agarwal's successor work on exact minimum weight cycle via multi-source
+// shortest paths (arXiv:2310.00782): instead of one monolithic n-source
+// APSP (internal/exact), the sources are processed in deterministic batches
+// of k through the pluggable-SSSP seam of internal/proto, and the best
+// cycle weight found so far prunes every later batch.
+//
+// Per batch B of k sources the algorithm runs one exact multi-source
+// shortest-path computation (pipelined BFS on unweighted graphs,
+// pipelined Bellman-Ford on weighted ones — both exact, both pluggable),
+// extracts cycle candidates exactly as the APSP reduction does, and
+// convergecasts the running minimum U. Later batches pass U as the
+// substrate's weight bound: distance estimates above U are discarded at
+// record time and never forwarded.
+//
+// Pruning is lossless. U is always the weight of a real cycle, so the
+// final answer is at most U at every point. Any candidate that beats the
+// final answer decomposes as d(s,x) + w(x,y) + d(s,y) (or w(u,v) + d(v,u)
+// directed) with every distance term strictly below U, and every prefix of
+// a shortest path is at most the full distance — so all relaxations that
+// realise the winning candidate survive the bound, and kept estimates are
+// exact. Batching therefore returns bit-for-bit the same Weight/Found as
+// the n-source APSP while peak per-node state drops from n to k fields and
+// early cheap cycles cut the distance waves of every remaining batch.
+//
+// The schedule is fully deterministic: batches are vertex-ID order, no
+// sampling, no eps. Memory per node is O(k) fields plus the batch's
+// exchange vectors.
+package agarwal
+
+import (
+	"fmt"
+	"math"
+
+	"congestmwc/internal/congest"
+	"congestmwc/internal/cyclewit"
+	"congestmwc/internal/graph"
+	"congestmwc/internal/proto"
+	"congestmwc/internal/seq"
+)
+
+const tagBatchVec int64 = 501
+
+// Spec configures a run.
+type Spec struct {
+	// BatchSize is the number of sources per batch; 0 selects
+	// ceil(sqrt(n)), balancing the O(k + ecc) per-batch pipeline cost
+	// against the n/k convergecast barriers.
+	BatchSize int
+	// Substrate is the exact shortest-path engine run per batch (nil
+	// selects the class default: pipelined BFS for unweighted graphs,
+	// pipelined Bellman-Ford for weighted ones). It must be exact and
+	// support the graph's weight regime.
+	Substrate proto.Substrate
+	// NoPrune disables the candidate-driven weight bound (used by tests to
+	// pin down that pruning never changes the answer).
+	NoPrune bool
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	// Weight of the minimum weight cycle; valid when Found.
+	Weight int64
+	// Found reports whether the graph contains a cycle.
+	Found bool
+	// Cycle is a validated witness vertex sequence (closing edge
+	// implicit); nil when !Found.
+	Cycle []int
+	// Rounds consumed.
+	Rounds int
+	// Batches actually simulated (pruning may stop early when a
+	// zero-weight cycle is found).
+	Batches int
+}
+
+// witnessInfo records where a node's best candidate came from, enough to
+// rebuild the cycle from that batch's predecessor trees afterwards.
+type witnessInfo struct {
+	res   *proto.MultiBFSResult
+	field int // result column within the batch
+	src   int // the batch source vertex of that column
+	at    int // node holding the candidate
+	via   int // other endpoint of the closing edge
+}
+
+// MWC computes the exact minimum weight cycle.
+func MWC(net *congest.Network, spec Spec) (*Result, error) {
+	g := net.Graph()
+	n := g.N()
+	k := spec.BatchSize
+	if k <= 0 {
+		k = int(math.Ceil(math.Sqrt(float64(n))))
+	}
+	if k > n {
+		k = n
+	}
+	// Unit-BFS is only sound when every arc length is exactly 1; a weighted
+	// graph mixing weight-0 and weight-1 edges must go through Bellman-Ford
+	// even though its MaxWeight is 1.
+	nonUnit := !proto.UnitWeights(g)
+	sub := spec.Substrate
+	if sub == nil {
+		sub = proto.DefaultSubstrate(nonUnit, 0)
+	}
+	if !sub.Exact() {
+		return nil, fmt.Errorf("agarwal: substrate %q is approximate; exact MWC needs an exact substrate", sub.Name())
+	}
+	if nonUnit && !sub.Supports(true) {
+		return nil, fmt.Errorf("agarwal: substrate %q does not support weighted graphs", sub.Name())
+	}
+	dir := proto.Undirected
+	if g.Directed() {
+		dir = proto.Forward
+	}
+	startRounds := net.Stats().Rounds
+
+	net.BeginPhase("agarwal:tree")
+	tree, err := proto.BuildTree(net, 0)
+	net.EndPhase()
+	if err != nil {
+		return nil, fmt.Errorf("agarwal: %w", err)
+	}
+
+	best := seq.Inf
+	mu := make([]int64, n)
+	for i := range mu {
+		mu[i] = seq.Inf
+	}
+	witnesses := make([]witnessInfo, n)
+	batches := 0
+	for lo := 0; lo < n; lo += k {
+		if best == 0 {
+			// Non-negative weights: a zero-weight cycle is globally optimal,
+			// so the remaining batches cannot improve on it.
+			break
+		}
+		hi := lo + k
+		if hi > n {
+			hi = n
+		}
+		batch := make([]int, hi-lo)
+		for i := range batch {
+			batch[i] = lo + i
+		}
+		bound := int64(0)
+		if !spec.NoPrune && best < seq.Inf {
+			bound = best
+		}
+		batches++
+
+		net.BeginPhase("agarwal:batch-sssp")
+		res, err := sub.Run(net, proto.HopDistSpec{Sources: batch, Dir: dir, Bound: bound})
+		net.EndPhase()
+		if err != nil {
+			return nil, fmt.Errorf("agarwal: batch at %d: %w", lo, err)
+		}
+
+		if g.Directed() {
+			// res.Dist[u][i] = d(batch[i], u): combine with out-arc (u, v)
+			// for v in the batch.
+			for u := 0; u < n; u++ {
+				for _, a := range g.Out(u) {
+					if a.To < lo || a.To >= hi {
+						continue
+					}
+					i := a.To - lo
+					if d := res.Dist[u][i]; d < seq.Inf {
+						if c := a.Weight + d; c < mu[u] {
+							mu[u] = c
+							witnesses[u] = witnessInfo{res: res, field: i, src: a.To, at: u, via: a.To}
+						}
+					}
+				}
+			}
+		} else {
+			net.BeginPhase("agarwal:exchange")
+			recv, err := exchangeBatch(net, res, len(batch))
+			net.EndPhase()
+			if err != nil {
+				return nil, fmt.Errorf("agarwal: exchange at %d: %w", lo, err)
+			}
+			w := len(batch)
+			for x := 0; x < n; x++ {
+				for ai, a := range g.Out(x) {
+					y := a.To
+					for i := 0; i < w; i++ {
+						dx := res.Dist[x][i]
+						if dx >= seq.Inf {
+							continue
+						}
+						dy := recv[x][ai][i]
+						if dy >= seq.Inf {
+							continue
+						}
+						// Non-tree exclusion: neither endpoint's pred for the
+						// batch source may be the other endpoint.
+						if int(res.Pred[x][i]) == y || int(recv[x][ai][w+i]) == x {
+							continue
+						}
+						if c := dx + a.Weight + dy; c < mu[x] {
+							mu[x] = c
+							witnesses[x] = witnessInfo{res: res, field: i, src: lo + i, at: x, via: y}
+						}
+					}
+				}
+			}
+		}
+
+		net.BeginPhase("agarwal:convergecast")
+		minW, err := proto.ConvergecastMin(net, tree, mu)
+		net.EndPhase()
+		if err != nil {
+			return nil, fmt.Errorf("agarwal: %w", err)
+		}
+		if minW < best {
+			best = minW
+		}
+	}
+
+	out := &Result{
+		Weight:  best,
+		Found:   best < seq.Inf,
+		Rounds:  net.Stats().Rounds - startRounds,
+		Batches: batches,
+	}
+	if out.Found {
+		for v := 0; v < n; v++ {
+			if mu[v] == best {
+				out.Cycle = buildWitness(g, witnesses[v])
+				break
+			}
+		}
+	}
+	return out, nil
+}
+
+// buildWitness reconstructs and validates the cycle behind a candidate.
+func buildWitness(g *graph.Graph, w witnessInfo) []int {
+	if w.res == nil {
+		return nil
+	}
+	var cycle []int
+	if g.Directed() {
+		// Path src -> ... -> at in the tree of the batch column, closed by
+		// the arc (at, src).
+		cycle = cyclewit.PredPath(w.res, w.field, w.src, w.at)
+	} else {
+		cycle = cyclewit.FromTreePaths(w.res, w.field, w.src, w.at, w.via, -1)
+	}
+	if cycle == nil {
+		return nil
+	}
+	if _, err := seq.VerifyCycle(g, cycle); err != nil {
+		return nil
+	}
+	return cycle
+}
+
+// exchangeBatch sends each node's k-wide distance+pred vector for the
+// current batch to every neighbour in O(k) pipelined rounds. recv[x][ai]
+// holds the vector of the neighbour reached by the ai-th out-arc of x:
+// entries [0,k) are distances, entries [k,2k) are predecessors.
+func exchangeBatch(net *congest.Network, res *proto.MultiBFSResult, k int) ([][][]int64, error) {
+	g := net.Graph()
+	n := g.N()
+	byID := make([]map[int][]int64, n)
+	for v := range byID {
+		byID[v] = make(map[int][]int64)
+	}
+	fresh := func() []int64 {
+		vec := make([]int64, 2*k)
+		for i := 0; i < k; i++ {
+			vec[i] = seq.Inf
+			vec[k+i] = -1
+		}
+		return vec
+	}
+	progs := make([]congest.Program, n)
+	for v := 0; v < n; v++ {
+		v := v
+		progs[v] = congest.Funcs{
+			OnInit: func(nd *congest.Node) {
+				for _, u := range nd.Neighbors() {
+					for i := 0; i < k; i++ {
+						if res.Dist[v][i] >= seq.Inf {
+							continue // Inf entries are the receiver's default
+						}
+						nd.SendTag(u, tagBatchVec, int64(i), res.Dist[v][i], int64(res.Pred[v][i]))
+					}
+				}
+			},
+			OnDeliver: func(nd *congest.Node, d congest.Delivery) {
+				if d.Msg.Tag != tagBatchVec {
+					return
+				}
+				vec := byID[v][d.From]
+				if vec == nil {
+					vec = fresh()
+					byID[v][d.From] = vec
+				}
+				i := int(d.Msg.Words[0])
+				vec[i] = d.Msg.Words[1]
+				vec[k+i] = d.Msg.Words[2]
+			},
+		}
+	}
+	if _, err := net.Run(progs, 0); err != nil {
+		return nil, err
+	}
+	out := make([][][]int64, n)
+	for x := 0; x < n; x++ {
+		arcs := g.Out(x)
+		out[x] = make([][]int64, len(arcs))
+		for ai, a := range arcs {
+			vec := byID[x][a.To]
+			if vec == nil {
+				vec = fresh()
+			}
+			out[x][ai] = vec
+		}
+	}
+	return out, nil
+}

@@ -30,7 +30,23 @@ type RunOptions struct {
 	// already-cancelled context must surface ErrCanceled, never nil —
 	// regression for the PR 3 Init-phase bug).
 	Cancel bool
+	// Agarwal also runs the batched deterministic exact algorithm
+	// (internal/agarwal) and cross-checks it bit-for-bit against the
+	// sequential reference.
+	Agarwal bool
+	// GirthApx also runs the undirected girth approximation
+	// (internal/girthapx) on undirected instances whose maximum weight is
+	// at most GirthApxWeightCap, and checks its factor-2 ratio.
+	GirthApx bool
 }
+
+// GirthApxWeightCap bounds the instances the harness runs girthapx on: the
+// algorithm's sigma-detection phase simulates the stretched graph, whose
+// round count is pseudo-polynomial in the edge weights, so the generator's
+// near-2^30 weight shapes would stall a soak. The planner's cost model
+// prices this in (estGirthApx grows linearly with maxW), so the cap mirrors
+// the region where the algorithm is actually eligible to win.
+const GirthApxWeightCap = 64
 
 func (o RunOptions) withDefaults() RunOptions {
 	if o.Seed == 0 {
@@ -71,6 +87,18 @@ type Outcome struct {
 	// under an already-cancelled context, when RunOptions.Cancel was set.
 	CancelRes *congestmwc.Result
 	CancelErr error
+	// Agarwal is the batched deterministic exact run, when
+	// RunOptions.Agarwal was set.
+	Agarwal    *congestmwc.Result
+	AgarwalErr error
+	// GirthApx is the undirected girth-approximation run, when
+	// RunOptions.GirthApx was set and the instance is in its range
+	// (undirected, maxW <= GirthApxWeightCap).
+	GirthApx    *congestmwc.Result
+	GirthApxErr error
+	// GirthApxRan records whether the girthapx run was attempted (false
+	// when the instance is outside its documented range).
+	GirthApxRan bool
 }
 
 // Violation is one oracle failure on one instance.
@@ -121,6 +149,13 @@ func Run(inst Instance, opts RunOptions) (*Outcome, error) {
 		ctx, cancel := context.WithCancel(context.Background())
 		cancel()
 		out.CancelRes, out.CancelErr = congestmwc.ApproxMWCCtx(ctx, g, ro)
+	}
+	if opts.Agarwal {
+		out.Agarwal, out.AgarwalErr = congestmwc.RunAlgorithm(congestmwc.AlgoNameAgarwal, g, ro)
+	}
+	if opts.GirthApx && !inst.Directed() && inst.MaxWeight() <= GirthApxWeightCap {
+		out.GirthApxRan = true
+		out.GirthApx, out.GirthApxErr = congestmwc.RunAlgorithm(congestmwc.AlgoNameGirthApx, g, ro)
 	}
 	return out, nil
 }
@@ -183,6 +218,16 @@ func Oracles() []Oracle {
 		{"exact-rounds", oracleExactRounds},
 		{"engines-agree", oracleEnginesAgree},
 		{"cancel-init", oracleCancelInit},
+		{"agarwal-error", oracleAgarwalError},
+		{"agarwal-reference", oracleAgarwalReference},
+		{"agarwal-witness", oracleAgarwalWitness},
+		{"agarwal-rounds", oracleAgarwalRounds},
+		{"girthapx-error", oracleGirthApxError},
+		{"girthapx-sound", oracleGirthApxSound},
+		{"girthapx-ratio", oracleGirthApxRatio},
+		{"girthapx-witness", oracleGirthApxWitness},
+		{"girthapx-rounds", oracleGirthApxRounds},
+		{"planner-sound", oraclePlannerSound},
 	}
 }
 
@@ -361,13 +406,163 @@ func oracleCancelInit(out *Outcome) string {
 	return ""
 }
 
-// Algo names the two facade entry points, for round ceilings and logs.
+func oracleAgarwalError(out *Outcome) string {
+	if !out.Opts.Agarwal || out.AgarwalErr == nil {
+		return ""
+	}
+	// Unlike the approximation pipeline, agarwal's plain weighted mode
+	// handles zero-weight edges, so there is no expected-rejection carve-out.
+	return fmt.Sprintf("agarwal failed on a valid instance: %v", out.AgarwalErr)
+}
+
+func oracleAgarwalReference(out *Outcome) string {
+	if out.Agarwal == nil || out.AgarwalErr != nil {
+		return ""
+	}
+	if out.Agarwal.Found != out.RefFound {
+		return fmt.Sprintf("agarwal Found=%v but reference Found=%v", out.Agarwal.Found, out.RefFound)
+	}
+	if out.Agarwal.Found && out.Agarwal.Weight != out.Ref {
+		return fmt.Sprintf("agarwal weight %d != reference %d (exact algorithms must agree bit for bit)",
+			out.Agarwal.Weight, out.Ref)
+	}
+	return ""
+}
+
+func oracleAgarwalWitness(out *Outcome) string {
+	if out.Agarwal == nil || out.AgarwalErr != nil || !out.Agarwal.Found {
+		return ""
+	}
+	if out.Agarwal.Cycle == nil {
+		return "agarwal found a cycle but produced no witness"
+	}
+	return verifyWitness(out, out.Agarwal, true)
+}
+
+func oracleAgarwalRounds(out *Outcome) string {
+	if out.Agarwal == nil || out.AgarwalErr != nil {
+		return ""
+	}
+	ceiling := RoundCeiling(out.Inst.Class, AlgoAgarwal, out.Inst.N, out.Diameter, out.Opts.Eps, out.Inst.MaxWeight())
+	if out.Agarwal.Rounds > ceiling {
+		return fmt.Sprintf("agarwal took %d rounds, over the theorem-shaped ceiling %d (n=%d, D=%d)",
+			out.Agarwal.Rounds, ceiling, out.Inst.N, out.Diameter)
+	}
+	return ""
+}
+
+func oracleGirthApxError(out *Outcome) string {
+	if !out.GirthApxRan || out.GirthApxErr == nil || expectedApproxReject(out) {
+		return ""
+	}
+	return fmt.Sprintf("girthapx failed on a valid instance: %v", out.GirthApxErr)
+}
+
+func oracleGirthApxSound(out *Outcome) string {
+	if out.GirthApx == nil || out.GirthApxErr != nil {
+		return ""
+	}
+	if out.GirthApx.Found != out.RefFound {
+		return fmt.Sprintf("girthapx Found=%v but reference Found=%v (ref weight %d)",
+			out.GirthApx.Found, out.RefFound, out.Ref)
+	}
+	if out.GirthApx.Found && out.GirthApx.Weight < out.Ref {
+		return fmt.Sprintf("girthapx weight %d below the true MWC %d", out.GirthApx.Weight, out.Ref)
+	}
+	return ""
+}
+
+func oracleGirthApxRatio(out *Outcome) string {
+	if out.GirthApx == nil || out.GirthApxErr != nil || !out.GirthApx.Found || !out.RefFound {
+		return ""
+	}
+	// The registered ratio is a plain 2, slack 0 (on the unweighted class
+	// the (2g-1) girth bound is even tighter, but 2*ref is what the
+	// portfolio promises and the planner relies on).
+	if bound := 2 * out.Ref; out.GirthApx.Weight > bound {
+		return fmt.Sprintf("girthapx weight %d exceeds the registered factor-2 bound %d (true MWC %d)",
+			out.GirthApx.Weight, bound, out.Ref)
+	}
+	return ""
+}
+
+func oracleGirthApxWitness(out *Outcome) string {
+	if out.GirthApx == nil || out.GirthApxErr != nil || out.GirthApx.Cycle == nil {
+		return ""
+	}
+	return verifyWitness(out, out.GirthApx, false)
+}
+
+func oracleGirthApxRounds(out *Outcome) string {
+	if out.GirthApx == nil || out.GirthApxErr != nil {
+		return ""
+	}
+	ceiling := RoundCeiling(out.Inst.Class, AlgoGirthApx, out.Inst.N, out.Diameter, out.Opts.Eps, out.Inst.MaxWeight())
+	if out.GirthApx.Rounds > ceiling {
+		return fmt.Sprintf("girthapx took %d rounds, over the theorem-shaped ceiling %d (n=%d, D=%d, maxW=%d)",
+			out.GirthApx.Rounds, ceiling, out.Inst.N, out.Diameter, out.Inst.MaxWeight())
+	}
+	return ""
+}
+
+// oraclePlannerSound checks the guarantee-driven planner on the instance's
+// features: for every canonical guarantee it must either return a
+// registered algorithm whose bound satisfies the request on this class (and
+// which accepts the instance), or reject with the one documented
+// unsatisfiable combination (girth off the undirected unweighted class).
+// The planner is a pure function of the features, so this oracle runs on
+// every instance at no simulation cost.
+func oraclePlannerSound(out *Outcome) string {
+	f := congestmwc.Features{
+		Class:         out.Inst.Class,
+		N:             out.Inst.N,
+		M:             len(out.Inst.Edges),
+		MaxWeight:     out.Inst.MaxWeight(),
+		HasZeroWeight: out.Inst.Weighted() && out.Inst.HasZeroWeight(),
+	}
+	guarantees := []congestmwc.Guarantee{
+		congestmwc.GuaranteeExact, congestmwc.GuaranteeGirth,
+		congestmwc.GuaranteeTwo, congestmwc.GuaranteeTwoEps,
+	}
+	for _, q := range guarantees {
+		d, err := congestmwc.PlanFeatures(f, q, congestmwc.Options{Eps: out.Opts.Eps})
+		if err != nil {
+			if q == congestmwc.GuaranteeGirth && f.Class != congestmwc.Undirected {
+				continue // the documented unsatisfiable combination
+			}
+			return fmt.Sprintf("planner rejected satisfiable guarantee %q on %s: %v", q, f.Class, err)
+		}
+		a, ok := congestmwc.AlgorithmByName(d.Algorithm)
+		if !ok {
+			return fmt.Sprintf("planner chose unregistered algorithm %q for %q", d.Algorithm, q)
+		}
+		if !a.ServesClass(f.Class) {
+			return fmt.Sprintf("planner chose %q for %q but it does not serve %s", d.Algorithm, q, f.Class)
+		}
+		if f.HasZeroWeight && a.RejectsZeroWeight {
+			return fmt.Sprintf("planner chose %q for %q on a zero-weight instance it rejects", d.Algorithm, q)
+		}
+		if q != congestmwc.GuaranteeGirth {
+			if got, want := a.Ratio(f.Class, out.Opts.Eps), q.Ratio(out.Opts.Eps); got > want+1e-9 {
+				return fmt.Sprintf("planner chose %q with ratio %v, weaker than requested %q (%v)",
+					d.Algorithm, got, q, want)
+			}
+		} else if !a.Exact && !a.GirthFactor {
+			return fmt.Sprintf("planner chose %q for the girth guarantee without exactness or the girth factor", d.Algorithm)
+		}
+	}
+	return ""
+}
+
+// Algo names the portfolio entry points, for round ceilings and logs.
 type Algo string
 
 // Algorithms.
 const (
-	AlgoApprox Algo = "approx"
-	AlgoExact  Algo = "exact"
+	AlgoApprox   Algo = "approx"
+	AlgoExact    Algo = "exact"
+	AlgoAgarwal  Algo = "agarwal"
+	AlgoGirthApx Algo = "girthapx"
 )
 
 // Round-ceiling constants. The shapes come from the paper's theorems
@@ -401,9 +596,22 @@ func RoundCeiling(class congestmwc.Class, algo Algo, n, d int, eps float64, maxW
 	lg := math.Log2(fn + 2)
 	lw := math.Log2(float64(maxW)) + 1
 	var budget float64
-	if algo == AlgoExact {
+	switch algo {
+	case AlgoExact:
 		budget = ceilExact * (fn*lg + fd)
-	} else {
+	case AlgoAgarwal:
+		// sqrt(n) batches of sqrt(n)-source runs plus a per-batch tree
+		// barrier; pruning only shrinks the real count below this.
+		budget = ceilExact * (fn*lg + math.Sqrt(fn)*(fd+lg) + fd)
+	case AlgoGirthApx:
+		// One sampled pass (the O(n) exchange dominates at harness sizes)
+		// plus the sigma-pruned stretched detection, whose radius is at
+		// most sigma*maxW (the sigma hop-nearest vertices are within
+		// sigma*maxW stretched distance). The harness only runs girthapx
+		// for maxW <= GirthApxWeightCap, keeping this budget small.
+		budget = ceilUndirected * (math.Sqrt(fn)*lg*lg + fn + fd +
+			(math.Sqrt(fn)+2)*float64(maxW))
+	default:
 		switch class {
 		case congestmwc.Undirected:
 			budget = ceilUndirected * (math.Sqrt(fn)*lg*lg + fd)

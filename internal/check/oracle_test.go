@@ -24,6 +24,7 @@ func TestOraclesCleanOnGeneratedInstances(t *testing.T) {
 				inst := ShapeInstance(rng, class, shape, 20)
 				vs, err := CheckInstance(inst, RunOptions{
 					Seed: int64(10*i + 1), Exact: true, Parallel: true, Cancel: true,
+					Agarwal: true, GirthApx: true,
 				})
 				if err != nil {
 					t.Fatalf("%v/%s: %v", class, shape, err)
@@ -114,11 +115,97 @@ func TestOracleCatchesBogusWitness(t *testing.T) {
 	}
 }
 
+// TestOracleCatchesWrongAgarwalWeight: a doctored agarwal result must trip
+// the bit-for-bit cross-check.
+func TestOracleCatchesWrongAgarwalWeight(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	inst := ShapeInstance(rng, congestmwc.Undirected, ShapeRing, 12)
+	out, err := Run(inst, RunOptions{Agarwal: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Agarwal == nil || !out.Agarwal.Found {
+		t.Fatal("agarwal found no cycle on a ring")
+	}
+	out.Agarwal.Weight++
+	found := false
+	for _, v := range Check(out) {
+		if v.Oracle == "agarwal-reference" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("doctored agarwal weight not caught by agarwal-reference")
+	}
+}
+
+// TestOracleCatchesGirthApxRatioBreach: a doctored girthapx weight past
+// 2*ref must trip the ratio oracle, and an undercut must trip soundness.
+func TestOracleCatchesGirthApxRatioBreach(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	inst := ShapeInstance(rng, congestmwc.Undirected, ShapeRing, 12)
+	out, err := Run(inst, RunOptions{GirthApx: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.GirthApxRan || out.GirthApx == nil || !out.GirthApx.Found {
+		t.Fatal("girthapx found no cycle on a ring")
+	}
+	out.GirthApx.Weight = 2*out.Ref + 1
+	out.GirthApx.Cycle = nil
+	trip := map[string]bool{}
+	for _, v := range Check(out) {
+		trip[v.Oracle] = true
+	}
+	if !trip["girthapx-ratio"] {
+		t.Fatal("ratio breach not caught by girthapx-ratio")
+	}
+	out.GirthApx.Weight = out.Ref - 1
+	trip = map[string]bool{}
+	for _, v := range Check(out) {
+		trip[v.Oracle] = true
+	}
+	if !trip["girthapx-sound"] {
+		t.Fatal("undercut not caught by girthapx-sound")
+	}
+}
+
+// TestGirthApxSkippedOutsideRange: directed or huge-weight instances must
+// not be run through girthapx at all (the stretched simulation is
+// pseudo-polynomial in the weights), and skipping is not a violation.
+func TestGirthApxSkippedOutsideRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	directed := ShapeInstance(rng, congestmwc.Directed, ShapeRing, 10)
+	out, err := Run(directed, RunOptions{GirthApx: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.GirthApxRan {
+		t.Fatal("girthapx ran on a directed instance")
+	}
+	heavy := ShapeInstance(rng, congestmwc.UndirectedWeighted, ShapeMaxWeight, 10)
+	if heavy.MaxWeight() <= GirthApxWeightCap {
+		t.Fatalf("max-weight shape stayed under the cap: %d", heavy.MaxWeight())
+	}
+	out, err = Run(heavy, RunOptions{GirthApx: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.GirthApxRan {
+		t.Fatal("girthapx ran past the weight cap")
+	}
+	for _, v := range Check(out) {
+		if v.Oracle == "girthapx-error" || v.Oracle == "girthapx-sound" {
+			t.Errorf("skipped girthapx produced a violation: %s", v)
+		}
+	}
+}
+
 // TestRoundCeilingShape: ceilings grow with n, are positive, and the
 // weighted ones grow with the maximum weight.
 func TestRoundCeilingShape(t *testing.T) {
 	for _, class := range Classes {
-		for _, algo := range []Algo{AlgoApprox, AlgoExact} {
+		for _, algo := range []Algo{AlgoApprox, AlgoExact, AlgoAgarwal, AlgoGirthApx} {
 			prev := 0
 			for _, n := range []int{4, 16, 64, 256} {
 				c := RoundCeiling(class, algo, n, n/2, 0.25, 9)

@@ -16,10 +16,12 @@ package conformance
 import (
 	"testing"
 
+	"congestmwc/internal/agarwal"
 	"congestmwc/internal/congest"
 	"congestmwc/internal/dirmwc"
 	"congestmwc/internal/exact"
 	"congestmwc/internal/girth"
+	"congestmwc/internal/girthapx"
 	"congestmwc/internal/obs"
 	"congestmwc/internal/wmwc"
 )
@@ -71,15 +73,32 @@ func registry() []registered {
 		}
 		return res.Weight, res.Found, nil
 	}
+	agarwalAlgo := func(net *congest.Network) (int64, bool, error) {
+		res, err := agarwal.MWC(net, agarwal.Spec{})
+		if err != nil {
+			return 0, false, err
+		}
+		return res.Weight, res.Found, nil
+	}
+	girthApxAlgo := func(net *congest.Network) (int64, bool, error) {
+		res, err := girthapx.Run(net, girthapx.Spec{SampleFactor: 4})
+		if err != nil {
+			return 0, false, err
+		}
+		return res.Weight, res.Found, nil
+	}
 	var regs []registered
 	for _, d := range []bool{false, true} {
 		for _, w := range []bool{false, true} {
 			regs = append(regs, registered{"exact/" + Describe(d, w), d, w, exactAlgo})
+			regs = append(regs, registered{"agarwal/" + Describe(d, w), d, w, agarwalAlgo})
 		}
 	}
 	return append(regs,
 		registered{"girth", false, false, girthAlgo},
 		registered{"girth-prt", false, false, girthPRT},
+		registered{"girthapx/undirected", false, false, girthApxAlgo},
+		registered{"girthapx/undirected-weighted", false, true, girthApxAlgo},
 		registered{"wmwc/undirected", false, true, wmwcAlgo},
 		registered{"wmwc/directed", true, true, wmwcAlgo},
 		registered{"dirmwc", true, false, dirAlgo},

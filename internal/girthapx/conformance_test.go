@@ -1,0 +1,24 @@
+package girthapx
+
+import (
+	"testing"
+
+	"congestmwc/internal/conformance"
+	"congestmwc/internal/congest"
+)
+
+func TestConformanceUndirectedClasses(t *testing.T) {
+	algo := func(net *congest.Network) (int64, bool, error) {
+		res, err := Run(net, Spec{SampleFactor: 4})
+		if err != nil {
+			return 0, false, err
+		}
+		return res.Weight, res.Found, nil
+	}
+	for _, weighted := range []bool{false, true} {
+		weighted := weighted
+		t.Run(conformance.Describe(false, weighted), func(t *testing.T) {
+			conformance.Check(t, false, weighted, algo, 2, 0, 3)
+		})
+	}
+}

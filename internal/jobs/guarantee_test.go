@@ -1,0 +1,270 @@
+package jobs
+
+// Guarantee-driven admission: specs that name a guarantee instead of an
+// algorithm are planned at admission time, and a guarantee the portfolio
+// cannot satisfy for the instance class is a 400-class validation error —
+// descriptive, before any simulation. These tests pin down the spec-level
+// validation, the HTTP surface (single and batch per-item), the planner
+// decision's round trip through Status, and Restore's deterministic
+// re-planning.
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"congestmwc"
+)
+
+// guaranteeRingSpec is a guarantee-driven job on the same weighted ring the
+// direct-submission tests use.
+func guaranteeRingSpec(class, guarantee string, n int, seed int64) Spec {
+	return Spec{
+		Graph:     GraphSpec{Class: class, Gen: &GenSpec{Kind: "ring", N: n, MaxW: 7}},
+		Guarantee: guarantee,
+		Opts:      OptionsSpec{Seed: seed},
+	}
+}
+
+func TestResolveGuaranteeValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		spec    Spec
+		wantErr string // substring; empty means the spec must resolve
+	}{
+		{
+			name: "algo and guarantee are mutually exclusive",
+			spec: Spec{
+				Graph:     GraphSpec{Class: "uw", Gen: &GenSpec{Kind: "ring", N: 16, MaxW: 7}},
+				Algo:      AlgoExact,
+				Guarantee: "exact",
+			},
+			wantErr: "mutually exclusive",
+		},
+		{
+			name:    "one of algo or guarantee is required",
+			spec:    Spec{Graph: GraphSpec{Class: "uw", Gen: &GenSpec{Kind: "ring", N: 16, MaxW: 7}}},
+			wantErr: "missing algo",
+		},
+		{
+			name:    "unknown guarantee token",
+			spec:    guaranteeRingSpec("uw", "best-effort", 16, 1),
+			wantErr: "guarantee",
+		},
+		{
+			name:    "ratio below 1 is not a guarantee",
+			spec:    guaranteeRingSpec("uw", "0.5", 16, 1),
+			wantErr: "guarantee",
+		},
+		{
+			name:    "girth factor off the undirected unweighted class",
+			spec:    guaranteeRingSpec("d", "girth", 16, 1),
+			wantErr: "unsatisfiable",
+		},
+		{
+			name: "exact guarantee resolves",
+			spec: guaranteeRingSpec("uw", "exact", 16, 1),
+		},
+		{
+			name: "numeric ratio resolves",
+			spec: guaranteeRingSpec("uw", "3.5", 16, 1),
+		},
+		{
+			name: "girth guarantee resolves on ud",
+			spec: guaranteeRingSpec("ud", "girth", 16, 1),
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r, err := tc.spec.resolve(0)
+			if tc.wantErr != "" {
+				if err == nil {
+					t.Fatalf("resolve accepted %+v, want error containing %q", tc.spec, tc.wantErr)
+				}
+				if !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("resolve error %q does not mention %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("resolve: %v", err)
+			}
+			if r.dec == nil {
+				t.Fatal("guarantee-driven resolution carries no planner decision")
+			}
+			if string(r.algo) != r.dec.Algorithm {
+				t.Fatalf("resolution algo %q != decision algorithm %q", r.algo, r.dec.Algorithm)
+			}
+			if _, ok := congestmwc.AlgorithmByName(string(r.algo)); !ok {
+				t.Fatalf("planner chose %q, not a registered algorithm", r.algo)
+			}
+		})
+	}
+}
+
+// TestHTTPGuaranteeRejected400 is the satellite regression: an
+// unsatisfiable guarantee must come back as a descriptive 400 from
+// POST /v1/jobs, and as a per-item 400 in a batch, without failing the
+// batch's valid items.
+func TestHTTPGuaranteeRejected400(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+
+	bad := guaranteeRingSpec("d", "girth", 16, 1)
+	body, _ := json.Marshal(bad)
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/jobs: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unsatisfiable guarantee: HTTP %d, want 400", resp.StatusCode)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatalf("decode error body: %v", err)
+	}
+	if !strings.Contains(e.Error, "unsatisfiable") || !strings.Contains(e.Error, "girth") {
+		t.Errorf("400 body %q is not descriptive: want the guarantee and why it cannot be met", e.Error)
+	}
+
+	// Batch: valid guarantee, unsatisfiable guarantee, valid direct algo.
+	// Partial acceptance, per-item codes, input order preserved.
+	req := BatchRequest{Jobs: []Spec{
+		guaranteeRingSpec("uw", "exact", 16, 2),
+		bad,
+		exactRingSpec(16, 3),
+	}}
+	body, _ = json.Marshal(req)
+	bresp, err := http.Post(ts.URL+"/v1/jobs:batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/jobs:batch: %v", err)
+	}
+	defer bresp.Body.Close()
+	if bresp.StatusCode != http.StatusOK {
+		t.Fatalf("well-formed batch: HTTP %d, want 200", bresp.StatusCode)
+	}
+	var br BatchResponse
+	if err := json.NewDecoder(bresp.Body).Decode(&br); err != nil {
+		t.Fatalf("decode batch response: %v", err)
+	}
+	if br.Accepted != 2 || br.Rejected != 1 || len(br.Results) != 3 {
+		t.Fatalf("batch tally accepted=%d rejected=%d results=%d, want 2/1/3",
+			br.Accepted, br.Rejected, len(br.Results))
+	}
+	for i, want := range []int{http.StatusAccepted, http.StatusBadRequest, http.StatusAccepted} {
+		if br.Results[i].Code != want {
+			t.Errorf("batch item %d: code %d, want %d (error %q)",
+				i, br.Results[i].Code, want, br.Results[i].Error)
+		}
+	}
+	if !strings.Contains(br.Results[1].Error, "unsatisfiable") {
+		t.Errorf("batch item 1 error %q does not explain the unsatisfiable guarantee", br.Results[1].Error)
+	}
+	if st := br.Results[0].Status; st == nil || st.Guarantee != "exact" || st.Planner == nil {
+		t.Errorf("accepted guarantee item does not surface the planner decision: %+v", st)
+	}
+}
+
+// TestHTTPGuaranteeJobEndToEnd serves a guarantee-only spec through the
+// full mwcd surface: admission plans the algorithm, the job runs it, and
+// the terminal status reports the choice, the echoed guarantee and the
+// planner's decision record.
+func TestHTTPGuaranteeJobEndToEnd(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+
+	spec := guaranteeRingSpec("uw", "2+eps", 48, 7)
+	resp, st := postJob(t, ts, spec)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST guarantee job: HTTP %d, want 202", resp.StatusCode)
+	}
+	if st.Guarantee != "2+eps" {
+		t.Errorf("status guarantee %q, want %q", st.Guarantee, "2+eps")
+	}
+	if st.Planner == nil {
+		t.Fatal("status carries no planner decision")
+	}
+	if string(st.Algo) != st.Planner.Algorithm {
+		t.Errorf("status algo %q != planner algorithm %q", st.Algo, st.Planner.Algorithm)
+	}
+	info, ok := congestmwc.AlgorithmByName(string(st.Algo))
+	if !ok {
+		t.Fatalf("planned algo %q is not registered", st.Algo)
+	}
+	got := info.Ratio(congestmwc.UndirectedWeighted, 0)
+	if want := congestmwc.Guarantee("2+eps").Ratio(0); got > want {
+		t.Errorf("planner picked %s with ratio %g, weaker than the requested %g", info.Name, got, want)
+	}
+
+	final := pollTerminal(t, ts, st.ID, time.Minute)
+	if final.State != StateDone {
+		t.Fatalf("guarantee job ended %s (%s)", final.State, final.Error)
+	}
+	if final.Result == nil || !final.Result.Found {
+		t.Fatalf("guarantee job on a ring found no cycle: %+v", final.Result)
+	}
+	if final.Planner == nil || final.Algo != st.Algo {
+		t.Errorf("terminal status lost the planner decision: algo %q planner %+v", final.Algo, final.Planner)
+	}
+
+	// A direct submission of the planned algorithm on the same instance
+	// shares the cache line: same key, answered without simulation.
+	direct := Spec{
+		Graph: spec.Graph,
+		Algo:  final.Algo,
+		Opts:  spec.Opts,
+	}
+	dresp, dst := postJob(t, ts, direct)
+	if dresp.StatusCode != http.StatusOK || !dst.CacheHit {
+		t.Errorf("direct submission of the planned algo missed the cache: HTTP %d, %+v", dresp.StatusCode, dst)
+	}
+	if dst.Key != final.Key {
+		t.Errorf("guarantee and direct cache keys differ: %q vs %q", dst.Key, final.Key)
+	}
+}
+
+// TestGuaranteeRestoreReplans pins down crash recovery: the journal holds
+// the spec (guarantee included, no materialised decision), and Restore
+// re-plans deterministically, so a recovered job runs the same algorithm
+// and reports the same planner decision it was admitted with.
+func TestGuaranteeRestoreReplans(t *testing.T) {
+	spec := guaranteeRingSpec("uw", "2", 48, 11)
+	r, err := spec.resolve(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := New(Config{Workers: 1})
+	defer closeService(t, s)
+	_, requeued, err := s.Restore(RecoveredState{
+		Pending: []RecoveredJob{{ID: "j-00000042", Spec: spec, Interrupted: 1}},
+		MaxID:   100,
+	})
+	if err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if requeued != 1 {
+		t.Fatalf("requeued %d, want 1", requeued)
+	}
+	j, err := s.Get("j-00000042")
+	if err != nil {
+		t.Fatalf("recovered job: %v", err)
+	}
+	st := waitTerminal(t, j, time.Minute)
+	if st.State != StateDone {
+		t.Fatalf("recovered guarantee job ended %s (%s)", st.State, st.Error)
+	}
+	if st.Algo != r.algo {
+		t.Errorf("recovered job runs %q, original admission planned %q", st.Algo, r.algo)
+	}
+	if st.Planner == nil || st.Planner.Algorithm != string(r.algo) {
+		t.Errorf("recovered job planner decision %+v, want algorithm %q", st.Planner, r.algo)
+	}
+	if st.Guarantee != "2" {
+		t.Errorf("recovered job guarantee %q, want %q", st.Guarantee, "2")
+	}
+}

@@ -35,13 +35,14 @@ func (i Info) Weighted() bool {
 // Submit pay the build twice, which is the price of a shared-nothing
 // router/worker split.
 func (s Spec) Inspect(maxN int) (Info, error) {
-	g, opts, err := s.resolve(maxN)
+	r, err := s.resolve(maxN)
 	if err != nil {
 		return Info{}, err
 	}
+	g := r.g
 	info := Info{
-		Key:    cacheKey(g, s.Algo, opts),
-		Algo:   s.Algo,
+		Key:    cacheKey(g, r.algo, r.opts),
+		Algo:   r.algo,
 		Class:  g.Class(),
 		N:      g.N(),
 		M:      g.M(),

@@ -135,6 +135,12 @@ type Job struct {
 	spec  Spec
 	graph *congestmwc.Graph
 	opts  congestmwc.Options
+	// algo is the concrete portfolio algorithm this job runs: spec.Algo for
+	// direct submissions, the planner's choice for guarantee-driven ones.
+	algo Algo
+	// decision is the planner's record for guarantee-driven jobs (nil for
+	// direct submissions); surfaced in Status.
+	decision *congestmwc.Decision
 
 	// stream is the job's live event hub (Config.Observe only): state
 	// transitions plus the simulation's round/phase/run events, broadcast
@@ -234,14 +240,22 @@ type ResultStatus struct {
 
 // Status is a point-in-time snapshot of a job, serialisable as JSON.
 type Status struct {
-	ID       string `json:"id"`
-	State    State  `json:"state"`
-	Key      string `json:"key"`
-	Algo     Algo   `json:"algo"`
-	Tenant   string `json:"tenant,omitempty"`
-	N        int    `json:"n"`
-	M        int    `json:"m"`
-	CacheHit bool   `json:"cacheHit,omitempty"`
+	ID    string `json:"id"`
+	State State  `json:"state"`
+	Key   string `json:"key"`
+	// Algo is the concrete algorithm the job runs — the requested one, or
+	// the planner's choice for guarantee-driven jobs.
+	Algo Algo `json:"algo"`
+	// Guarantee echoes the requested guarantee for guarantee-driven jobs.
+	Guarantee string `json:"guarantee,omitempty"`
+	// Planner is the planner's decision record (guarantee-driven jobs
+	// only): the chosen algorithm, its registered ratio, the cost estimate
+	// it won on and a one-line reason.
+	Planner  *congestmwc.Decision `json:"planner,omitempty"`
+	Tenant   string               `json:"tenant,omitempty"`
+	N        int                  `json:"n"`
+	M        int                  `json:"m"`
+	CacheHit bool                 `json:"cacheHit,omitempty"`
 	// InterruptedAttempts counts prior runs of this job cut short by a
 	// crash (nonzero only on jobs re-enqueued by Restore).
 	InterruptedAttempts int        `json:"interruptedAttempts,omitempty"`
@@ -265,7 +279,9 @@ func (j *Job) Status() Status {
 		ID:                  j.id,
 		State:               j.state,
 		Key:                 j.key,
-		Algo:                j.spec.Algo,
+		Algo:                j.algo,
+		Guarantee:           j.spec.Guarantee,
+		Planner:             j.decision,
 		Tenant:              j.spec.Tenant,
 		N:                   j.graph.N(),
 		M:                   j.graph.M(),
@@ -376,11 +392,15 @@ func New(cfg Config) *Service {
 // running is answered idempotently with that in-flight job instead of
 // enqueueing duplicate work. The returned Job is safe for concurrent use.
 func (s *Service) Submit(spec Spec) (*Job, error) {
-	g, opts, err := spec.resolve(s.cfg.MaxN)
+	r, err := spec.resolve(s.cfg.MaxN)
 	if err != nil {
 		return nil, err
 	}
-	key := cacheKey(g, spec.Algo, opts)
+	g, opts := r.g, r.opts
+	// The key is on the resolved algorithm: a guarantee-driven job shares
+	// its cache line with direct submissions of the same algorithm, and two
+	// guarantees planning to the same choice share one execution.
+	key := cacheKey(g, r.algo, opts)
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -402,6 +422,8 @@ func (s *Service) Submit(spec Spec) (*Job, error) {
 			spec:     spec,
 			graph:    g,
 			opts:     opts,
+			algo:     r.algo,
+			decision: r.dec,
 			state:    StateDone,
 			result:   res,
 			cacheHit: true,
@@ -424,14 +446,16 @@ func (s *Service) Submit(spec Spec) (*Job, error) {
 		return prior, nil
 	}
 	j := &Job{
-		id:      s.newIDLocked(),
-		key:     key,
-		spec:    spec,
-		graph:   g,
-		opts:    opts,
-		state:   StateQueued,
-		created: time.Now(),
-		done:    make(chan struct{}),
+		id:       s.newIDLocked(),
+		key:      key,
+		spec:     spec,
+		graph:    g,
+		opts:     opts,
+		algo:     r.algo,
+		decision: r.dec,
+		state:    StateQueued,
+		created:  time.Now(),
+		done:     make(chan struct{}),
 	}
 	// The hub must exist before the job is visible to a worker: runJob
 	// reads j.stream without the job lock.
@@ -472,11 +496,12 @@ func (s *Service) SubmitWithID(id string, spec Spec, interrupted int) (*Job, err
 	if id == "" {
 		return nil, fmt.Errorf("jobs: empty job ID")
 	}
-	g, opts, err := spec.resolve(s.cfg.MaxN)
+	r, err := spec.resolve(s.cfg.MaxN)
 	if err != nil {
 		return nil, err
 	}
-	key := cacheKey(g, spec.Algo, opts)
+	g, opts := r.g, r.opts
+	key := cacheKey(g, r.algo, opts)
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -501,6 +526,7 @@ func (s *Service) SubmitWithID(id string, spec Spec, interrupted int) (*Job, err
 	if res, ok := s.lookupLocked(key); ok {
 		j := &Job{
 			id: id, key: key, spec: spec, graph: g, opts: opts,
+			algo: r.algo, decision: r.dec,
 			state: StateDone, result: res, cacheHit: true,
 			interrupted: interrupted,
 			created:     now, started: now, finished: now,
@@ -520,6 +546,7 @@ func (s *Service) SubmitWithID(id string, spec Spec, interrupted int) (*Job, err
 	}
 	j := &Job{
 		id: id, key: key, spec: spec, graph: g, opts: opts,
+		algo: r.algo, decision: r.dec,
 		state: StateQueued, interrupted: interrupted,
 		created: now, done: make(chan struct{}),
 	}
@@ -693,10 +720,18 @@ func (s *Service) Cancel(id string) (Status, error) {
 	return j.Status(), nil
 }
 
+// testBeforeRun, when non-nil, runs in the worker goroutine before each job
+// executes. Tests use it to hold the workers so queue overflow is
+// deterministic instead of a race against how fast jobs drain.
+var testBeforeRun func()
+
 // worker executes queued jobs until the queue is closed by Close.
 func (s *Service) worker() {
 	defer s.wg.Done()
 	for j := range s.queue {
+		if testBeforeRun != nil {
+			testBeforeRun()
+		}
 		s.runJob(j)
 	}
 }
@@ -756,13 +791,9 @@ func (s *Service) runJob(j *Job) {
 	})
 
 	s.busy.Add(1)
-	var res *congestmwc.Result
-	var err error
-	if j.spec.Algo == AlgoExact {
-		res, err = congestmwc.ExactMWCCtx(ctx, j.graph, opts)
-	} else {
-		res, err = congestmwc.ApproxMWCCtx(ctx, j.graph, opts)
-	}
+	// Dispatch through the portfolio registry; the algo was validated (and,
+	// for guarantee-driven jobs, planned) at admission.
+	res, err := congestmwc.RunAlgorithmCtx(ctx, string(j.algo), j.graph, opts)
 	cancel()
 	s.busy.Add(-1)
 
@@ -927,7 +958,7 @@ func (s *Service) Restore(rec RecoveredState) (warmed, requeued int, err error) 
 		if j.id == "" {
 			j.id = s.newIDLocked()
 		}
-		g, opts, rerr := rj.Spec.resolve(s.cfg.MaxN)
+		r, rerr := rj.Spec.resolve(s.cfg.MaxN)
 		if rerr != nil {
 			// The spec was valid at its original admission; journal
 			// corruption is the only way here. Park the job as failed
@@ -945,7 +976,8 @@ func (s *Service) Restore(rec RecoveredState) (warmed, requeued int, err error) 
 			})
 			continue
 		}
-		j.graph, j.opts, j.key = g, opts, cacheKey(g, rj.Spec.Algo, opts)
+		j.graph, j.opts, j.key = r.g, r.opts, cacheKey(r.g, r.algo, r.opts)
+		j.algo, j.decision = r.algo, r.dec
 		if res, ok := s.lookupLocked(j.key); ok {
 			j.state = StateDone
 			j.result = res

@@ -61,6 +61,13 @@ func closeService(t *testing.T, s *Service) {
 // reach a terminal state.
 func TestLoadBackpressure(t *testing.T) {
 	const submissions = 220
+	// Hold the workers until every submission has been answered: without the
+	// gate, fast machines drain n=128 jobs quicker than 220 goroutines can
+	// submit them and the queue never overflows. With it the overflow is
+	// deterministic — at most 4 in-flight + 32 queued jobs are accepted.
+	gate := make(chan struct{})
+	testBeforeRun = func() { <-gate }
+	defer func() { testBeforeRun = nil }()
 	s := New(Config{Workers: 4, QueueCap: 32, CacheEntries: -1})
 
 	var (
@@ -102,6 +109,7 @@ func TestLoadBackpressure(t *testing.T) {
 	if len(accepted) < 32 {
 		t.Errorf("only %d submissions accepted, want at least the queue capacity (32)", len(accepted))
 	}
+	close(gate) // release the workers; accepted jobs must now finish
 	for _, j := range accepted {
 		st := waitTerminal(t, j, 2*time.Minute)
 		if st.State != StateDone {

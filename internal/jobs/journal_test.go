@@ -194,11 +194,11 @@ func TestDurableLookupBacksCacheMiss(t *testing.T) {
 	defer closeService(t, s)
 
 	spec := exactRingSpec(48, 9)
-	g, opts, err := spec.resolve(0)
+	r, err := spec.resolve(0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	key := cacheKey(g, spec.Algo, opts)
+	key := cacheKey(r.g, r.algo, r.opts)
 	fj.durable[key] = &congestmwc.Result{Weight: 77, Found: true, Rounds: 5}
 
 	j, err := s.Submit(spec)
@@ -234,11 +234,11 @@ func TestRestoreRequeuesAndWarms(t *testing.T) {
 	defer closeService(t, s)
 
 	warmSpec := exactRingSpec(48, 20)
-	g, opts, err := warmSpec.resolve(0)
+	r, err := warmSpec.resolve(0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	warmKey := cacheKey(g, warmSpec.Algo, opts)
+	warmKey := cacheKey(r.g, r.algo, r.opts)
 
 	// More pending jobs than the queue capacity: Restore must not drop any
 	// to backpressure.

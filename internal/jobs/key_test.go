@@ -8,11 +8,11 @@ import (
 // keyOf resolves the spec and returns its canonical cache key.
 func keyOf(t *testing.T, spec Spec) string {
 	t.Helper()
-	g, opts, err := spec.resolve(0)
+	r, err := spec.resolve(0)
 	if err != nil {
 		t.Fatalf("resolve(%+v): %v", spec, err)
 	}
-	return cacheKey(g, spec.Algo, opts)
+	return cacheKey(r.g, r.algo, r.opts)
 }
 
 func ringSpec(class string, n int, w int64) Spec {

@@ -10,7 +10,9 @@ import (
 	"congestmwc/internal/graph"
 )
 
-// Algo selects which facade entry point a job runs.
+// Algo selects which portfolio algorithm a job runs. The names are the
+// congestmwc portfolio registry keys; jobs may alternatively name a
+// guarantee (Spec.Guarantee) and let the planner pick the algorithm.
 type Algo string
 
 // Supported algorithms.
@@ -21,6 +23,12 @@ const (
 	// AlgoExact runs the O~(n)-round exact APSP baseline
 	// (congestmwc.ExactMWCCtx).
 	AlgoExact Algo = "exact"
+	// AlgoAgarwal runs the batched deterministic exact algorithm
+	// (internal/agarwal).
+	AlgoAgarwal Algo = "agarwal"
+	// AlgoGirthApx runs the undirected girth approximation
+	// (internal/girthapx; undirected classes only).
+	AlgoGirthApx Algo = "girthapx"
 )
 
 // Edge is one input edge of an inline graph spec.
@@ -84,12 +92,21 @@ func (o OptionsSpec) options() congestmwc.Options {
 	}
 }
 
-// Spec is one job: an input graph, an algorithm, simulation options and an
-// optional per-job deadline.
+// Spec is one job: an input graph, an algorithm OR a requested guarantee,
+// simulation options and an optional per-job deadline.
 type Spec struct {
-	Graph GraphSpec   `json:"graph"`
-	Algo  Algo        `json:"algo"`
-	Opts  OptionsSpec `json:"options,omitzero"`
+	Graph GraphSpec `json:"graph"`
+	// Algo names a concrete portfolio algorithm. Mutually exclusive with
+	// Guarantee; exactly one of the two must be set.
+	Algo Algo `json:"algo,omitempty"`
+	// Guarantee requests an answer-quality contract (exact | girth | 2 |
+	// 2+eps | a numeric ratio >= 1) instead of a concrete algorithm: the
+	// planner picks the cheapest registered algorithm meeting it on the
+	// instance, and the choice is surfaced in the job status. A guarantee
+	// the portfolio cannot satisfy for the instance's class is rejected at
+	// admission with a descriptive error (HTTP 400).
+	Guarantee string      `json:"guarantee,omitempty"`
+	Opts      OptionsSpec `json:"options,omitzero"`
 	// TimeoutMS bounds the job's wall-clock run time in milliseconds
 	// (0 = the service default). An exceeded deadline parks the job in
 	// StateExpired with its partial progress recorded.
@@ -123,44 +140,88 @@ func parseClass(s string) (congestmwc.Class, error) {
 	}
 }
 
-// resolve validates the spec and materialises its graph and options. It is
-// called once at admission: validation failures surface to the submitter
-// immediately, and the resolved graph is what both the cache key and the
-// run use, so generated and inline submissions of the same instance share a
-// key. maxN caps the instance size (<= 0 disables); the cap is enforced on
-// the declared sizes before any graph is constructed, because generator
-// specs amplify a few request bytes into O(N^2) build work.
-func (s Spec) resolve(maxN int) (*congestmwc.Graph, congestmwc.Options, error) {
-	var zero congestmwc.Options
-	switch s.Algo {
-	case AlgoApprox, AlgoExact:
-	case "":
-		return nil, zero, fmt.Errorf("jobs: missing algo (want %q or %q)", AlgoApprox, AlgoExact)
-	default:
-		return nil, zero, fmt.Errorf("jobs: unknown algo %q (want %q or %q)", s.Algo, AlgoApprox, AlgoExact)
+// resolution is everything admission derives from a spec: the materialised
+// graph and options, the concrete algorithm that will run (requested
+// directly or chosen by the planner) and, for guarantee-driven jobs, the
+// planner's decision record.
+type resolution struct {
+	g    *congestmwc.Graph
+	opts congestmwc.Options
+	algo Algo
+	// dec is non-nil exactly when the spec named a guarantee.
+	dec *congestmwc.Decision
+}
+
+// resolve validates the spec and materialises its graph, options and
+// concrete algorithm. It is called once at admission: validation failures
+// surface to the submitter immediately (HTTP 400), and the resolved graph
+// is what both the cache key and the run use, so generated and inline
+// submissions of the same instance share a key. Guarantee-driven specs go
+// through the portfolio planner here, so an unsatisfiable guarantee (or an
+// explicitly named algorithm that does not serve the instance's class) is
+// rejected before the job ever queues. maxN caps the instance size (<= 0
+// disables); the cap is enforced on the declared sizes before any graph is
+// constructed, because generator specs amplify a few request bytes into
+// O(N^2) build work.
+func (s Spec) resolve(maxN int) (resolution, error) {
+	var zero resolution
+	switch {
+	case s.Algo != "" && s.Guarantee != "":
+		return zero, fmt.Errorf("jobs: algo %q and guarantee %q are mutually exclusive: name one", s.Algo, s.Guarantee)
+	case s.Algo == "" && s.Guarantee == "":
+		return zero, fmt.Errorf("jobs: missing algo (one of %v) or guarantee (exact | girth | 2 | 2+eps | a ratio >= 1)",
+			congestmwc.AlgorithmNames())
+	}
+	if s.Algo != "" {
+		if _, ok := congestmwc.AlgorithmByName(string(s.Algo)); !ok {
+			return zero, fmt.Errorf("jobs: unknown algo %q (want one of %v)", s.Algo, congestmwc.AlgorithmNames())
+		}
 	}
 	if s.TimeoutMS < 0 {
-		return nil, zero, fmt.Errorf("jobs: negative timeoutMs %d", s.TimeoutMS)
+		return zero, fmt.Errorf("jobs: negative timeoutMs %d", s.TimeoutMS)
 	}
 	if len(s.Tenant) > maxTenantLen {
-		return nil, zero, fmt.Errorf("jobs: tenant identifier exceeds %d bytes", maxTenantLen)
+		return zero, fmt.Errorf("jobs: tenant identifier exceeds %d bytes", maxTenantLen)
 	}
 	opts := s.Opts.options()
 	if err := opts.Validate(); err != nil {
-		return nil, zero, err
+		return zero, err
 	}
 	class, err := parseClass(s.Graph.Class)
 	if err != nil {
-		return nil, zero, err
+		return zero, err
 	}
 	if err := s.Graph.checkSize(maxN); err != nil {
-		return nil, zero, err
+		return zero, err
 	}
 	g, err := s.Graph.build(class)
 	if err != nil {
-		return nil, zero, err
+		return zero, err
 	}
-	return g, opts, nil
+	r := resolution{g: g, opts: opts, algo: s.Algo}
+	if s.Guarantee != "" {
+		dec, err := congestmwc.Plan(g, congestmwc.Guarantee(s.Guarantee), opts)
+		if err != nil {
+			return zero, fmt.Errorf("jobs: %w", err)
+		}
+		r.algo, r.dec = Algo(dec.Algorithm), &dec
+	} else if a, ok := congestmwc.AlgorithmByName(string(s.Algo)); ok && !a.ServesClass(g.Class()) {
+		return zero, fmt.Errorf("jobs: algo %q does not serve class %s (registered for it: %v)",
+			s.Algo, g.Class(), algosForClass(g.Class()))
+	}
+	return r, nil
+}
+
+// algosForClass lists the portfolio algorithms registered for a class, for
+// admission error messages.
+func algosForClass(c congestmwc.Class) []string {
+	var names []string
+	for _, a := range congestmwc.Portfolio() {
+		if a.ServesClass(c) {
+			names = append(names, a.Name)
+		}
+	}
+	return names
 }
 
 // Resolve validates the spec and materialises its graph and options — the
@@ -168,7 +229,11 @@ func (s Spec) resolve(maxN int) (*congestmwc.Graph, congestmwc.Options, error) {
 // dynamic-session manager resolves a creation spec once to seed its
 // mutable edge set, then submits recomputes as inline-edge specs).
 func (s Spec) Resolve(maxN int) (*congestmwc.Graph, congestmwc.Options, error) {
-	return s.resolve(maxN)
+	r, err := s.resolve(maxN)
+	if err != nil {
+		return nil, congestmwc.Options{}, err
+	}
+	return r.g, r.opts, nil
 }
 
 // checkSize rejects instances whose declared vertex count exceeds maxN

@@ -59,6 +59,12 @@ type Spec struct {
 	// Salt separates the shared-randomness sample from other phases run on
 	// the same network seed.
 	Salt int64
+	// Substrate overrides the h-hop multi-source distance engine used for
+	// the BFS steps (nil selects the class default: exact pipelined BFS
+	// for unweighted graphs, the scaled (1+eps) engine for weighted ones).
+	// This is the pluggable-SSSP seam: planners swap shortest-path engines
+	// per run without the k-source skeleton knowing which engines exist.
+	Substrate proto.Substrate
 }
 
 // Result holds the computed distances.
@@ -97,8 +103,11 @@ func Run(net *congest.Network, spec Spec) (*Result, error) {
 	if spec.Eps > 0 && !g.Weighted() {
 		return nil, fmt.Errorf("ksssp: eps set for unweighted graph")
 	}
-	if spec.Eps == 0 && g.Weighted() && g.MaxWeight() > 1 {
-		return nil, fmt.Errorf("ksssp: weighted graph needs eps > 0")
+	if spec.Substrate != nil && !proto.UnitWeights(g) && !spec.Substrate.Supports(true) {
+		return nil, fmt.Errorf("ksssp: substrate %q does not support weighted graphs", spec.Substrate.Name())
+	}
+	if spec.Substrate == nil && spec.Eps == 0 && !proto.UnitWeights(g) {
+		return nil, fmt.Errorf("ksssp: weighted graph needs eps > 0 or a weighted-capable substrate")
 	}
 	h := spec.H
 	if h <= 0 {
@@ -254,9 +263,18 @@ func Run(net *congest.Network, spec Spec) (*Result, error) {
 }
 
 // runHopDist runs the h-hop multi-source distance computation appropriate
-// for the graph class: exact pipelined BFS for unweighted graphs, scaled
-// (1+eps)-approximate SSSP for weighted ones.
+// for the graph class: the spec's substrate when one is plugged in, else
+// exact pipelined BFS for unweighted graphs or scaled (1+eps)-approximate
+// SSSP for weighted ones.
 func runHopDist(net *congest.Network, spec Spec, sources []int, h int, dir proto.Direction) (*proto.MultiBFSResult, error) {
+	if spec.Substrate != nil {
+		return spec.Substrate.Run(net, proto.HopDistSpec{
+			Sources: sources,
+			H:       h,
+			Eps:     spec.Eps,
+			Dir:     dir,
+		})
+	}
 	if spec.Eps == 0 {
 		return proto.RunMultiBFS(net, proto.MultiBFSSpec{
 			Sources: sources,
@@ -364,7 +382,11 @@ func RunSequential(net *congest.Network, spec Spec) (*Result, error) {
 	for i, s := range spec.Sources {
 		var res *proto.MultiBFSResult
 		var err error
-		if spec.Eps == 0 {
+		if spec.Substrate != nil {
+			res, err = spec.Substrate.Run(net, proto.HopDistSpec{
+				Sources: []int{s}, Eps: spec.Eps, Dir: dir,
+			})
+		} else if spec.Eps == 0 {
 			res, err = proto.RunMultiBFS(net, proto.MultiBFSSpec{Sources: []int{s}, Dir: dir})
 		} else {
 			res, err = proto.RunApproxHopSSSP(net, proto.ApproxHopSSSPSpec{

@@ -245,3 +245,61 @@ func TestAutoSelectsRegimes(t *testing.T) {
 		}
 	}
 }
+
+func TestRunWithExactWeightedSubstrate(t *testing.T) {
+	// A weighted-capable exact substrate (pipelined Bellman-Ford) plugged
+	// into the seam computes exact weighted k-source distances with no eps,
+	// a configuration the default engines reject.
+	g, err := (gen.Random{N: 60, P: 0.06, Weighted: true, MaxW: 9, Seed: 12}).Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := newNet(t, g, 12)
+	sources := []int{0, 9, 41}
+	if _, err := Run(newNet(t, g, 12), Spec{Sources: sources}); err == nil {
+		t.Fatal("weighted graph with eps = 0 and no substrate should be rejected")
+	}
+	res, err := Run(net, Spec{Sources: sources, Substrate: proto.BellmanFordSubstrate{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range sources {
+		want := seq.Dijkstra(g, s)
+		for v := 0; v < g.N(); v++ {
+			if res.Dist[v][i] != want[v] {
+				t.Errorf("src %d v %d: dist %d, want %d", s, v, res.Dist[v][i], want[v])
+			}
+		}
+	}
+}
+
+func TestRunRejectsUnsupportedSubstrate(t *testing.T) {
+	g, err := (gen.Random{N: 20, P: 0.2, Weighted: true, MaxW: 9, Seed: 3}).Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(newNet(t, g, 3), Spec{Sources: []int{0}, Substrate: proto.BFSSubstrate{}}); err == nil {
+		t.Fatal("bfs substrate on a weighted graph should be rejected")
+	}
+}
+
+func TestRunSequentialWithSubstrate(t *testing.T) {
+	g, err := (gen.Random{N: 40, P: 0.08, Weighted: true, MaxW: 9, Seed: 5}).Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunSequential(newNet(t, g, 5), Spec{
+		Sources: []int{0, 7}, Substrate: proto.BellmanFordSubstrate{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range []int{0, 7} {
+		want := seq.Dijkstra(g, s)
+		for v := 0; v < g.N(); v++ {
+			if res.Dist[v][i] != want[v] {
+				t.Errorf("src %d v %d: dist %d, want %d", s, v, res.Dist[v][i], want[v])
+			}
+		}
+	}
+}

@@ -42,6 +42,12 @@ type baselineCase struct {
 	NsPerOp      float64  `json:"ns_per_op"`
 	EventNsPerOp float64  `json:"event_ns_per_op"`
 	AllocsPerOp  *float64 `json:"allocs_per_op"`
+	// RoundsPerOp and MessagesPerOp are CONGEST model costs: deterministic
+	// given the benchmark's fixed seeds, so when the run reports the
+	// matching rounds/op / messages/op metrics they are gated EXACTLY —
+	// any drift means the algorithm's communication behaviour changed.
+	RoundsPerOp   float64 `json:"rounds_per_op"`
+	MessagesPerOp float64 `json:"messages_per_op"`
 }
 
 func (c baselineCase) ns() float64 {
@@ -191,6 +197,24 @@ func run(baselines string, tolerance float64, input string) error {
 				}
 				fmt.Printf("%s %-40s %12.0f allocs/op  baseline %12.0f\n",
 					aStatus, r.name, r.allocs, *c.AllocsPerOp)
+			}
+			for _, gate := range []struct {
+				metric string
+				base   float64
+			}{{"rounds", c.RoundsPerOp}, {"messages", c.MessagesPerOp}} {
+				got, reported := r.has[gate.metric]
+				if gate.base <= 0 || !reported {
+					continue
+				}
+				mStatus := "ok   "
+				if got != gate.base {
+					mStatus = "FAIL "
+					failures = append(failures, fmt.Sprintf(
+						"%s: %.1f %s/op vs baseline %.1f (deterministic model cost must match exactly)",
+						r.name, got, gate.metric, gate.base))
+				}
+				fmt.Printf("%s %-40s %12.1f %s/op  baseline %12.1f\n",
+					mStatus, r.name, got, gate.metric, gate.base)
 			}
 		}
 	}
